@@ -1,0 +1,44 @@
+//! # gdp-adversary
+//!
+//! Adversarial schedulers for the generalized dining philosophers problem,
+//! reproducing the negative results of Herescu & Palamidessi (PODC 2001):
+//!
+//! * [`TriangleWaveAdversary`] — the paper's Section 3 scheduler: the exact
+//!   winning strategy against LR1 (and LR2) on the 6-philosopher / 3-fork
+//!   system of Figure 1, bootstrapping into the paper's State 1 and then
+//!   cycling the no-progress wave of States 1–6 forever.
+//! * [`BlockingAdversary`] — a full-information scheduler that generalizes
+//!   the constructions of Section 3 (the 6-philosopher / 3-fork example) and
+//!   Theorems 1–2.  It tries to keep a chosen set of philosophers from ever
+//!   eating by (i) never scheduling a philosopher that is about to take its
+//!   second fork while that fork is free, (ii) steering other philosophers
+//!   into occupying exactly those forks, and (iii) using the philosophers
+//!   *outside* the target set (for example the pendant philosopher `P` of
+//!   Figure 2) as helpers that are allowed to eat whenever that re-occupies
+//!   a contested fork.
+//! * [`TargetStarver`] — the Section 5 scenario: a scheduler that singles
+//!   out one victim philosopher and schedules its second-fork attempt only
+//!   when that fork is held, demonstrating that GDP1 is *not* lockout-free
+//!   while GDP2 is.
+//! * [`FairnessGuard`] / [`FairDriver`] — the "increasing stubbornness"
+//!   technique of the paper: any scheduling policy is turned into a fair
+//!   scheduler by bounding how long a philosopher may be deferred, with the
+//!   bound growing from round to round.  All adversaries in this crate are
+//!   fair by construction through this mechanism, and the engine
+//!   additionally certifies the realized bounded-fairness bound of each run.
+//!
+//! The corresponding experiments (E2–E4, E9) live in the `gdp-bench` crate
+//! and are summarized in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocking;
+mod fairness;
+mod starver;
+mod triangle;
+
+pub use blocking::{BlockingAdversary, BlockingPolicy};
+pub use fairness::{FairDriver, FairnessGuard, SchedulingPolicy, StubbornnessSchedule};
+pub use starver::TargetStarver;
+pub use triangle::TriangleWaveAdversary;

@@ -1,0 +1,349 @@
+//! Exhaustive state-space exploration for small systems.
+//!
+//! The paper's correctness arguments are phrased over the *probabilistic
+//! automaton* of the system: nondeterminism (the adversary's choice of which
+//! philosopher moves) combined with probabilistic branching (the
+//! philosophers' random draws).  For small systems that automaton is finite
+//! and can be explored exhaustively, treating **both** the adversary choice
+//! and every possible outcome of a random draw as branches.
+//!
+//! [`explore`] performs a bounded breadth-first search over that automaton
+//! and reports:
+//!
+//! * the number of distinct reachable states (up to the bound);
+//! * whether a **deadlock** state is reachable — a state in which *no*
+//!   scheduling choice and *no* random outcome can ever lead to a meal
+//!   (formally: no eating state is reachable from it).  For randomized
+//!   algorithms such as LR1/GDP1 no deadlock exists (some sequence of
+//!   choices and lucky draws always reaches a meal — that is exactly why
+//!   only *probabilistic* adversarial arguments can defeat them), whereas
+//!   the naive deterministic "take left then right" program does deadlock;
+//! * whether every reachable state satisfies the safety invariants
+//!   (mutual exclusion, eating implies holding both forks).
+//!
+//! Exploration cost grows quickly with the number of philosophers, so this
+//! is a verification aid for the small witness topologies of the paper, not
+//! a general model checker.
+
+use gdp_sim::{Engine, Phase, Program, SimConfig};
+use gdp_topology::{PhilosopherId, Topology};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Result of an exhaustive exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplorationReport {
+    /// Number of distinct states visited (including the initial state).
+    pub states_visited: usize,
+    /// Whether the exploration was truncated by the state budget.
+    pub truncated: bool,
+    /// Number of visited states from which no meal is reachable within the
+    /// explored fragment (0 means the explored fragment is deadlock-free).
+    pub dead_states: usize,
+    /// Whether every visited state satisfied the safety invariants.
+    pub safety_holds: bool,
+    /// Number of visited states in which some philosopher is eating.
+    pub eating_states: usize,
+}
+
+impl ExplorationReport {
+    /// Returns `true` if no reachable state (within the explored fragment)
+    /// is a dead end.
+    #[must_use]
+    pub fn deadlock_free(&self) -> bool {
+        self.dead_states == 0
+    }
+}
+
+/// Replays `decisions` (a sequence of philosopher indices) from the initial
+/// state on a fresh engine with the given seed and returns that engine.
+///
+/// Exploration identifies a state by the decision sequence that reaches it
+/// plus the engine's state fingerprint; replay keeps the exploration honest
+/// without requiring the engine to expose clonable internals.
+fn replay<P: Program + Clone>(
+    topology: &Topology,
+    program: &P,
+    seed: u64,
+    decisions: &[u32],
+) -> Engine<P> {
+    let mut engine = Engine::new(
+        topology.clone(),
+        program.clone(),
+        SimConfig::default().with_seed(seed),
+    );
+    for &p in decisions {
+        engine.step_philosopher(PhilosopherId::new(p));
+    }
+    engine
+}
+
+fn check_safety<P: Program>(engine: &Engine<P>) -> bool {
+    engine.with_view(|view| {
+        for fork in view.topology().fork_ids() {
+            if let Some(holder) = view.holder_of(fork) {
+                if !view.topology().forks_of(holder).contains(fork) {
+                    return false;
+                }
+            }
+        }
+        for p in view.philosophers() {
+            if p.holding.len() > 2 {
+                return false;
+            }
+            if p.phase == Phase::Eating && p.holding.len() != 2 {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+fn someone_eating<P: Program>(engine: &Engine<P>) -> bool {
+    engine.with_view(|view| view.someone_eating())
+}
+
+/// Exhaustively explores the reachable states of `program` on `topology`,
+/// branching over every adversary choice at every state, up to `max_states`
+/// distinct states and `max_depth` steps from the initial state.
+///
+/// Randomness is fixed by `seed`: the exploration covers all *scheduling*
+/// nondeterminism for one realization of the coin flips.  Calling it with
+/// several seeds (see [`explore_seeds`]) additionally samples the
+/// probabilistic branching.
+#[must_use]
+pub fn explore<P: Program + Clone>(
+    topology: &Topology,
+    program: &P,
+    seed: u64,
+    max_states: usize,
+    max_depth: usize,
+) -> ExplorationReport {
+    let n = topology.num_philosophers() as u32;
+    // state fingerprint -> shortest decision sequence reaching it
+    let mut seen: HashMap<u64, Vec<u32>> = HashMap::new();
+    // fingerprints of states from which a meal has been observed downstream
+    let mut can_eat: HashSet<u64> = HashSet::new();
+    let mut parents: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
+    let mut truncated = false;
+    let mut safety_holds = true;
+    let mut eating_states = 0usize;
+
+    let initial = replay(topology, program, seed, &[]);
+    let initial_fp = initial.state_fingerprint();
+    seen.insert(initial_fp, Vec::new());
+    queue.push_back(Vec::new());
+
+    while let Some(decisions) = queue.pop_front() {
+        if decisions.len() >= max_depth {
+            truncated = true;
+            continue;
+        }
+        let here_fp = replay(topology, program, seed, &decisions).state_fingerprint();
+        for p in 0..n {
+            let mut next = decisions.clone();
+            next.push(p);
+            let engine = replay(topology, program, seed, &next);
+            let fp = engine.state_fingerprint();
+            if !check_safety(&engine) {
+                safety_holds = false;
+            }
+            let eating = someone_eating(&engine);
+            parents.entry(fp).or_default().push(here_fp);
+            if eating {
+                can_eat.insert(fp);
+            }
+            if seen.contains_key(&fp) {
+                continue;
+            }
+            if seen.len() >= max_states {
+                truncated = true;
+                continue;
+            }
+            if eating {
+                eating_states += 1;
+            }
+            seen.insert(fp, next.clone());
+            queue.push_back(next);
+        }
+    }
+
+    // Backward propagation of "a meal is reachable from here".
+    let mut frontier: Vec<u64> = can_eat.iter().copied().collect();
+    while let Some(fp) = frontier.pop() {
+        if let Some(ps) = parents.get(&fp) {
+            for &parent in ps {
+                if can_eat.insert(parent) {
+                    frontier.push(parent);
+                }
+            }
+        }
+    }
+    let dead_states = seen.keys().filter(|fp| !can_eat.contains(fp)).count();
+
+    ExplorationReport {
+        states_visited: seen.len(),
+        truncated,
+        dead_states,
+        safety_holds,
+        eating_states,
+    }
+}
+
+/// Runs [`explore`] for each seed and merges the findings: safety must hold
+/// for every seed, and a deadlock reported for *any* seed counts.
+#[must_use]
+pub fn explore_seeds<P: Program + Clone>(
+    topology: &Topology,
+    program: &P,
+    seeds: &[u64],
+    max_states: usize,
+    max_depth: usize,
+) -> ExplorationReport {
+    let mut merged = ExplorationReport {
+        states_visited: 0,
+        truncated: false,
+        dead_states: 0,
+        safety_holds: true,
+        eating_states: 0,
+    };
+    for &seed in seeds {
+        let report = explore(topology, program, seed, max_states, max_depth);
+        merged.states_visited += report.states_visited;
+        merged.truncated |= report.truncated;
+        merged.dead_states += report.dead_states;
+        merged.safety_holds &= report.safety_holds;
+        merged.eating_states += report.eating_states;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_algorithms::baselines::OrderedForks;
+    use gdp_algorithms::{Gdp1, Lr1};
+    use gdp_sim::{Action, ProgramObservation, StepCtx};
+    use gdp_topology::builders::classic_ring;
+    use gdp_topology::{ForkEnds, Topology};
+
+    /// The classic broken algorithm: deterministically take the left fork,
+    /// then the right fork, holding on failure.  Deadlocks on every ring.
+    #[derive(Clone, Copy, Debug, Default)]
+    struct NaiveLeftRight;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    enum NaiveState {
+        Thinking,
+        WantLeft,
+        WantRight,
+        Eating,
+    }
+
+    impl Program for NaiveLeftRight {
+        type State = NaiveState;
+        fn name(&self) -> &'static str {
+            "naive-left-right"
+        }
+        fn initial_state(&self) -> NaiveState {
+            NaiveState::Thinking
+        }
+        fn observation(&self, state: &NaiveState, _ends: ForkEnds) -> ProgramObservation {
+            let phase = match state {
+                NaiveState::Thinking => Phase::Thinking,
+                NaiveState::Eating => Phase::Eating,
+                _ => Phase::Hungry,
+            };
+            ProgramObservation {
+                phase,
+                committed: None,
+                label: "naive",
+            }
+        }
+        fn step(&self, state: &mut NaiveState, ctx: &mut StepCtx<'_>) -> Action {
+            match state {
+                NaiveState::Thinking => {
+                    if ctx.becomes_hungry() {
+                        *state = NaiveState::WantLeft;
+                        Action::BecomeHungry
+                    } else {
+                        Action::KeepThinking
+                    }
+                }
+                NaiveState::WantLeft => {
+                    let left = ctx.left();
+                    if ctx.take_if_free(left) {
+                        *state = NaiveState::WantRight;
+                    }
+                    Action::TestAndSet { fork: left }
+                }
+                NaiveState::WantRight => {
+                    let right = ctx.right();
+                    if ctx.take_if_free(right) {
+                        *state = NaiveState::Eating;
+                    }
+                    Action::TestAndSet { fork: right }
+                }
+                NaiveState::Eating => {
+                    ctx.release(ctx.left());
+                    ctx.release(ctx.right());
+                    *state = NaiveState::Thinking;
+                    Action::FinishEating
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_left_right_deadlocks_on_the_ring() {
+        // The textbook deadlock: every philosopher holds its left fork.
+        let ring = classic_ring(3).unwrap();
+        let report = explore(&ring, &NaiveLeftRight, 0, 20_000, 200);
+        assert!(report.safety_holds);
+        assert!(!report.truncated, "{report:?}");
+        assert!(
+            report.dead_states > 0,
+            "the naive algorithm must have reachable dead states: {report:?}"
+        );
+    }
+
+    #[test]
+    fn lr1_full_state_space_is_deadlock_free_and_safe() {
+        // LR1 on the 2-philosopher ring: no state is a dead end (some
+        // scheduling always leads to a meal), and safety holds everywhere.
+        let two_ring = Topology::from_arcs(2, [(0, 1), (1, 0)]).unwrap();
+        let report = explore_seeds(&two_ring, &Lr1::new(), &[0, 1, 2], 20_000, 400);
+        assert!(report.safety_holds);
+        assert!(!report.truncated, "{report:?}");
+        assert!(report.deadlock_free(), "{report:?}");
+        assert!(report.eating_states > 0);
+        assert!(report.states_visited > 10);
+    }
+
+    #[test]
+    fn gdp1_full_state_space_is_deadlock_free_and_safe() {
+        let two_ring = Topology::from_arcs(2, [(0, 1), (1, 0)]).unwrap();
+        let report = explore_seeds(&two_ring, &Gdp1::new(), &[3, 4], 20_000, 400);
+        assert!(report.safety_holds);
+        assert!(!report.truncated, "{report:?}");
+        assert!(report.deadlock_free(), "{report:?}");
+        assert!(report.eating_states > 0);
+    }
+
+    #[test]
+    fn ordered_forks_is_deadlock_free_on_the_small_ring() {
+        let ring = classic_ring(3).unwrap();
+        let report = explore(&ring, &OrderedForks::new(), 0, 20_000, 200);
+        assert!(report.safety_holds);
+        assert!(!report.truncated, "{report:?}");
+        assert!(report.deadlock_free(), "{report:?}");
+    }
+
+    #[test]
+    fn exploration_reports_truncation() {
+        let ring = classic_ring(4).unwrap();
+        let report = explore(&ring, &Lr1::new(), 0, 50, 6);
+        assert!(report.truncated);
+        assert!(report.states_visited <= 50);
+    }
+}

@@ -1,0 +1,39 @@
+//! # gdp-analysis
+//!
+//! Measurement and verification tooling for generalized dining philosophers
+//! executions:
+//!
+//! * [`stats`] — small numerical helpers (means, percentiles, Wilson
+//!   confidence intervals, Jain's fairness index);
+//! * [`metrics`] — per-run summaries: throughput, waiting times, fairness of
+//!   the meal distribution;
+//! * [`montecarlo`] — repeated-trial estimators for the paper's two
+//!   liveness properties: **progress** (Theorem 3: some philosopher
+//!   eventually eats) and **lockout-freedom** (Theorem 4: every philosopher
+//!   eventually eats), under an arbitrary program / adversary / topology
+//!   combination;
+//! * [`explore`] — bounded exhaustive exploration of the probabilistic
+//!   automaton of a small system (all scheduler choices, per-seed coin
+//!   flips): reachable-state counts, safety verification and dead-end
+//!   (deadlock) detection;
+//! * [`symmetry`] — the symmetry-breaking probability from the proof of
+//!   Theorem 3: the probability that freshly drawn priority numbers make all
+//!   adjacent forks distinct, with the paper's closed-form lower bound
+//!   `m!/(mᵏ(m−k)!)` for comparison.
+//!
+//! All estimators are deterministic given their seeds, so experiment tables
+//! in `EXPERIMENTS.md` can be regenerated exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod metrics;
+pub mod montecarlo;
+pub mod stats;
+pub mod symmetry;
+
+pub use explore::{explore, explore_seeds, ExplorationReport};
+pub use metrics::RunMetrics;
+pub use montecarlo::{LockoutEstimate, ProgressEstimate, TrialConfig};
+pub use symmetry::{distinct_probability_lower_bound, empirical_distinct_probability};

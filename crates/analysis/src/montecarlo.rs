@@ -1,0 +1,293 @@
+//! Monte-Carlo estimation of the paper's liveness properties.
+//!
+//! Theorems 3 and 4 are "with probability 1" statements about infinite
+//! computations.  Their finite-horizon signatures are measured here by
+//! repeated independent trials:
+//!
+//! * **progress within a step budget** — the fraction of trials in which
+//!   some philosopher starts eating before the budget runs out, plus the
+//!   distribution of the first-meal step;
+//! * **lockout-freedom within a step budget** — the fraction of trials in
+//!   which *every* philosopher completes at least one meal, plus the
+//!   per-philosopher starvation counts.
+//!
+//! The estimators are generic in the program and the adversary, so the same
+//! harness measures LR1/LR2 under the paper's defeating schedulers and
+//! GDP1/GDP2 under every scheduler (experiments E2–E6, E9).
+
+use crate::stats;
+use gdp_sim::{Adversary, Engine, Program, SimConfig, StopCondition};
+use gdp_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a batch of independent trials.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialConfig {
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// Base seed; trial `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Simulation configuration template (its seed field is overridden
+    /// per trial).
+    pub sim: SimConfig,
+}
+
+impl TrialConfig {
+    /// A convenient default: 100 trials of 100 000 steps from seed 0.
+    #[must_use]
+    pub fn new(trials: u64, max_steps: u64) -> Self {
+        TrialConfig {
+            trials,
+            max_steps,
+            base_seed: 0,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the simulation configuration template.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+}
+
+/// Result of estimating the progress property.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEstimate {
+    /// Trials run.
+    pub trials: u64,
+    /// Trials in which some philosopher started eating within the budget.
+    pub progressed: u64,
+    /// `progressed / trials`.
+    pub progress_fraction: f64,
+    /// 95% Wilson confidence interval for the progress probability.
+    pub confidence: (f64, f64),
+    /// Mean first-meal step over the progressing trials.
+    pub first_meal_mean: f64,
+    /// Median first-meal step over the progressing trials.
+    pub first_meal_p50: f64,
+    /// 95th-percentile first-meal step over the progressing trials.
+    pub first_meal_p95: f64,
+    /// Mean total meals per trial (all trials).
+    pub meals_mean: f64,
+}
+
+/// Result of estimating the lockout-freedom property.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LockoutEstimate {
+    /// Trials run.
+    pub trials: u64,
+    /// Trials in which every philosopher completed at least one meal.
+    pub all_ate: u64,
+    /// `all_ate / trials`.
+    pub lockout_free_fraction: f64,
+    /// 95% Wilson confidence interval.
+    pub confidence: (f64, f64),
+    /// For each philosopher, the number of trials in which it starved
+    /// (completed no meal within the budget).
+    pub starvation_per_philosopher: Vec<u64>,
+    /// Mean over trials of the minimum meal count across philosophers.
+    pub min_meals_mean: f64,
+    /// Mean over trials of the Jain index of the meal distribution.
+    pub fairness_mean: f64,
+}
+
+/// Estimates the progress probability of `program` on `topology` under the
+/// adversaries produced by `make_adversary` (one fresh adversary per trial).
+pub fn estimate_progress<P, A, F>(
+    topology: &Topology,
+    program: &P,
+    mut make_adversary: F,
+    config: &TrialConfig,
+) -> ProgressEstimate
+where
+    P: Program + Clone,
+    A: Adversary,
+    F: FnMut(u64) -> A,
+{
+    let mut progressed = 0u64;
+    let mut first_meals = Vec::new();
+    let mut meals = Vec::new();
+    for trial in 0..config.trials {
+        let seed = config.base_seed + trial;
+        let sim = config.sim.clone().with_seed(seed);
+        let mut engine = Engine::new(topology.clone(), program.clone(), sim);
+        let mut adversary = make_adversary(trial);
+        let outcome = engine.run(
+            &mut adversary,
+            StopCondition::FirstMeal {
+                max_steps: config.max_steps,
+            },
+        );
+        meals.push(outcome.total_meals as f64);
+        if let Some(step) = outcome.first_meal_step {
+            progressed += 1;
+            first_meals.push(step as f64);
+        }
+    }
+    ProgressEstimate {
+        trials: config.trials,
+        progressed,
+        progress_fraction: if config.trials == 0 {
+            0.0
+        } else {
+            progressed as f64 / config.trials as f64
+        },
+        confidence: stats::wilson_interval(progressed, config.trials),
+        first_meal_mean: stats::mean(&first_meals),
+        first_meal_p50: stats::percentile(&first_meals, 50.0),
+        first_meal_p95: stats::percentile(&first_meals, 95.0),
+        meals_mean: stats::mean(&meals),
+    }
+}
+
+/// Estimates the lockout-freedom probability of `program` on `topology`
+/// under the adversaries produced by `make_adversary`.
+pub fn estimate_lockout_freedom<P, A, F>(
+    topology: &Topology,
+    program: &P,
+    mut make_adversary: F,
+    config: &TrialConfig,
+) -> LockoutEstimate
+where
+    P: Program + Clone,
+    A: Adversary,
+    F: FnMut(u64) -> A,
+{
+    let n = topology.num_philosophers();
+    let mut all_ate = 0u64;
+    let mut starvation = vec![0u64; n];
+    let mut min_meals = Vec::new();
+    let mut fairness = Vec::new();
+    for trial in 0..config.trials {
+        let seed = config.base_seed + trial;
+        let sim = config.sim.clone().with_seed(seed);
+        let mut engine = Engine::new(topology.clone(), program.clone(), sim);
+        let mut adversary = make_adversary(trial);
+        let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(config.max_steps));
+        if outcome.everyone_ate() {
+            all_ate += 1;
+        }
+        for starved in outcome.starved() {
+            starvation[starved.index()] += 1;
+        }
+        min_meals.push(*outcome.meals_per_philosopher.iter().min().unwrap_or(&0) as f64);
+        let meals: Vec<f64> = outcome
+            .meals_per_philosopher
+            .iter()
+            .map(|&m| m as f64)
+            .collect();
+        fairness.push(stats::jain_index(&meals));
+    }
+    LockoutEstimate {
+        trials: config.trials,
+        all_ate,
+        lockout_free_fraction: if config.trials == 0 {
+            0.0
+        } else {
+            all_ate as f64 / config.trials as f64
+        },
+        confidence: stats::wilson_interval(all_ate, config.trials),
+        starvation_per_philosopher: starvation,
+        min_meals_mean: stats::mean(&min_meals),
+        fairness_mean: stats::mean(&fairness),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_algorithms::{Gdp1, Gdp2, Lr1};
+    use gdp_sim::{RoundRobinAdversary, UniformRandomAdversary};
+    use gdp_topology::builders::{classic_ring, figure1_triangle};
+
+    #[test]
+    fn gdp1_progress_probability_is_one_on_the_triangle() {
+        let config = TrialConfig::new(20, 50_000).with_base_seed(1);
+        let estimate = estimate_progress(
+            &figure1_triangle(),
+            &Gdp1::new(),
+            |t| UniformRandomAdversary::new(t),
+            &config,
+        );
+        assert_eq!(estimate.progressed, estimate.trials);
+        assert_eq!(estimate.progress_fraction, 1.0);
+        assert!(estimate.confidence.0 > 0.8);
+        assert!(estimate.first_meal_p95 >= estimate.first_meal_p50);
+        assert!(estimate.first_meal_mean > 0.0);
+    }
+
+    #[test]
+    fn gdp2_is_lockout_free_on_the_classic_ring() {
+        let config = TrialConfig::new(10, 100_000).with_base_seed(3);
+        let estimate = estimate_lockout_freedom(
+            &classic_ring(5).unwrap(),
+            &Gdp2::new(),
+            |t| UniformRandomAdversary::new(100 + t),
+            &config,
+        );
+        assert_eq!(estimate.all_ate, estimate.trials);
+        assert_eq!(estimate.lockout_free_fraction, 1.0);
+        assert!(estimate.starvation_per_philosopher.iter().all(|&s| s == 0));
+        assert!(estimate.min_meals_mean >= 1.0);
+        assert!(estimate.fairness_mean > 0.8);
+    }
+
+    #[test]
+    fn lr1_progresses_on_the_ring_under_round_robin() {
+        let config = TrialConfig::new(10, 50_000);
+        let estimate = estimate_progress(
+            &classic_ring(6).unwrap(),
+            &Lr1::new(),
+            |_| RoundRobinAdversary::new(),
+            &config,
+        );
+        assert_eq!(estimate.progress_fraction, 1.0);
+    }
+
+    #[test]
+    fn zero_trials_are_handled() {
+        let config = TrialConfig {
+            trials: 0,
+            max_steps: 10,
+            base_seed: 0,
+            sim: SimConfig::default(),
+        };
+        let estimate = estimate_progress(
+            &classic_ring(3).unwrap(),
+            &Gdp1::new(),
+            |_| RoundRobinAdversary::new(),
+            &config,
+        );
+        assert_eq!(estimate.progress_fraction, 0.0);
+        assert_eq!(estimate.confidence, (0.0, 1.0));
+    }
+
+    #[test]
+    fn estimates_are_deterministic_given_seeds() {
+        let config = TrialConfig::new(5, 20_000).with_base_seed(9);
+        let a = estimate_progress(
+            &figure1_triangle(),
+            &Gdp1::new(),
+            |t| UniformRandomAdversary::new(t),
+            &config,
+        );
+        let b = estimate_progress(
+            &figure1_triangle(),
+            &Gdp1::new(),
+            |t| UniformRandomAdversary::new(t),
+            &config,
+        );
+        assert_eq!(a, b);
+    }
+}

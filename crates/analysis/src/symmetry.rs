@@ -1,0 +1,142 @@
+//! The symmetry-breaking probability of Section 4.
+//!
+//! The proof of Theorem 3 argues that, each time the philosophers of a ring
+//! have all re-drawn their fork priority numbers, the probability that every
+//! pair of *adjacent* forks carries distinct numbers is at least
+//! `m!/(mᵏ(m−k)!)` — the probability that `k` independent uniform draws from
+//! `[1, m]` are pairwise distinct (the paper bounds the adjacent-distinctness
+//! event by the stronger all-distinct event on a complete graph of forks).
+//!
+//! This module provides that closed-form lower bound and an empirical
+//! estimator of the *actual* adjacent-distinctness probability on an
+//! arbitrary topology, which experiment E8 compares against the bound.
+
+use gdp_topology::Topology;
+use rand::Rng;
+
+/// The paper's lower bound `m!/(mᵏ(m−k)!)`: the probability that `k`
+/// independent uniform draws from `{1, …, m}` are pairwise distinct.
+///
+/// Returns 0 when `m < k` (pigeonhole) and 1 when `k <= 1`.
+///
+/// ```
+/// use gdp_analysis::distinct_probability_lower_bound;
+/// // Birthday-problem shape: 3 draws from 3 values are all distinct with
+/// // probability 3!/3³ = 2/9.
+/// let p = distinct_probability_lower_bound(3, 3);
+/// assert!((p - 2.0 / 9.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn distinct_probability_lower_bound(k: u32, m: u32) -> f64 {
+    if k <= 1 {
+        return 1.0;
+    }
+    if m < k {
+        return 0.0;
+    }
+    let mut p = 1.0_f64;
+    for i in 0..k {
+        p *= (m - i) as f64 / m as f64;
+    }
+    p
+}
+
+/// Empirically estimates the probability that, after assigning every fork of
+/// `topology` an independent uniform number in `[1, m]`, every philosopher
+/// sees two *distinct* numbers on its pair of forks (the event the GDP1/GDP2
+/// analysis actually needs — weaker than all-distinct, so the estimate
+/// should dominate [`distinct_probability_lower_bound`]).
+pub fn empirical_distinct_probability<R: Rng + ?Sized>(
+    topology: &Topology,
+    m: u32,
+    samples: u64,
+    rng: &mut R,
+) -> f64 {
+    assert!(m >= 1, "the priority range must contain at least one value");
+    if samples == 0 {
+        return 0.0;
+    }
+    let mut successes = 0u64;
+    let mut numbers = vec![0u32; topology.num_forks()];
+    for _ in 0..samples {
+        for value in numbers.iter_mut() {
+            *value = rng.gen_range(1..=m);
+        }
+        let ok = topology.philosopher_ids().all(|p| {
+            let ends = topology.forks_of(p);
+            numbers[ends.left.index()] != numbers[ends.right.index()]
+        });
+        if ok {
+            successes += 1;
+        }
+    }
+    successes as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_topology::builders::{classic_ring, complete_conflict, figure1_triangle};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn closed_form_special_cases() {
+        assert_eq!(distinct_probability_lower_bound(0, 5), 1.0);
+        assert_eq!(distinct_probability_lower_bound(1, 1), 1.0);
+        assert_eq!(distinct_probability_lower_bound(5, 4), 0.0);
+        assert_eq!(distinct_probability_lower_bound(2, 2), 0.5);
+        // k = m = 4: 4!/4^4 = 24/256.
+        assert!((distinct_probability_lower_bound(4, 4) - 24.0 / 256.0).abs() < 1e-12);
+        // Larger m makes collisions rarer.
+        assert!(
+            distinct_probability_lower_bound(4, 16) > distinct_probability_lower_bound(4, 4)
+        );
+    }
+
+    #[test]
+    fn empirical_estimate_matches_closed_form_on_the_complete_graph() {
+        // On the complete conflict graph, "adjacent distinct" IS "all
+        // distinct", so the empirical estimate should match the bound.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let topology = complete_conflict(4).unwrap();
+        let estimate = empirical_distinct_probability(&topology, 4, 40_000, &mut rng);
+        let exact = distinct_probability_lower_bound(4, 4);
+        assert!(
+            (estimate - exact).abs() < 0.01,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn empirical_estimate_dominates_the_bound_on_sparser_graphs() {
+        // On a ring, only adjacent forks need distinct numbers, so the true
+        // probability strictly exceeds the all-distinct lower bound.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let ring = classic_ring(6).unwrap();
+        let estimate = empirical_distinct_probability(&ring, 6, 40_000, &mut rng);
+        let bound = distinct_probability_lower_bound(6, 6);
+        assert!(estimate > bound, "estimate {estimate} should exceed bound {bound}");
+        // And the triangle (3 forks, adjacency = complete) matches the bound.
+        let tri = figure1_triangle();
+        let estimate = empirical_distinct_probability(&tri, 3, 40_000, &mut rng);
+        let bound = distinct_probability_lower_bound(3, 3);
+        assert!((estimate - bound).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_samples_yield_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            empirical_distinct_probability(&classic_ring(3).unwrap(), 3, 0, &mut rng),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "priority range")]
+    fn rejects_empty_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = empirical_distinct_probability(&classic_ring(3).unwrap(), 0, 10, &mut rng);
+    }
+}

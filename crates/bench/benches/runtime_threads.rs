@@ -1,0 +1,66 @@
+//! E10 — the practical side: throughput of the GDP2-based threaded runtime
+//! on real OS threads, and of the guarded-choice resolution built on top of
+//! it (the paper's π-calculus motivation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp_bench::print_header;
+use gdp_picalc::{ChannelId, ChoiceRound, Guard};
+use gdp_runtime::run_for_meals;
+use gdp_topology::builders::{classic_ring, figure1_triangle, figure3_theta};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn resolve_round(clients: usize) -> usize {
+    let mut round = ChoiceRound::new();
+    let _server = round.add_process(vec![Guard::recv(ChannelId::new(0)), Guard::send(ChannelId::new(1), 1)]);
+    for i in 0..clients {
+        round.add_process(vec![Guard::send(ChannelId::new(0), i as u64)]);
+        round.add_process(vec![Guard::recv(ChannelId::new(1))]);
+    }
+    round.resolve().synchronizations().len()
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    print_header("E10 | Threaded GDP2 runtime and guarded-choice resolution");
+    for (name, topology) in [
+        ("classic-ring-8", classic_ring(8).unwrap()),
+        ("classic-ring-32", classic_ring(32).unwrap()),
+        ("figure1-triangle", figure1_triangle()),
+        ("figure3-theta", figure3_theta()),
+    ] {
+        let report = run_for_meals(topology, 200, || std::hint::spin_loop());
+        println!(
+            "{:<18} threads={:<3} meals={:<6} throughput={:>10.0} meals/s  everyone_ate={}",
+            name,
+            report.philosophers,
+            report.total_meals(),
+            report.throughput_meals_per_sec,
+            report.everyone_ate()
+        );
+    }
+
+    let mut group = c.benchmark_group("runtime_threads");
+    for n in [4usize, 8, 16] {
+        let ring = classic_ring(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("ring_50_meals_each", n), &n, |b, _| {
+            b.iter(|| run_for_meals(ring.clone(), 50, || {}));
+        });
+    }
+    group.bench_function("guarded_choice_round_8_clients", |b| {
+        b.iter(|| resolve_round(8));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2 — the Section 3 example: a fair scheduler defeats LR1 on the
+//! 6-philosopher / 3-fork system, with probability comfortably above the
+//! paper's 1/4 lower bound, while GDP1/GDP2 cannot be defeated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdp_algorithms::AlgorithmKind;
+use gdp_bench::{print_header, wave_summary};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_sec3(c: &mut Criterion) {
+    print_header(
+        "E2 | Section 3 example: the wave scheduler vs the four algorithms on the triangle \
+         (paper bound: P(no progress) >= 1/4 for LR1)",
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>24}",
+        "algorithm", "P(no progress)", "mean meals/run", "mean fairness bound"
+    );
+    for algorithm in AlgorithmKind::paper_algorithms() {
+        let summary = wave_summary(algorithm, 20, 50_000);
+        println!(
+            "{:<10} {:>16.2} {:>16.1} {:>24.0}",
+            algorithm.name(),
+            summary.blocked_fraction,
+            summary.mean_meals,
+            summary.mean_fairness_bound
+        );
+    }
+
+    let mut group = c.benchmark_group("sec3_lr1_failure");
+    group.bench_function("wave_vs_lr1_20k_steps", |b| {
+        b.iter(|| wave_summary(AlgorithmKind::Lr1, 1, 20_000));
+    });
+    group.bench_function("wave_vs_gdp1_20k_steps", |b| {
+        b.iter(|| wave_summary(AlgorithmKind::Gdp1, 1, 20_000));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sec3
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E8 — Section 4's symmetry-breaking probability: the paper's closed-form
+//! lower bound `m!/(mᵏ(m−k)!)` versus the measured probability that freshly
+//! drawn priority numbers make all *adjacent* forks distinct, as a function
+//! of the range `m` and the topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdp_analysis::symmetry::{distinct_probability_lower_bound, empirical_distinct_probability};
+use gdp_bench::print_header;
+use gdp_topology::builders::{classic_ring, complete_conflict, figure1_gallery};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    print_header("E8 | Section 4: symmetry-breaking probability vs the paper's lower bound");
+    println!(
+        "{:<30} {:>4} {:>6} {:>18} {:>18}",
+        "topology", "k", "m", "paper lower bound", "measured (adjacent)"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mut topologies = figure1_gallery();
+    topologies.push(("classic-ring-8", classic_ring(8).unwrap()));
+    topologies.push(("complete-5", complete_conflict(5).unwrap()));
+    for (name, topology) in &topologies {
+        let k = topology.num_forks() as u32;
+        for m in [k, 2 * k, 4 * k] {
+            let bound = distinct_probability_lower_bound(k, m);
+            let measured = empirical_distinct_probability(topology, m, 50_000, &mut rng);
+            println!("{name:<30} {k:>4} {m:>6} {bound:>18.6} {measured:>18.6}");
+        }
+    }
+
+    let mut group = c.benchmark_group("sec4_symmetry_bound");
+    let ring = classic_ring(12).unwrap();
+    group.bench_function("empirical_estimate_ring12_m12_50k_samples", |b| {
+        b.iter(|| empirical_distinct_probability(&ring, 12, 50_000, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_symmetry
+}
+criterion_main!(benches);

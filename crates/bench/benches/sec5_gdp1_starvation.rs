@@ -1,0 +1,85 @@
+//! E9 — the Section 5 remark: GDP1 guarantees progress but **not**
+//! lockout-freedom.  A fair scheduler that defers the victim exactly when it
+//! could complete a meal starves it under GDP1, while under GDP2 the
+//! courtesy mechanism protects it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdp_adversary::TargetStarver;
+use gdp_algorithms::AlgorithmKind;
+use gdp_bench::print_header;
+use gdp_sim::{Engine, SimConfig, StopCondition};
+use gdp_topology::builders::figure1_triangle;
+use gdp_topology::PhilosopherId;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+struct StarvationSummary {
+    starved_fraction: f64,
+    mean_victim_meals: f64,
+    mean_system_meals: f64,
+}
+
+fn run(algorithm: AlgorithmKind, trials: u64, steps: u64) -> StarvationSummary {
+    let victim = PhilosopherId::new(0);
+    let topology = figure1_triangle();
+    let mut starved = 0u64;
+    let mut victim_meals = 0u64;
+    let mut total_meals = 0u64;
+    for seed in 0..trials {
+        let mut engine = Engine::new(
+            topology.clone(),
+            algorithm.program(),
+            SimConfig::default().with_seed(seed),
+        );
+        let mut adversary = TargetStarver::new(victim);
+        let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(steps));
+        let v = outcome.meals_per_philosopher[victim.index()];
+        if v == 0 {
+            starved += 1;
+        }
+        victim_meals += v;
+        total_meals += outcome.total_meals;
+    }
+    StarvationSummary {
+        starved_fraction: starved as f64 / trials as f64,
+        mean_victim_meals: victim_meals as f64 / trials as f64,
+        mean_system_meals: total_meals as f64 / trials as f64,
+    }
+}
+
+fn bench_sec5(c: &mut Criterion) {
+    print_header("E9 | Section 5: the starvation scheduler vs GDP1 and GDP2 (victim = P0, triangle)");
+    println!(
+        "{:<10} {:>20} {:>20} {:>20}",
+        "algorithm", "P(victim starved)", "mean victim meals", "mean system meals"
+    );
+    for algorithm in [AlgorithmKind::Gdp1, AlgorithmKind::Gdp2] {
+        let summary = run(algorithm, 20, 60_000);
+        println!(
+            "{:<10} {:>20.2} {:>20.1} {:>20.1}",
+            algorithm.name(),
+            summary.starved_fraction,
+            summary.mean_victim_meals,
+            summary.mean_system_meals
+        );
+    }
+
+    let mut group = c.benchmark_group("sec5_gdp1_starvation");
+    group.bench_function("starver_vs_gdp1_20k_steps", |b| {
+        b.iter(|| run(AlgorithmKind::Gdp1, 1, 20_000));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sec5
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E3 — Theorem 1: a ring with an extra incident philosopher (Figure 2).
+//!
+//! The targeting blocking adversary starves the six ring philosophers of
+//! LR1 for the whole observation window (while the pendant philosopher is
+//! free to eat); the same adversary cannot starve the ring under GDP1.
+//! The triangle experiment (E2) already witnesses Theorem 1 exactly — the
+//! triangle contains a ring with a fork of degree four — so this bench
+//! covers the pendant-shaped instance the paper draws in Figure 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdp_adversary::{BlockingAdversary, BlockingPolicy, StubbornnessSchedule};
+use gdp_algorithms::AlgorithmKind;
+use gdp_bench::print_header;
+use gdp_sim::{Engine, SimConfig, StopCondition};
+use gdp_topology::builders::{ring_with_chord, ChordTarget};
+use gdp_topology::PhilosopherId;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+struct RingChordSummary {
+    ring_starved_fraction: f64,
+    mean_ring_meals: f64,
+    mean_pendant_meals: f64,
+}
+
+fn run(algorithm: AlgorithmKind, trials: u64, steps: u64, patient: bool) -> RingChordSummary {
+    let topology = ring_with_chord(6, ChordTarget::ExternalFork).expect("figure 2 topology");
+    let ring: Vec<PhilosopherId> = (0..6).map(PhilosopherId::new).collect();
+    let mut starved = 0u64;
+    let mut ring_meals_total = 0u64;
+    let mut pendant_meals_total = 0u64;
+    for seed in 0..trials {
+        let mut engine = Engine::new(
+            topology.clone(),
+            algorithm.program(),
+            SimConfig::default().with_seed(seed),
+        );
+        let schedule = if patient {
+            StubbornnessSchedule::constant(steps + 10_000)
+        } else {
+            StubbornnessSchedule::default()
+        };
+        let mut adversary =
+            BlockingAdversary::with_schedule(BlockingPolicy::starving(ring.clone()), schedule);
+        let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(steps));
+        let ring_meals: u64 = ring
+            .iter()
+            .map(|p| outcome.meals_per_philosopher[p.index()])
+            .sum();
+        if ring_meals == 0 {
+            starved += 1;
+        }
+        ring_meals_total += ring_meals;
+        pendant_meals_total += outcome.meals_per_philosopher[6];
+    }
+    RingChordSummary {
+        ring_starved_fraction: starved as f64 / trials as f64,
+        mean_ring_meals: ring_meals_total as f64 / trials as f64,
+        mean_pendant_meals: pendant_meals_total as f64 / trials as f64,
+    }
+}
+
+fn bench_thm1(c: &mut Criterion) {
+    print_header(
+        "E3 | Theorem 1 (Figure 2): hexagon ring + pendant philosopher, targeting adversary",
+    );
+    println!(
+        "{:<10} {:<22} {:>22} {:>18} {:>20}",
+        "algorithm", "adversary patience", "P(ring fully starved)", "mean ring meals", "mean pendant meals"
+    );
+    for (algorithm, patient) in [
+        (AlgorithmKind::Lr1, true),
+        (AlgorithmKind::Lr1, false),
+        (AlgorithmKind::Gdp1, false),
+        (AlgorithmKind::Gdp2, false),
+    ] {
+        let summary = run(algorithm, 20, 40_000, patient);
+        println!(
+            "{:<10} {:<22} {:>22.2} {:>18.1} {:>20.1}",
+            algorithm.name(),
+            if patient { "patient (bound>window)" } else { "growing (default)" },
+            summary.ring_starved_fraction,
+            summary.mean_ring_meals,
+            summary.mean_pendant_meals
+        );
+    }
+
+    let mut group = c.benchmark_group("thm1_lr1_ring_chord");
+    group.bench_function("targeted_blocker_lr1_20k", |b| {
+        b.iter(|| run(AlgorithmKind::Lr1, 1, 20_000, true));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thm1
+}
+criterion_main!(benches);

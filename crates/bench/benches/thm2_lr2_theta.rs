@@ -1,0 +1,92 @@
+//! E4 — Theorem 2: LR2 is defeated on graphs containing a theta subgraph.
+//!
+//! Two witnesses are exercised: (a) the triangle (which contains a theta
+//! subgraph) under the exact Section 3 wave scheduler, where LR2 makes no
+//! progress at all in most trials; (b) the Figure 3 theta graph under the
+//! generic blocking adversary, where LR2 is delayed for the whole window
+//! whenever the adversary may be patient.  GDP2 cannot be blocked in either
+//! setting (Theorem 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdp_adversary::{BlockingAdversary, BlockingPolicy, StubbornnessSchedule};
+use gdp_algorithms::AlgorithmKind;
+use gdp_bench::{print_header, wave_summary};
+use gdp_sim::{Engine, SimConfig, StopCondition};
+use gdp_topology::builders::figure3_theta;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn theta_no_progress_fraction(algorithm: AlgorithmKind, trials: u64, steps: u64, patient: bool) -> f64 {
+    let topology = figure3_theta();
+    let mut blocked = 0u64;
+    for seed in 0..trials {
+        let mut engine = Engine::new(
+            topology.clone(),
+            algorithm.program(),
+            SimConfig::default().with_seed(seed),
+        );
+        let schedule = if patient {
+            StubbornnessSchedule::constant(steps + 10_000)
+        } else {
+            StubbornnessSchedule::default()
+        };
+        let mut adversary = BlockingAdversary::with_schedule(BlockingPolicy::global(), schedule);
+        let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(steps));
+        if !outcome.made_progress() {
+            blocked += 1;
+        }
+    }
+    blocked as f64 / trials as f64
+}
+
+fn bench_thm2(c: &mut Criterion) {
+    print_header("E4 | Theorem 2: LR2 vs GDP2 on theta-containing topologies");
+
+    println!("(a) triangle (theta subgraph) under the Section 3 wave scheduler, 20 x 50k steps:");
+    for algorithm in [AlgorithmKind::Lr2, AlgorithmKind::Gdp2] {
+        let summary = wave_summary(algorithm, 20, 50_000);
+        println!(
+            "    {:<6} P(no progress) = {:.2}   mean meals/run = {:.1}",
+            algorithm.name(),
+            summary.blocked_fraction,
+            summary.mean_meals
+        );
+    }
+
+    println!("(b) Figure 3 theta graph under the generic blocking adversary, 20 x 40k steps:");
+    for (algorithm, patient) in [
+        (AlgorithmKind::Lr2, true),
+        (AlgorithmKind::Lr2, false),
+        (AlgorithmKind::Gdp2, false),
+    ] {
+        let fraction = theta_no_progress_fraction(algorithm, 20, 40_000, patient);
+        println!(
+            "    {:<6} ({:<22}) P(no progress in window) = {:.2}",
+            algorithm.name(),
+            if patient { "patient (bound>window)" } else { "growing (default)" },
+            fraction
+        );
+    }
+
+    let mut group = c.benchmark_group("thm2_lr2_theta");
+    group.bench_function("blocker_vs_lr2_theta_20k", |b| {
+        b.iter(|| theta_no_progress_fraction(AlgorithmKind::Lr2, 1, 20_000, true));
+    });
+    group.bench_function("wave_vs_lr2_triangle_20k", |b| {
+        b.iter(|| wave_summary(AlgorithmKind::Lr2, 1, 20_000));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thm2
+}
+criterion_main!(benches);

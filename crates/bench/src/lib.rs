@@ -1,0 +1,123 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every table- or figure-level claim of the paper has a Criterion bench
+//! under `benches/` that (a) prints the paper-style summary rows recorded in
+//! `EXPERIMENTS.md` and (b) measures the timing of the underlying workload.
+//! The `report` binary (`cargo run -p gdp-bench --bin report --release`)
+//! regenerates all summary tables in one go.
+
+use gdp_adversary::TriangleWaveAdversary;
+use gdp_algorithms::AlgorithmKind;
+use gdp_core::{Experiment, ExperimentReport, SchedulerSpec, TopologySpec};
+use gdp_sim::{Engine, SimConfig, StopCondition};
+use gdp_topology::Topology;
+
+/// Number of Monte-Carlo trials used by the printed summaries.  Kept modest
+/// so `cargo bench` stays interactive; the `report` binary uses the same
+/// value so its output matches `EXPERIMENTS.md`.
+pub const TRIALS: u64 = 20;
+
+/// Step budget per trial used by the printed summaries.
+pub const MAX_STEPS: u64 = 60_000;
+
+/// Prints a section header.
+pub fn print_header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(100));
+    println!("{title}");
+    println!("{}", "=".repeat(100));
+}
+
+/// Runs one experiment with the harness-wide trial budget and prints its
+/// summary row.
+pub fn run_and_print(
+    topology: TopologySpec,
+    algorithm: AlgorithmKind,
+    scheduler: SchedulerSpec,
+) -> ExperimentReport {
+    let report = Experiment::new(topology, algorithm)
+        .with_scheduler(scheduler)
+        .with_trials(TRIALS)
+        .with_max_steps(MAX_STEPS)
+        .run();
+    println!("{}", report.summary_row());
+    report
+}
+
+/// Outcome of a batch of runs under the Section 3 wave scheduler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaveSummary {
+    /// Fraction of trials with no meal at all within the window.
+    pub blocked_fraction: f64,
+    /// Mean meals per trial.
+    pub mean_meals: f64,
+    /// Mean realized bounded-fairness bound over the blocked trials.
+    pub mean_fairness_bound: f64,
+}
+
+/// Runs `trials` windows of `steps` scheduler steps of `algorithm` on the
+/// Figure 1 triangle under the Section 3 wave scheduler.
+#[must_use]
+pub fn wave_summary(algorithm: AlgorithmKind, trials: u64, steps: u64) -> WaveSummary {
+    let topology = gdp_topology::builders::figure1_triangle();
+    let mut blocked = 0u64;
+    let mut meals = 0u64;
+    let mut bounds = Vec::new();
+    for seed in 0..trials {
+        let mut engine = Engine::new(
+            topology.clone(),
+            algorithm.program(),
+            SimConfig::default().with_seed(seed),
+        );
+        let mut adversary =
+            TriangleWaveAdversary::new(&topology).expect("triangle topology is valid");
+        let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(steps));
+        if !outcome.made_progress() {
+            blocked += 1;
+            if let Some(bound) = outcome.fairness_bound {
+                bounds.push(bound as f64);
+            }
+        }
+        meals += outcome.total_meals;
+    }
+    WaveSummary {
+        blocked_fraction: blocked as f64 / trials as f64,
+        mean_meals: meals as f64 / trials as f64,
+        mean_fairness_bound: gdp_analysis::stats::mean(&bounds),
+    }
+}
+
+/// Simulates `steps` steps of `algorithm` on `topology` under a uniform
+/// random fair scheduler and returns the total number of completed meals
+/// (used as the timed kernel of several benches).
+#[must_use]
+pub fn simulate_meals(topology: &Topology, algorithm: AlgorithmKind, steps: u64, seed: u64) -> u64 {
+    let mut engine = Engine::new(
+        topology.clone(),
+        algorithm.program(),
+        SimConfig::default().with_seed(seed),
+    );
+    let mut adversary = gdp_sim::UniformRandomAdversary::new(seed ^ 0xABCD);
+    engine
+        .run(&mut adversary, StopCondition::MaxSteps(steps))
+        .total_meals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_meals_counts_something_on_the_ring() {
+        let ring = gdp_topology::builders::classic_ring(5).unwrap();
+        assert!(simulate_meals(&ring, AlgorithmKind::Gdp1, 20_000, 1) > 0);
+    }
+
+    #[test]
+    fn wave_summary_blocks_lr1_more_than_gdp1() {
+        let lr1 = wave_summary(AlgorithmKind::Lr1, 6, 20_000);
+        let gdp1 = wave_summary(AlgorithmKind::Gdp1, 6, 20_000);
+        assert!(lr1.blocked_fraction >= gdp1.blocked_fraction);
+        assert_eq!(gdp1.blocked_fraction, 0.0);
+    }
+}

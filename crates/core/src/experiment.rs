@@ -1,0 +1,251 @@
+//! The experiment runner: topology × algorithm × scheduler × trials.
+
+use crate::spec::{SchedulerSpec, TopologySpec};
+use gdp_algorithms::AlgorithmKind;
+use gdp_analysis::montecarlo::{estimate_lockout_freedom, estimate_progress};
+use gdp_analysis::{LockoutEstimate, ProgressEstimate, RunMetrics, TrialConfig};
+use gdp_sim::{Engine, SimConfig, StopCondition};
+use serde::{Deserialize, Serialize};
+
+/// A fully specified, repeatable experiment.
+///
+/// Build one with [`Experiment::new`] plus the `with_*` methods, then call
+/// [`run`](Experiment::run).  Every experiment in `EXPERIMENTS.md` is an
+/// instance of this type (see `crates/bench`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// The conflict topology.
+    pub topology: TopologySpec,
+    /// The algorithm every philosopher runs.
+    pub algorithm: AlgorithmKind,
+    /// The scheduler (adversary).
+    pub scheduler: SchedulerSpec,
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// Base seed; trial `i` uses `base_seed + i` for the philosophers'
+    /// randomness.
+    pub base_seed: u64,
+    /// Priority-number range `m` for GDP1/GDP2 (`None` = number of forks).
+    pub nr_range: Option<u32>,
+}
+
+impl Experiment {
+    /// Creates an experiment with the default scheduler (uniform random),
+    /// 20 trials of 100 000 steps and base seed 0.
+    #[must_use]
+    pub fn new(topology: TopologySpec, algorithm: AlgorithmKind) -> Self {
+        Experiment {
+            topology,
+            algorithm,
+            scheduler: SchedulerSpec::UniformRandom,
+            trials: 20,
+            max_steps: 100_000,
+            base_seed: 0,
+            nr_range: None,
+        }
+    }
+
+    /// Selects the scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the number of independent trials.
+    #[must_use]
+    pub fn with_trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the GDP priority-number range `m`.
+    #[must_use]
+    pub fn with_nr_range(mut self, m: u32) -> Self {
+        self.nr_range = Some(m);
+        self
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        let base = SimConfig::default();
+        match self.nr_range {
+            Some(m) => base.with_nr_range(m),
+            None => base,
+        }
+    }
+
+    fn trial_config(&self) -> TrialConfig {
+        TrialConfig {
+            trials: self.trials,
+            max_steps: self.max_steps,
+            base_seed: self.base_seed,
+            sim: self.sim_config(),
+        }
+    }
+
+    /// Runs the experiment: progress estimation, lockout-freedom estimation
+    /// and a single representative full-length run for throughput metrics.
+    #[must_use]
+    pub fn run(&self) -> ExperimentReport {
+        let topology = self.topology.build();
+        let program = self.algorithm.program();
+        let config = self.trial_config();
+        let scheduler = &self.scheduler;
+        let progress = estimate_progress(
+            &topology,
+            &program,
+            |trial| scheduler.build(&topology, trial),
+            &config,
+        );
+        let lockout = estimate_lockout_freedom(
+            &topology,
+            &program,
+            |trial| scheduler.build(&topology, trial),
+            &config,
+        );
+        // One representative full-length run for the throughput/fairness
+        // metrics table.
+        let mut engine = Engine::new(
+            topology.clone(),
+            program,
+            self.sim_config().with_seed(self.base_seed),
+        );
+        let mut adversary = scheduler.build(&topology, 0);
+        let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(self.max_steps));
+        ExperimentReport {
+            experiment: self.clone(),
+            topology_name: self.topology.name(),
+            algorithm_name: self.algorithm.name().to_string(),
+            scheduler_name: self.scheduler.name(),
+            progress,
+            lockout,
+            representative: RunMetrics::from_outcome(&outcome),
+        }
+    }
+}
+
+/// Everything measured by one [`Experiment::run`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// The experiment that produced this report.
+    pub experiment: Experiment,
+    /// Human-readable topology name.
+    pub topology_name: String,
+    /// Algorithm name.
+    pub algorithm_name: String,
+    /// Scheduler name.
+    pub scheduler_name: String,
+    /// Progress estimate (Theorem 3's property).
+    pub progress: ProgressEstimate,
+    /// Lockout-freedom estimate (Theorem 4's property).
+    pub lockout: LockoutEstimate,
+    /// Metrics of one representative full-length run.
+    pub representative: RunMetrics,
+}
+
+impl ExperimentReport {
+    /// One paper-style summary row:
+    /// `topology | algorithm | scheduler | progress | lockout-free | first-meal p50 | throughput`.
+    #[must_use]
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<26} {:<14} {:<22} progress={:>5.2} lockout_free={:>5.2} first_meal_p50={:>8.0} meals/kstep={:>7.2}",
+            self.topology_name,
+            self.algorithm_name,
+            self.scheduler_name,
+            self.progress.progress_fraction,
+            self.lockout.lockout_free_fraction,
+            self.progress.first_meal_p50,
+            self.representative.throughput_per_kstep,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gdp1_progress_experiment_on_the_triangle() {
+        let report = Experiment::new(TopologySpec::Figure1Triangle, AlgorithmKind::Gdp1)
+            .with_trials(5)
+            .with_max_steps(50_000)
+            .with_base_seed(3)
+            .run();
+        assert_eq!(report.progress.progress_fraction, 1.0);
+        assert!(report.representative.total_meals > 0);
+        assert!(report.summary_row().contains("GDP1"));
+    }
+
+    #[test]
+    fn gdp2_lockout_experiment_on_the_theta_graph() {
+        let report = Experiment::new(TopologySpec::Figure3Theta, AlgorithmKind::Gdp2)
+            .with_trials(3)
+            .with_max_steps(150_000)
+            .run();
+        assert_eq!(report.lockout.lockout_free_fraction, 1.0);
+        assert!(report.lockout.starvation_per_philosopher.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn lr1_under_the_wave_scheduler_is_blocked_often() {
+        let report = Experiment::new(TopologySpec::Figure1Triangle, AlgorithmKind::Lr1)
+            .with_scheduler(SchedulerSpec::TriangleWave)
+            .with_trials(12)
+            .with_max_steps(30_000)
+            .run();
+        // The paper's lower bound is 1/4; the wave scheduler does much better.
+        assert!(
+            report.progress.progress_fraction <= 0.75,
+            "LR1 progressed in {} of trials under the Section 3 scheduler",
+            report.progress.progress_fraction
+        );
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let make = || {
+            Experiment::new(TopologySpec::ClassicRing(5), AlgorithmKind::Lr2)
+                .with_trials(3)
+                .with_max_steps(20_000)
+                .with_base_seed(11)
+                .run()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.progress, b.progress);
+        assert_eq!(a.lockout, b.lockout);
+        assert_eq!(a.representative, b.representative);
+    }
+
+    #[test]
+    fn builder_methods_are_recorded() {
+        let e = Experiment::new(TopologySpec::ClassicRing(3), AlgorithmKind::Gdp1)
+            .with_scheduler(SchedulerSpec::RoundRobin)
+            .with_trials(7)
+            .with_max_steps(123)
+            .with_base_seed(9)
+            .with_nr_range(42);
+        assert_eq!(e.trials, 7);
+        assert_eq!(e.max_steps, 123);
+        assert_eq!(e.base_seed, 9);
+        assert_eq!(e.nr_range, Some(42));
+        assert_eq!(e.scheduler, SchedulerSpec::RoundRobin);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gdp-core
+//!
+//! High-level facade over the generalized dining philosophers workspace
+//! (Herescu & Palamidessi, *On the generalized dining philosophers problem*,
+//! PODC 2001):
+//!
+//! * [`prelude`] re-exports the commonly used items of every crate in the
+//!   family (`gdp-topology`, `gdp-sim`, `gdp-algorithms`, `gdp-adversary`,
+//!   `gdp-analysis`, `gdp-runtime`, `gdp-picalc`);
+//! * [`TopologySpec`] and [`SchedulerSpec`] name the topologies and
+//!   schedulers used by the paper's experiments, so they can be selected at
+//!   run time (command line, configuration files, benchmark sweeps);
+//! * [`Experiment`] bundles *topology × algorithm × scheduler × trial
+//!   budget* into a single runnable object producing an
+//!   [`ExperimentReport`] with progress and lockout-freedom estimates —
+//!   the shape in which `EXPERIMENTS.md` reports every table/figure-level
+//!   claim of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use gdp_core::{Experiment, SchedulerSpec, TopologySpec};
+//! use gdp_algorithms::AlgorithmKind;
+//!
+//! // Theorem 3, in one line: GDP1 makes progress on the Figure 1 triangle
+//! // under a fair random scheduler in every trial.
+//! let report = Experiment::new(TopologySpec::Figure1Triangle, AlgorithmKind::Gdp1)
+//!     .with_scheduler(SchedulerSpec::UniformRandom)
+//!     .with_trials(10)
+//!     .with_max_steps(50_000)
+//!     .run();
+//! assert_eq!(report.progress.progress_fraction, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod spec;
+
+pub mod prelude;
+
+pub use experiment::{Experiment, ExperimentReport};
+pub use spec::{SchedulerSpec, TopologySpec};

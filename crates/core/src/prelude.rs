@@ -1,0 +1,44 @@
+//! Convenience re-exports of the whole `gdp` crate family.
+//!
+//! ```
+//! use gdp_core::prelude::*;
+//!
+//! let topology = builders::classic_ring(5).unwrap();
+//! let mut engine = Engine::new(topology, Gdp1::new(), SimConfig::default());
+//! let outcome = engine.run(
+//!     &mut RoundRobinAdversary::new(),
+//!     StopCondition::FirstMeal { max_steps: 10_000 },
+//! );
+//! assert!(outcome.made_progress());
+//! ```
+
+pub use gdp_topology::{
+    analysis as topology_analysis, builders, dot, ForkEnds, ForkId, PhilosopherId, Side, Topology,
+    TopologyBuilder, TopologyError,
+};
+
+pub use gdp_sim::{
+    Action, Adversary, Engine, ForkCell, HungerModel, Phase, PhilosopherView, Program,
+    ProgramObservation, RoundRobinAdversary, RunOutcome, SimConfig, StepCtx, StepRecord,
+    StopCondition, StopReason, SystemView, Trace, UniformRandomAdversary,
+};
+
+pub use gdp_algorithms::{
+    baselines, AlgorithmKind, AnyProgram, AnyState, Gdp1, Gdp2, Lr1, Lr2,
+};
+
+pub use gdp_adversary::{
+    BlockingAdversary, BlockingPolicy, FairDriver, FairnessGuard, SchedulingPolicy,
+    StubbornnessSchedule, TargetStarver, TriangleWaveAdversary,
+};
+
+pub use gdp_analysis::{
+    metrics, montecarlo, stats, symmetry, LockoutEstimate, ProgressEstimate, RunMetrics,
+    TrialConfig,
+};
+
+pub use gdp_runtime::{run_for_meals, DiningTable, RunReport, Seat, SharedFork, TableStats};
+
+pub use gdp_picalc::{ChannelId, ChoiceRound, Guard, ProcessId, RoundOutcome, Synchronization};
+
+pub use crate::{Experiment, ExperimentReport, SchedulerSpec, TopologySpec};

@@ -1,0 +1,202 @@
+//! Run-time selectable topologies and schedulers.
+
+use gdp_adversary::{BlockingAdversary, TargetStarver, TriangleWaveAdversary};
+use gdp_sim::{Adversary, RoundRobinAdversary, UniformRandomAdversary};
+use gdp_topology::{builders, PhilosopherId, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The topologies used by the paper and its experiments, nameable at run
+/// time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// The classic Dijkstra ring with `n` philosophers and `n` forks.
+    ClassicRing(usize),
+    /// Figure 1, leftmost: 6 philosophers / 3 forks.
+    Figure1Triangle,
+    /// Figure 1, second: 12 philosophers / 6 forks.
+    Figure1Hexagon,
+    /// Figure 1, third: 16 philosophers / 12 forks.
+    Figure1Ring12Chords,
+    /// Figure 1, rightmost: 10 philosophers / 9 forks.
+    Figure1Ring9Chord,
+    /// Figure 2: hexagonal ring plus a pendant philosopher (Theorem 1).
+    Figure2RingWithPendant,
+    /// Figure 3: theta graph, 8 philosophers / 7 forks (Theorem 2).
+    Figure3Theta,
+    /// The complete conflict graph on `k` forks.
+    CompleteConflict(usize),
+    /// An explicit, caller-provided topology.
+    Custom(Topology),
+}
+
+impl TopologySpec {
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameterized spec (e.g. `ClassicRing(1)`) is invalid;
+    /// the named figure topologies are always valid.
+    #[must_use]
+    pub fn build(&self) -> Topology {
+        match self {
+            TopologySpec::ClassicRing(n) => {
+                builders::classic_ring(*n).expect("invalid classic ring size")
+            }
+            TopologySpec::Figure1Triangle => builders::figure1_triangle(),
+            TopologySpec::Figure1Hexagon => builders::figure1_hexagon(),
+            TopologySpec::Figure1Ring12Chords => builders::figure1_ring12_chords(),
+            TopologySpec::Figure1Ring9Chord => builders::figure1_ring9_chord(),
+            TopologySpec::Figure2RingWithPendant => builders::figure2_hexagon_with_pendant(),
+            TopologySpec::Figure3Theta => builders::figure3_theta(),
+            TopologySpec::CompleteConflict(k) => {
+                builders::complete_conflict(*k).expect("invalid complete conflict size")
+            }
+            TopologySpec::Custom(t) => t.clone(),
+        }
+    }
+
+    /// A short name for reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::ClassicRing(n) => format!("classic-ring-{n}"),
+            TopologySpec::Figure1Triangle => "figure1-triangle-6/3".to_string(),
+            TopologySpec::Figure1Hexagon => "figure1-hexagon-12/6".to_string(),
+            TopologySpec::Figure1Ring12Chords => "figure1-ring12-16/12".to_string(),
+            TopologySpec::Figure1Ring9Chord => "figure1-ring9-10/9".to_string(),
+            TopologySpec::Figure2RingWithPendant => "figure2-hexagon+pendant".to_string(),
+            TopologySpec::Figure3Theta => "figure3-theta-8/7".to_string(),
+            TopologySpec::CompleteConflict(k) => format!("complete-{k}"),
+            TopologySpec::Custom(t) => t.summary(),
+        }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The schedulers (adversaries) available to experiments.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SchedulerSpec {
+    /// Fair round-robin.
+    RoundRobin,
+    /// Uniformly random fair scheduler (seeded per trial).
+    UniformRandom,
+    /// The generic blocking adversary of `gdp-adversary`, targeting everyone.
+    BlockingGlobal,
+    /// The blocking adversary targeting a specific set of philosophers
+    /// (Theorem 1 experiments starve the ring philosophers).
+    BlockingTargets(Vec<u32>),
+    /// The Section 3 wave scheduler (only valid on the Figure 1 triangle).
+    TriangleWave,
+    /// The Section 5 starvation scheduler aimed at one victim.
+    Starver(u32),
+}
+
+impl SchedulerSpec {
+    /// Instantiates the adversary for `topology`; `trial` individualizes any
+    /// internal randomness so repeated trials are independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SchedulerSpec::TriangleWave`] is requested on a topology
+    /// that is not the 6-philosopher / 3-fork triangle.
+    #[must_use]
+    pub fn build(&self, topology: &Topology, trial: u64) -> Box<dyn Adversary> {
+        match self {
+            SchedulerSpec::RoundRobin => Box::new(RoundRobinAdversary::new()),
+            SchedulerSpec::UniformRandom => Box::new(UniformRandomAdversary::new(trial ^ 0x5eed)),
+            SchedulerSpec::BlockingGlobal => Box::new(BlockingAdversary::global()),
+            SchedulerSpec::BlockingTargets(targets) => Box::new(BlockingAdversary::starving(
+                targets.iter().map(|&i| PhilosopherId::new(i)),
+            )),
+            SchedulerSpec::TriangleWave => Box::new(
+                TriangleWaveAdversary::new(topology)
+                    .expect("the triangle wave scheduler needs the Figure 1 triangle topology"),
+            ),
+            SchedulerSpec::Starver(victim) => {
+                Box::new(TargetStarver::new(PhilosopherId::new(*victim)))
+            }
+        }
+    }
+
+    /// A short name for reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerSpec::RoundRobin => "round-robin".to_string(),
+            SchedulerSpec::UniformRandom => "uniform-random".to_string(),
+            SchedulerSpec::BlockingGlobal => "blocking(global)".to_string(),
+            SchedulerSpec::BlockingTargets(t) => format!("blocking(targets={t:?})"),
+            SchedulerSpec::TriangleWave => "section3-wave".to_string(),
+            SchedulerSpec::Starver(v) => format!("starver(P{v})"),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_build_the_paper_systems() {
+        let cases = vec![
+            (TopologySpec::ClassicRing(5), (5, 5)),
+            (TopologySpec::Figure1Triangle, (6, 3)),
+            (TopologySpec::Figure1Hexagon, (12, 6)),
+            (TopologySpec::Figure1Ring12Chords, (16, 12)),
+            (TopologySpec::Figure1Ring9Chord, (10, 9)),
+            (TopologySpec::Figure2RingWithPendant, (7, 7)),
+            (TopologySpec::Figure3Theta, (8, 7)),
+            (TopologySpec::CompleteConflict(5), (10, 5)),
+        ];
+        for (spec, (n, k)) in cases {
+            let t = spec.build();
+            assert_eq!(
+                (t.num_philosophers(), t.num_forks()),
+                (n, k),
+                "spec {spec} built the wrong system"
+            );
+            assert!(!spec.name().is_empty());
+        }
+        let custom = TopologySpec::Custom(builders::classic_ring(4).unwrap());
+        assert_eq!(custom.build().num_philosophers(), 4);
+        assert!(custom.name().contains("n=4"));
+    }
+
+    #[test]
+    fn scheduler_specs_instantiate() {
+        let triangle = builders::figure1_triangle();
+        for spec in [
+            SchedulerSpec::RoundRobin,
+            SchedulerSpec::UniformRandom,
+            SchedulerSpec::BlockingGlobal,
+            SchedulerSpec::BlockingTargets(vec![0, 1]),
+            SchedulerSpec::TriangleWave,
+            SchedulerSpec::Starver(2),
+        ] {
+            let adversary = spec.build(&triangle, 0);
+            assert!(!adversary.name().is_empty());
+            assert!(!spec.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle wave scheduler")]
+    fn triangle_wave_rejects_other_topologies() {
+        let ring = builders::classic_ring(5).unwrap();
+        let _ = SchedulerSpec::TriangleWave.build(&ring, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The shared state of one fork (resource) in the threaded runtime.
+
+use gdp_topology::PhilosopherId;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct ForkState {
+    holder: Option<PhilosopherId>,
+    nr: u32,
+    requests: Vec<PhilosopherId>,
+    /// Latest usage stamp per philosopher that has eaten with this fork.
+    guest_book: Vec<(PhilosopherId, u64)>,
+    next_stamp: u64,
+}
+
+impl ForkState {
+    fn last_use(&self, philosopher: PhilosopherId) -> Option<u64> {
+        self.guest_book
+            .iter()
+            .find(|(p, _)| *p == philosopher)
+            .map(|&(_, s)| s)
+    }
+
+    fn courtesy_holds(&self, philosopher: PhilosopherId) -> bool {
+        let mine = self.last_use(philosopher);
+        self.requests
+            .iter()
+            .filter(|&&q| q != philosopher)
+            .all(|&q| match (mine, self.last_use(q)) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(m), Some(t)) => t > m,
+            })
+    }
+}
+
+/// One fork (resource) shared between threads.
+///
+/// All operations are short critical sections protected by a
+/// [`parking_lot::Mutex`]; waiting for the fork to become available is done
+/// on a condition variable, so blocked threads consume no CPU.
+#[derive(Debug, Default)]
+pub struct SharedFork {
+    state: Mutex<ForkState>,
+    released: Condvar,
+}
+
+impl SharedFork {
+    /// Creates a free fork with priority number 0 (the symmetric initial
+    /// state required by the paper).
+    #[must_use]
+    pub fn new() -> Self {
+        SharedFork::default()
+    }
+
+    /// The current priority number.
+    #[must_use]
+    pub fn nr(&self) -> u32 {
+        self.state.lock().nr
+    }
+
+    /// Returns `true` if no thread currently holds the fork.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.state.lock().holder.is_none()
+    }
+
+    /// Registers `philosopher` in the request list (GDP2 line 2).
+    pub fn insert_request(&self, philosopher: PhilosopherId) {
+        let mut state = self.state.lock();
+        if !state.requests.contains(&philosopher) {
+            state.requests.push(philosopher);
+        }
+    }
+
+    /// Removes `philosopher` from the request list (GDP2 line 8).
+    pub fn remove_request(&self, philosopher: PhilosopherId) {
+        self.state.lock().requests.retain(|&p| p != philosopher);
+    }
+
+    /// GDP2 line 4: atomically takes the fork if it is free **and** the
+    /// courtesy condition holds for `philosopher`; otherwise blocks until the
+    /// fork is released (or the timeout elapses) and reports `false`.
+    ///
+    /// The bounded wait keeps the caller responsive: the GDP2 loop in
+    /// [`Seat::dine`](crate::Seat::dine) simply re-evaluates its fork choice
+    /// after a timeout, which also refreshes the `nr` comparison.
+    pub fn take_first_when_courteous(
+        &self,
+        philosopher: PhilosopherId,
+        timeout: Duration,
+    ) -> bool {
+        let mut state = self.state.lock();
+        if state.holder.is_none() && state.courtesy_holds(philosopher) {
+            state.holder = Some(philosopher);
+            return true;
+        }
+        // Wait for a release and retry once; the caller loops.
+        let _ = self.released.wait_for(&mut state, timeout);
+        if state.holder.is_none() && state.courtesy_holds(philosopher) {
+            state.holder = Some(philosopher);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// GDP2 line 6: non-blocking test-and-set of the second fork.
+    pub fn try_take_second(&self, philosopher: PhilosopherId) -> bool {
+        let mut state = self.state.lock();
+        if state.holder.is_none() {
+            state.holder = Some(philosopher);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// GDP2 line 5: if this fork's number equals `other_nr`, replace it with
+    /// `new_nr` (drawn by the caller from `[1, m]`).  Returns the number now
+    /// in effect.
+    pub fn relabel_if_equal(&self, other_nr: u32, new_nr: u32) -> u32 {
+        let mut state = self.state.lock();
+        if state.nr == other_nr {
+            state.nr = new_nr;
+        }
+        state.nr
+    }
+
+    /// Signs the guest book for `philosopher` (GDP2 line 9).
+    pub fn sign_guest_book(&self, philosopher: PhilosopherId) {
+        let mut state = self.state.lock();
+        let stamp = state.next_stamp;
+        state.next_stamp += 1;
+        if let Some(entry) = state.guest_book.iter_mut().find(|(p, _)| *p == philosopher) {
+            entry.1 = stamp;
+        } else {
+            state.guest_book.push((philosopher, stamp));
+        }
+    }
+
+    /// Releases the fork if held by `philosopher` and wakes one waiter
+    /// (GDP2 lines 6/10).  Returns whether a release happened.
+    pub fn release(&self, philosopher: PhilosopherId) -> bool {
+        let mut state = self.state.lock();
+        if state.holder == Some(philosopher) {
+            state.holder = None;
+            drop(state);
+            self.released.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The holder, if any (diagnostics / tests).
+    #[must_use]
+    pub fn holder(&self) -> Option<PhilosopherId> {
+        self.state.lock().holder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn p(i: u32) -> PhilosopherId {
+        PhilosopherId::new(i)
+    }
+
+    #[test]
+    fn take_and_release() {
+        let fork = SharedFork::new();
+        assert!(fork.is_free());
+        assert!(fork.try_take_second(p(0)));
+        assert_eq!(fork.holder(), Some(p(0)));
+        assert!(!fork.try_take_second(p(1)));
+        assert!(!fork.release(p(1)));
+        assert!(fork.release(p(0)));
+        assert!(fork.is_free());
+    }
+
+    #[test]
+    fn courteous_take_defers_to_hungrier_requester() {
+        let fork = SharedFork::new();
+        fork.insert_request(p(0));
+        fork.insert_request(p(1));
+        // P0 eats once (signs the guest book).
+        assert!(fork.take_first_when_courteous(p(0), Duration::from_millis(1)));
+        fork.sign_guest_book(p(0));
+        assert!(fork.release(p(0)));
+        // P0 must now defer to P1.
+        assert!(!fork.take_first_when_courteous(p(0), Duration::from_millis(1)));
+        assert!(fork.take_first_when_courteous(p(1), Duration::from_millis(1)));
+        fork.sign_guest_book(p(1));
+        fork.release(p(1));
+        // Now P0 may go again.
+        assert!(fork.take_first_when_courteous(p(0), Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn relabel_only_on_collision() {
+        let fork = SharedFork::new();
+        assert_eq!(fork.nr(), 0);
+        assert_eq!(fork.relabel_if_equal(0, 7), 7);
+        assert_eq!(fork.nr(), 7);
+        // No collision: unchanged.
+        assert_eq!(fork.relabel_if_equal(3, 9), 7);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_release() {
+        use std::sync::Arc;
+        let fork = Arc::new(SharedFork::new());
+        fork.insert_request(p(0));
+        fork.insert_request(p(1));
+        assert!(fork.try_take_second(p(0)));
+        let waiter = {
+            let fork = Arc::clone(&fork);
+            std::thread::spawn(move || fork.take_first_when_courteous(p(1), Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        fork.release(p(0));
+        assert!(waiter.join().unwrap(), "the waiter should acquire the fork after the release");
+    }
+}

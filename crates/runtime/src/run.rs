@@ -1,0 +1,107 @@
+//! Convenience driver: run one thread per philosopher for a fixed number of
+//! meals each and report what happened.
+
+use crate::table::DiningTable;
+use gdp_topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of [`run_for_meals`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of philosophers (threads) that participated.
+    pub philosophers: usize,
+    /// Meals completed per philosopher (all equal to the requested count on
+    /// success).
+    pub meals: Vec<u64>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Total meals per second across the table.
+    pub throughput_meals_per_sec: f64,
+    /// Total time each philosopher spent waiting for forks.
+    pub wait: Vec<Duration>,
+}
+
+impl RunReport {
+    /// Total meals completed.
+    #[must_use]
+    pub fn total_meals(&self) -> u64 {
+        self.meals.iter().sum()
+    }
+
+    /// Returns `true` if every philosopher completed at least one meal.
+    #[must_use]
+    pub fn everyone_ate(&self) -> bool {
+        self.meals.iter().all(|&m| m > 0)
+    }
+}
+
+/// Spawns one thread per philosopher of `topology`; each thread completes
+/// `meals_per_philosopher` meals (each running `critical`), then the report
+/// is returned.  Uses scoped threads, so `critical` only needs to be `Sync`.
+pub fn run_for_meals<F>(
+    topology: Topology,
+    meals_per_philosopher: u64,
+    critical: F,
+) -> RunReport
+where
+    F: Fn() + Sync,
+{
+    let table = DiningTable::for_topology(topology);
+    let started = Instant::now();
+    let table_ref: &Arc<DiningTable> = &table;
+    let critical_ref = &critical;
+    crossbeam::scope(|scope| {
+        for seat in table_ref.seats() {
+            scope.spawn(move |_| {
+                for _ in 0..meals_per_philosopher {
+                    seat.dine(critical_ref);
+                }
+            });
+        }
+    })
+    .expect("philosopher thread panicked");
+    let elapsed = started.elapsed();
+    let stats = table.stats();
+    let total = stats.total_meals();
+    RunReport {
+        philosophers: table.topology().num_philosophers(),
+        meals: stats.meals().to_vec(),
+        elapsed,
+        throughput_meals_per_sec: if elapsed.as_secs_f64() > 0.0 {
+            total as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        wait: stats.wait_times(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_topology::builders::{classic_ring, figure1_triangle};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn everyone_completes_their_meals_on_the_ring() {
+        let report = run_for_meals(classic_ring(5).unwrap(), 50, || {});
+        assert_eq!(report.philosophers, 5);
+        assert_eq!(report.total_meals(), 250);
+        assert!(report.everyone_ate());
+        assert!(report.meals.iter().all(|&m| m == 50));
+        assert!(report.throughput_meals_per_sec > 0.0);
+        assert_eq!(report.wait.len(), 5);
+    }
+
+    #[test]
+    fn critical_sections_are_actually_executed() {
+        let counter = AtomicU64::new(0);
+        let report = run_for_meals(figure1_triangle(), 20, || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(report.total_meals(), 120);
+        assert_eq!(counter.load(Ordering::Relaxed), 120);
+    }
+}

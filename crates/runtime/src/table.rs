@@ -1,0 +1,326 @@
+//! The dining table: a conflict topology instantiated with real shared forks
+//! and per-philosopher seats.
+
+use crate::fork::SharedFork;
+use gdp_topology::{ForkId, PhilosopherId, Topology};
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Aggregated statistics of a [`DiningTable`].
+#[derive(Debug)]
+pub struct TableStats {
+    meals: Vec<u64>,
+    wait_nanos: Vec<u64>,
+}
+
+impl TableStats {
+    /// Completed meals per philosopher.
+    #[must_use]
+    pub fn meals(&self) -> &[u64] {
+        &self.meals
+    }
+
+    /// Total completed meals.
+    #[must_use]
+    pub fn total_meals(&self) -> u64 {
+        self.meals.iter().sum()
+    }
+
+    /// Total time spent waiting to acquire forks, per philosopher.
+    #[must_use]
+    pub fn wait_times(&self) -> Vec<Duration> {
+        self.wait_nanos
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect()
+    }
+
+    /// Returns the philosophers that have not completed a single meal.
+    #[must_use]
+    pub fn starved(&self) -> Vec<PhilosopherId> {
+        self.meals
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m == 0)
+            .map(|(i, _)| PhilosopherId::new(i as u32))
+            .collect()
+    }
+}
+
+/// A set of shared forks arranged according to a conflict [`Topology`], with
+/// one [`Seat`] per philosopher.
+///
+/// The table owns nothing thread-specific: it can be shared freely
+/// (`Arc<DiningTable>`) and any thread may drive any seat, though the
+/// intended pattern is one thread per seat.
+#[derive(Debug)]
+pub struct DiningTable {
+    topology: Topology,
+    forks: Vec<SharedFork>,
+    nr_range: u32,
+    meals: Vec<AtomicU64>,
+    wait_nanos: Vec<AtomicU64>,
+}
+
+impl DiningTable {
+    /// Creates a table for `topology` with the default priority-number range
+    /// `m = k` (the number of forks).
+    #[must_use]
+    pub fn for_topology(topology: Topology) -> Arc<Self> {
+        let k = topology.num_forks() as u32;
+        Self::with_nr_range(topology, k)
+    }
+
+    /// Creates a table with an explicit priority-number range `m`
+    /// (clamped up to the number of forks, honouring the paper's `m >= k`).
+    #[must_use]
+    pub fn with_nr_range(topology: Topology, m: u32) -> Arc<Self> {
+        let k = topology.num_forks();
+        let n = topology.num_philosophers();
+        Arc::new(DiningTable {
+            forks: (0..k).map(|_| SharedFork::new()).collect(),
+            nr_range: m.max(k as u32).max(1),
+            meals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            wait_nanos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            topology,
+        })
+    }
+
+    /// The conflict topology of this table.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shared fork with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fork` is out of range for the topology.
+    #[must_use]
+    pub fn fork(&self, fork: ForkId) -> &SharedFork {
+        &self.forks[fork.index()]
+    }
+
+    /// The seat (philosopher handle) for `philosopher`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `philosopher` is out of range for the topology.
+    #[must_use]
+    pub fn seat(self: &Arc<Self>, philosopher: PhilosopherId) -> Seat {
+        assert!(
+            philosopher.index() < self.topology.num_philosophers(),
+            "philosopher {philosopher} is out of range for this table"
+        );
+        Seat {
+            table: Arc::clone(self),
+            me: philosopher,
+        }
+    }
+
+    /// Iterator over all seats, in philosopher order.
+    pub fn seats(self: &Arc<Self>) -> impl Iterator<Item = Seat> + '_ {
+        let table = Arc::clone(self);
+        self.topology
+            .philosopher_ids()
+            .map(move |p| table.seat(p))
+    }
+
+    /// A snapshot of the per-philosopher statistics.
+    #[must_use]
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            meals: self.meals.iter().map(|m| m.load(Ordering::Relaxed)).collect(),
+            wait_nanos: self
+                .wait_nanos
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A philosopher's handle onto a [`DiningTable`]: the object a worker thread
+/// uses to run critical sections that need both of its forks.
+#[derive(Clone, Debug)]
+pub struct Seat {
+    table: Arc<DiningTable>,
+    me: PhilosopherId,
+}
+
+impl Seat {
+    /// The philosopher this seat belongs to.
+    #[must_use]
+    pub fn philosopher(&self) -> PhilosopherId {
+        self.me
+    }
+
+    /// The two forks this seat contends for.
+    #[must_use]
+    pub fn forks(&self) -> (ForkId, ForkId) {
+        let ends = self.table.topology.forks_of(self.me);
+        (ends.left, ends.right)
+    }
+
+    /// Acquires both forks using the GDP2 protocol, runs `critical`, then
+    /// releases the forks, deregisters and signs the guest books.
+    ///
+    /// Blocks until the critical section has run; GDP2's lockout-freedom
+    /// (Theorem 4) guarantees it eventually will, no matter how the OS
+    /// schedules the contending threads.
+    pub fn dine<R>(&self, critical: impl FnOnce() -> R) -> R {
+        let table = &*self.table;
+        let ends = table.topology.forks_of(self.me);
+        let (left, right) = (ends.left, ends.right);
+        let started = Instant::now();
+        // Line 2: register interest at both forks.
+        table.fork(left).insert_request(self.me);
+        table.fork(right).insert_request(self.me);
+        let mut rng = rand::thread_rng();
+        loop {
+            // Line 3: pick the fork with the larger priority number first.
+            let (first, second) = if table.fork(left).nr() > table.fork(right).nr() {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            // Line 4: take the first fork when free and courteous.
+            if !table
+                .fork(first)
+                .take_first_when_courteous(self.me, Duration::from_millis(1))
+            {
+                continue;
+            }
+            // Line 5: resolve priority collisions by re-drawing.
+            let other_nr = table.fork(second).nr();
+            let new_nr = rng.gen_range(1..=table.nr_range);
+            table.fork(first).relabel_if_equal(other_nr, new_nr);
+            // Line 6: try the second fork; on failure release and retry.
+            if table.fork(second).try_take_second(self.me) {
+                break;
+            }
+            table.fork(first).release(self.me);
+        }
+        self.table.wait_nanos[self.me.index()]
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Line 7: eat.
+        let result = critical();
+
+        // Lines 8-10: deregister, sign the guest books, release.
+        table.fork(left).remove_request(self.me);
+        table.fork(right).remove_request(self.me);
+        table.fork(left).sign_guest_book(self.me);
+        table.fork(right).sign_guest_book(self.me);
+        table.fork(left).release(self.me);
+        table.fork(right).release(self.me);
+        self.table.meals[self.me.index()].fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Number of meals completed from this seat so far.
+    #[must_use]
+    pub fn meals(&self) -> u64 {
+        self.table.meals[self.me.index()].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_topology::builders::{classic_ring, figure1_triangle, figure3_theta};
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn single_seat_can_dine_repeatedly() {
+        let table = DiningTable::for_topology(classic_ring(2).unwrap());
+        let seat = table.seat(PhilosopherId::new(0));
+        for i in 0..10 {
+            let result = seat.dine(|| i * 2);
+            assert_eq!(result, i * 2);
+        }
+        assert_eq!(seat.meals(), 10);
+        assert_eq!(table.stats().total_meals(), 10);
+        // Forks are free again after each meal.
+        assert!(table.fork(ForkId::new(0)).is_free());
+        assert!(table.fork(ForkId::new(1)).is_free());
+    }
+
+    #[test]
+    fn mutual_exclusion_on_shared_forks() {
+        // Every pair of neighbouring philosophers shares a fork; a counter per
+        // fork checks that no two critical sections using the same fork ever
+        // overlap.
+        let topology = figure1_triangle();
+        let k = topology.num_forks();
+        let table = DiningTable::for_topology(topology);
+        let in_use: Arc<Vec<AtomicU32>> = Arc::new((0..k).map(|_| AtomicU32::new(0)).collect());
+        let handles: Vec<_> = table
+            .seats()
+            .map(|seat| {
+                let in_use = Arc::clone(&in_use);
+                std::thread::spawn(move || {
+                    let (left, right) = seat.forks();
+                    for _ in 0..200 {
+                        seat.dine(|| {
+                            for f in [left, right] {
+                                let prev = in_use[f.index()].fetch_add(1, Ordering::SeqCst);
+                                assert_eq!(prev, 0, "fork {f} used by two threads at once");
+                            }
+                            std::hint::spin_loop();
+                            for f in [left, right] {
+                                in_use[f.index()].fetch_sub(1, Ordering::SeqCst);
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(table.stats().total_meals(), 6 * 200);
+    }
+
+    #[test]
+    fn nobody_starves_on_the_theta_graph() {
+        let table = DiningTable::for_topology(figure3_theta());
+        let handles: Vec<_> = table
+            .seats()
+            .map(|seat| {
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        seat.dine(|| {});
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = table.stats();
+        assert!(stats.starved().is_empty());
+        assert!(stats.meals().iter().all(|&m| m == 100));
+        assert_eq!(stats.wait_times().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_seat_panics() {
+        let table = DiningTable::for_topology(classic_ring(3).unwrap());
+        let _ = table.seat(PhilosopherId::new(17));
+    }
+
+    #[test]
+    fn nr_range_is_clamped_to_fork_count() {
+        let table = DiningTable::with_nr_range(classic_ring(5).unwrap(), 2);
+        assert_eq!(table.topology().num_forks(), 5);
+        // The clamp is internal; observable effect: dining still works.
+        let seat = table.seat(PhilosopherId::new(2));
+        seat.dine(|| {});
+        assert_eq!(seat.meals(), 1);
+    }
+}

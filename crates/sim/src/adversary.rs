@@ -1,0 +1,220 @@
+//! The adversary (scheduler) interface and the built-in fair schedulers.
+//!
+//! The adversary chooses which philosopher executes the next atomic step.
+//! It has full information about the past (see [`SystemView`]) but cannot
+//! predict or influence the philosophers' random draws.  The paper restricts
+//! attention to **fair** adversaries: every philosopher must be scheduled
+//! infinitely often in every infinite computation.
+//!
+//! This module provides the trait plus two simple, obviously fair
+//! schedulers.  The crafted adversaries that defeat LR1/LR2 (Section 3,
+//! Theorems 1 and 2 of the paper) live in the `gdp-adversary` crate.
+
+use crate::view::SystemView;
+use gdp_topology::PhilosopherId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A scheduler choosing the next philosopher to execute an atomic step.
+pub trait Adversary {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the philosopher to schedule next, given full information about
+    /// the computation so far.
+    ///
+    /// The returned identifier must be valid for the topology in `view`
+    /// (i.e. `< view.num_philosophers()`); the engine panics otherwise, since
+    /// a scheduler bug would silently invalidate an experiment.
+    fn select(&mut self, view: &SystemView<'_>) -> PhilosopherId;
+
+    /// Resets any internal state so the adversary can drive a fresh run.
+    /// The default does nothing.
+    fn reset(&mut self) {}
+
+    /// Whether this adversary is fair by construction (every philosopher is
+    /// scheduled infinitely often in any infinite run it produces).
+    ///
+    /// This is *metadata for reporting*: experiment harnesses print it, and
+    /// the fairness of concrete finite runs is additionally verified from the
+    /// trace via [`Trace::bounded_fairness`](crate::Trace::bounded_fairness).
+    fn is_fair_by_construction(&self) -> bool {
+        true
+    }
+}
+
+impl<T: Adversary + ?Sized> Adversary for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn select(&mut self, view: &SystemView<'_>) -> PhilosopherId {
+        (**self).select(view)
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn is_fair_by_construction(&self) -> bool {
+        (**self).is_fair_by_construction()
+    }
+}
+
+/// A round-robin scheduler: philosophers are scheduled cyclically
+/// `P0, P1, ..., Pn-1, P0, ...`.  Trivially fair with bound `n`.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinAdversary {
+    next: usize,
+}
+
+impl RoundRobinAdversary {
+    /// Creates a round-robin scheduler starting from philosopher 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinAdversary { next: 0 }
+    }
+}
+
+impl Adversary for RoundRobinAdversary {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn select(&mut self, view: &SystemView<'_>) -> PhilosopherId {
+        let n = view.num_philosophers();
+        let chosen = PhilosopherId::new((self.next % n) as u32);
+        self.next = (self.next + 1) % n;
+        chosen
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// A uniformly random scheduler: each step schedules a philosopher chosen
+/// uniformly at random, independently of the past.
+///
+/// Such a scheduler is fair with probability 1; in a finite run of `T` steps
+/// each philosopher is scheduled about `T / n` times.  The adversary's
+/// randomness is seeded separately from the philosophers' randomness so the
+/// two sources can be varied independently in experiments.
+#[derive(Clone, Debug)]
+pub struct UniformRandomAdversary {
+    rng: ChaCha8Rng,
+    seed: u64,
+}
+
+impl UniformRandomAdversary {
+    /// Creates a random scheduler with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        UniformRandomAdversary {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl Adversary for UniformRandomAdversary {
+    fn name(&self) -> &str {
+        "uniform-random"
+    }
+
+    fn select(&mut self, view: &SystemView<'_>) -> PhilosopherId {
+        let n = view.num_philosophers();
+        PhilosopherId::new(self.rng.gen_range(0..n) as u32)
+    }
+
+    fn reset(&mut self) {
+        self.rng = ChaCha8Rng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fork::ForkCell;
+    use crate::program::Phase;
+    use crate::view::PhilosopherView;
+    use gdp_topology::builders::classic_ring;
+    use gdp_topology::Topology;
+
+    fn dummy_philosophers(n: usize) -> Vec<PhilosopherView> {
+        (0..n)
+            .map(|i| PhilosopherView {
+                id: PhilosopherId::new(i as u32),
+                phase: Phase::Thinking,
+                committed: None,
+                label: "t",
+                holding: vec![],
+                meals: 0,
+                scheduled: 0,
+                hungry_since: None,
+            })
+            .collect()
+    }
+
+    fn with_view<R>(topology: &Topology, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
+        let forks: Vec<ForkCell> = (0..topology.num_forks()).map(|_| ForkCell::new()).collect();
+        let phils = dummy_philosophers(topology.num_philosophers());
+        let view = SystemView::new(topology, 0, "test", &forks, &phils);
+        f(&view)
+    }
+
+    #[test]
+    fn round_robin_cycles_through_everyone() {
+        let topology = classic_ring(4).unwrap();
+        let mut adv = RoundRobinAdversary::new();
+        let picks: Vec<u32> = (0..8)
+            .map(|_| with_view(&topology, |v| adv.select(v)).raw())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        adv.reset();
+        assert_eq!(with_view(&topology, |v| adv.select(v)).raw(), 0);
+        assert!(adv.is_fair_by_construction());
+        assert_eq!(adv.name(), "round-robin");
+    }
+
+    #[test]
+    fn uniform_random_is_seeded_and_resettable() {
+        let topology = classic_ring(5).unwrap();
+        let mut a = UniformRandomAdversary::new(3);
+        let mut b = UniformRandomAdversary::new(3);
+        let pa: Vec<u32> = (0..20)
+            .map(|_| with_view(&topology, |v| a.select(v)).raw())
+            .collect();
+        let pb: Vec<u32> = (0..20)
+            .map(|_| with_view(&topology, |v| b.select(v)).raw())
+            .collect();
+        assert_eq!(pa, pb, "same seed, same schedule");
+        a.reset();
+        let pa2: Vec<u32> = (0..20)
+            .map(|_| with_view(&topology, |v| a.select(v)).raw())
+            .collect();
+        assert_eq!(pa, pa2, "reset replays the schedule");
+        assert!(pa.iter().all(|&i| i < 5));
+    }
+
+    #[test]
+    fn uniform_random_covers_all_philosophers_eventually() {
+        let topology = classic_ring(6).unwrap();
+        let mut adv = UniformRandomAdversary::new(0);
+        let mut seen = vec![false; 6];
+        for _ in 0..500 {
+            let p = with_view(&topology, |v| adv.select(v));
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn boxed_adversary_delegates() {
+        let topology = classic_ring(3).unwrap();
+        let mut adv: Box<dyn Adversary> = Box::new(RoundRobinAdversary::new());
+        assert_eq!(adv.name(), "round-robin");
+        let p = with_view(&topology, |v| adv.select(v));
+        assert_eq!(p, PhilosopherId::new(0));
+        adv.reset();
+        assert!(adv.is_fair_by_construction());
+    }
+}

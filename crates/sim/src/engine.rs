@@ -1,0 +1,636 @@
+//! The execution engine: adversary-driven interleaving of atomic steps.
+
+use crate::adversary::Adversary;
+use crate::config::SimConfig;
+use crate::fork::ForkCell;
+use crate::outcome::{RunOutcome, StopCondition, StopReason};
+use crate::program::{Phase, Program, StepCtx};
+use crate::trace::{StepRecord, Trace};
+use crate::view::{make_view, PhilosopherView, SystemView};
+use gdp_topology::{ForkId, PhilosopherId, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A deterministic, seedable simulator of one generalized dining
+/// philosophers system running one [`Program`] under one [`Adversary`].
+///
+/// The engine owns the shared fork state, every philosopher's private
+/// program state and the philosophers' randomness.  Each call to
+/// [`step_philosopher`](Engine::step_philosopher) executes one atomic step;
+/// [`run`](Engine::run) drives a whole computation by repeatedly consulting
+/// an adversary.
+///
+/// Determinism: two engines constructed with the same topology, program,
+/// configuration (including seed) and driven by the same adversary produce
+/// identical traces.  The regression tests of `gdp-algorithms` rely on this.
+pub struct Engine<P: Program> {
+    topology: Topology,
+    program: P,
+    config: SimConfig,
+    nr_range: u32,
+    forks: Vec<ForkCell>,
+    states: Vec<P::State>,
+    rng: ChaCha8Rng,
+    step_count: u64,
+    meals_completed: Vec<u64>,
+    first_meal_finished: Vec<Option<u64>>,
+    first_meal_started: Option<u64>,
+    scheduled: Vec<u64>,
+    last_scheduled: Vec<Option<u64>>,
+    max_scheduling_gap: u64,
+    hungry_since: Vec<Option<u64>>,
+    waiting_times: Vec<Vec<u64>>,
+    trace: Option<Trace>,
+}
+
+impl<P: Program> Engine<P> {
+    /// Creates an engine for `topology` running `program` under `config`.
+    pub fn new(topology: Topology, program: P, config: SimConfig) -> Self {
+        let n = topology.num_philosophers();
+        let k = topology.num_forks();
+        let nr_range = config.effective_nr_range(k);
+        let trace = config.record_trace.then(|| Trace::new(n));
+        Engine {
+            nr_range,
+            forks: (0..k).map(|_| ForkCell::new()).collect(),
+            states: (0..n).map(|_| program.initial_state()).collect(),
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            step_count: 0,
+            meals_completed: vec![0; n],
+            first_meal_finished: vec![None; n],
+            first_meal_started: None,
+            scheduled: vec![0; n],
+            last_scheduled: vec![None; n],
+            max_scheduling_gap: 0,
+            hungry_since: vec![None; n],
+            waiting_times: vec![Vec::new(); n],
+            trace,
+            topology,
+            program,
+            config,
+        }
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// The configuration of this engine.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Number of atomic steps executed so far.
+    #[must_use]
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// The shared state of `fork`.
+    #[must_use]
+    pub fn fork(&self, fork: ForkId) -> &ForkCell {
+        &self.forks[fork.index()]
+    }
+
+    /// The current phase of `philosopher`.
+    #[must_use]
+    pub fn phase_of(&self, philosopher: PhilosopherId) -> Phase {
+        self.program
+            .observation(
+                &self.states[philosopher.index()],
+                self.topology.forks_of(philosopher),
+            )
+            .phase
+    }
+
+    /// Completed meals of `philosopher`.
+    #[must_use]
+    pub fn meals_of(&self, philosopher: PhilosopherId) -> u64 {
+        self.meals_completed[philosopher.index()]
+    }
+
+    /// Total completed meals.
+    #[must_use]
+    pub fn total_meals(&self) -> u64 {
+        self.meals_completed.iter().sum()
+    }
+
+    /// Step at which the first meal started, if any.
+    #[must_use]
+    pub fn first_meal_step(&self) -> Option<u64> {
+        self.first_meal_started
+    }
+
+    /// The recorded waiting times (steps from becoming hungry to starting to
+    /// eat) of `philosopher`.
+    #[must_use]
+    pub fn waiting_times(&self, philosopher: PhilosopherId) -> &[u64] {
+        &self.waiting_times[philosopher.index()]
+    }
+
+    /// The recorded trace, if trace recording was enabled in the config.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The effective priority-number range `m` used by GDP1/GDP2 in this run.
+    #[must_use]
+    pub fn nr_range(&self) -> u32 {
+        self.nr_range
+    }
+
+    /// A 64-bit fingerprint of the *shared-and-private* state (fork cells and
+    /// program states), ignoring counters and statistics.
+    ///
+    /// Two system states with the same fingerprint are, with overwhelming
+    /// probability, identical up to statistics; the analysis crate uses
+    /// fingerprints to detect the no-progress cycles induced by the paper's
+    /// adversaries (State 6 being "isomorphic" to State 1 in Section 3).
+    #[must_use]
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.forks.hash(&mut hasher);
+        for state in &self.states {
+            state.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
+    fn holding_of(&self, philosopher: PhilosopherId) -> Vec<ForkId> {
+        let ends = self.topology.forks_of(philosopher);
+        ends.as_array()
+            .into_iter()
+            .filter(|f| self.forks[f.index()].holder() == Some(philosopher))
+            .collect()
+    }
+
+    fn philosopher_views(&self) -> Vec<PhilosopherView> {
+        self.topology
+            .philosopher_ids()
+            .map(|p| {
+                make_view(
+                    p,
+                    self.program
+                        .observation(&self.states[p.index()], self.topology.forks_of(p)),
+                    self.holding_of(p),
+                    self.meals_completed[p.index()],
+                    self.scheduled[p.index()],
+                    self.hungry_since[p.index()],
+                )
+            })
+            .collect()
+    }
+
+    /// Runs `f` with a full-information [`SystemView`] of the current state.
+    ///
+    /// The view borrows the engine, so it cannot outlive the call; this
+    /// closure-passing shape avoids cloning the fork cells on every step.
+    pub fn with_view<R>(&self, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
+        let views = self.philosopher_views();
+        let view = SystemView::new(
+            &self.topology,
+            self.step_count,
+            self.program.name(),
+            &self.forks,
+            &views,
+        );
+        f(&view)
+    }
+
+    /// Executes one atomic step for `philosopher` and returns its record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `philosopher` is out of range for the topology.
+    pub fn step_philosopher(&mut self, philosopher: PhilosopherId) -> StepRecord {
+        let idx = philosopher.index();
+        assert!(
+            idx < self.states.len(),
+            "adversary selected philosopher {philosopher} but the system has only {} philosophers",
+            self.states.len()
+        );
+        let ends = self.topology.forks_of(philosopher);
+        let phase_before = self.program.observation(&self.states[idx], ends).phase;
+        let action = {
+            let mut ctx = StepCtx::new(
+                philosopher,
+                ends,
+                &mut self.forks,
+                &mut self.rng,
+                &self.config.hunger,
+                self.config.left_bias,
+                self.nr_range,
+            );
+            self.program.step(&mut self.states[idx], &mut ctx)
+        };
+        let phase_after = self.program.observation(&self.states[idx], ends).phase;
+
+        // Scheduling accounting (for fairness bounds).
+        let gap = match self.last_scheduled[idx] {
+            Some(prev) => self.step_count - prev,
+            None => self.step_count + 1,
+        };
+        self.max_scheduling_gap = self.max_scheduling_gap.max(gap);
+        self.last_scheduled[idx] = Some(self.step_count);
+        self.scheduled[idx] += 1;
+
+        // Phase-transition accounting.
+        if phase_before != Phase::Hungry && phase_after == Phase::Hungry {
+            self.hungry_since[idx] = Some(self.step_count);
+        }
+        if phase_before != Phase::Eating && phase_after == Phase::Eating {
+            if self.first_meal_started.is_none() {
+                self.first_meal_started = Some(self.step_count);
+            }
+            if let Some(since) = self.hungry_since[idx] {
+                self.waiting_times[idx].push(self.step_count - since);
+            }
+        }
+        if phase_before == Phase::Eating && phase_after != Phase::Eating {
+            self.meals_completed[idx] += 1;
+            if self.first_meal_finished[idx].is_none() {
+                self.first_meal_finished[idx] = Some(self.step_count);
+            }
+            self.hungry_since[idx] = None;
+        }
+
+        let record = StepRecord {
+            step: self.step_count,
+            philosopher,
+            action,
+            phase_after,
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(record);
+        }
+        self.step_count += 1;
+        record
+    }
+
+    /// Asks `adversary` for the next philosopher and executes its step.
+    pub fn step_with<A: Adversary + ?Sized>(&mut self, adversary: &mut A) -> StepRecord {
+        let chosen = self.with_view(|view| adversary.select(view));
+        self.step_philosopher(chosen)
+    }
+
+    fn condition_met(&self, stop: &StopCondition) -> bool {
+        match *stop {
+            StopCondition::MaxSteps(_) => false,
+            StopCondition::FirstMeal { .. } => self.first_meal_started.is_some(),
+            StopCondition::TotalMeals { target, .. } => self.total_meals() >= target,
+            StopCondition::PhilosopherEats { philosopher, .. } => {
+                self.meals_completed[philosopher.index()] > 0
+            }
+            StopCondition::EveryoneEats { times, .. } => {
+                self.meals_completed.iter().all(|&m| m >= times)
+            }
+        }
+    }
+
+    /// Drives the system with `adversary` until `stop` is satisfied or its
+    /// step budget is exhausted, and returns a summary.
+    ///
+    /// Stop conditions are evaluated against the engine's *absolute* state
+    /// (total meals so far, etc.), and the step budget counts steps executed
+    /// by this call.  On a fresh engine the two readings coincide.
+    pub fn run<A: Adversary + ?Sized>(
+        &mut self,
+        adversary: &mut A,
+        stop: StopCondition,
+    ) -> RunOutcome {
+        let budget = stop.max_steps();
+        let mut executed = 0u64;
+        let mut reason = StopReason::StepLimitReached;
+        if self.condition_met(&stop) {
+            reason = StopReason::TargetReached;
+        } else {
+            while executed < budget {
+                self.step_with(adversary);
+                executed += 1;
+                if self.condition_met(&stop) {
+                    reason = StopReason::TargetReached;
+                    break;
+                }
+            }
+        }
+        self.outcome(reason)
+    }
+
+    fn outcome(&self, reason: StopReason) -> RunOutcome {
+        let fairness_bound = if self.last_scheduled.iter().all(Option::is_some) {
+            Some(self.max_scheduling_gap.max(1))
+        } else {
+            None
+        };
+        RunOutcome {
+            steps: self.step_count,
+            reason,
+            total_meals: self.total_meals(),
+            meals_per_philosopher: self.meals_completed.clone(),
+            first_meal_step: self.first_meal_started,
+            first_meal_per_philosopher: self.first_meal_finished.clone(),
+            scheduled_per_philosopher: self.scheduled.clone(),
+            fairness_bound,
+        }
+    }
+
+    /// Resets the engine to its initial state, keeping the same topology,
+    /// program and configuration (including the seed: the next run replays
+    /// the same philosopher randomness).
+    pub fn reset(&mut self) {
+        let seed = self.config.seed;
+        self.reset_with_seed(seed);
+    }
+
+    /// Resets the engine and installs a new random seed — the standard way to
+    /// perform independent Monte-Carlo trials without reallocating.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        for fork in &mut self.forks {
+            fork.reset();
+        }
+        for state in &mut self.states {
+            *state = self.program.initial_state();
+        }
+        let n = self.states.len();
+        self.step_count = 0;
+        self.meals_completed = vec![0; n];
+        self.first_meal_finished = vec![None; n];
+        self.first_meal_started = None;
+        self.scheduled = vec![0; n];
+        self.last_scheduled = vec![None; n];
+        self.max_scheduling_gap = 0;
+        self.hungry_since = vec![None; n];
+        self.waiting_times = vec![Vec::new(); n];
+        self.trace = self.config.record_trace.then(|| Trace::new(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{RoundRobinAdversary, UniformRandomAdversary};
+    use crate::program::{Action, ProgramObservation};
+    use gdp_topology::builders::classic_ring;
+
+    /// A two-phase toy program: a philosopher becomes hungry, grabs both of
+    /// its forks in one atomic step if both are free (so it cannot deadlock),
+    /// eats, and releases.  Not symmetric-randomized — just a harness
+    /// exerciser.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum Toy {
+        Thinking,
+        Hungry,
+        Eating,
+    }
+
+    struct ToyProgram;
+
+    impl Program for ToyProgram {
+        type State = Toy;
+
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn initial_state(&self) -> Toy {
+            Toy::Thinking
+        }
+
+        fn observation(&self, state: &Toy, _ends: gdp_topology::ForkEnds) -> ProgramObservation {
+            let phase = match state {
+                Toy::Thinking => Phase::Thinking,
+                Toy::Hungry => Phase::Hungry,
+                Toy::Eating => Phase::Eating,
+            };
+            ProgramObservation {
+                phase,
+                committed: None,
+                label: "toy",
+            }
+        }
+
+        fn step(&self, state: &mut Toy, ctx: &mut StepCtx<'_>) -> Action {
+            match state {
+                Toy::Thinking => {
+                    if ctx.becomes_hungry() {
+                        *state = Toy::Hungry;
+                        Action::BecomeHungry
+                    } else {
+                        Action::KeepThinking
+                    }
+                }
+                Toy::Hungry => {
+                    let (l, r) = (ctx.left(), ctx.right());
+                    if ctx.is_free(l) && ctx.is_free(r) {
+                        ctx.take_if_free(l);
+                        ctx.take_if_free(r);
+                        *state = Toy::Eating;
+                        Action::StartEating
+                    } else {
+                        Action::Wait
+                    }
+                }
+                Toy::Eating => {
+                    ctx.release(ctx.left());
+                    ctx.release(ctx.right());
+                    *state = Toy::Thinking;
+                    Action::FinishEating
+                }
+            }
+        }
+    }
+
+    fn engine(n: usize, seed: u64) -> Engine<ToyProgram> {
+        Engine::new(
+            classic_ring(n).unwrap(),
+            ToyProgram,
+            SimConfig::default().with_seed(seed).with_trace(true),
+        )
+    }
+
+    #[test]
+    fn round_robin_run_makes_progress_and_counts_meals() {
+        let mut e = engine(5, 1);
+        let outcome = e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(1_000));
+        assert_eq!(outcome.steps, 1_000);
+        assert!(outcome.made_progress());
+        assert!(outcome.total_meals > 0);
+        assert_eq!(
+            outcome.total_meals,
+            outcome.meals_per_philosopher.iter().sum::<u64>()
+        );
+        // Round-robin over 5 philosophers: fairness bound is exactly 5.
+        assert_eq!(outcome.fairness_bound, Some(5));
+        // Toy grabs both forks atomically, so with round-robin everyone eats.
+        assert!(outcome.everyone_ate());
+        assert_eq!(outcome.starved(), vec![]);
+    }
+
+    #[test]
+    fn stop_at_first_meal() {
+        let mut e = engine(5, 2);
+        let outcome = e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::FirstMeal { max_steps: 10_000 },
+        );
+        assert!(outcome.reason.target_reached());
+        assert!(outcome.made_progress());
+        assert!(outcome.steps <= 10_000);
+        assert_eq!(outcome.first_meal_step, e.first_meal_step());
+    }
+
+    #[test]
+    fn stop_when_specific_philosopher_eats() {
+        let mut e = engine(4, 3);
+        let target = PhilosopherId::new(2);
+        let outcome = e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::PhilosopherEats {
+                philosopher: target,
+                max_steps: 10_000,
+            },
+        );
+        assert!(outcome.reason.target_reached());
+        assert!(outcome.meals_per_philosopher[2] >= 1);
+    }
+
+    #[test]
+    fn stop_when_everyone_has_eaten_twice() {
+        let mut e = engine(3, 4);
+        let outcome = e.run(
+            &mut UniformRandomAdversary::new(9),
+            StopCondition::EveryoneEats {
+                times: 2,
+                max_steps: 100_000,
+            },
+        );
+        assert!(outcome.reason.target_reached());
+        assert!(outcome.meals_per_philosopher.iter().all(|&m| m >= 2));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mut a = engine(5, 42);
+        let mut b = engine(5, 42);
+        a.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
+        b.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
+        assert_eq!(a.trace().unwrap(), b.trace().unwrap());
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mut a = engine(5, 1);
+        let mut b = engine(5, 2);
+        a.run(&mut UniformRandomAdversary::new(7), StopCondition::MaxSteps(500));
+        b.run(&mut UniformRandomAdversary::new(7), StopCondition::MaxSteps(500));
+        // The toy program only uses randomness through the hunger model
+        // (Always → no randomness), so instead compare against a Bernoulli
+        // model to make sure seeds reach the philosophers.
+        let config = SimConfig::default()
+            .with_seed(1)
+            .with_hunger(crate::HungerModel::Bernoulli(0.5))
+            .with_trace(true);
+        let mut c = Engine::new(classic_ring(5).unwrap(), ToyProgram, config.clone());
+        let mut d = Engine::new(
+            classic_ring(5).unwrap(),
+            ToyProgram,
+            config.with_seed(99),
+        );
+        c.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
+        d.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
+        assert_ne!(c.trace().unwrap(), d.trace().unwrap());
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let mut e = engine(4, 5);
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(300));
+        let first_trace = e.trace().unwrap().clone();
+        let fp1 = e.state_fingerprint();
+        e.reset();
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(300));
+        assert_eq!(e.trace().unwrap(), &first_trace);
+        assert_eq!(e.state_fingerprint(), fp1);
+    }
+
+    #[test]
+    fn reset_with_new_seed_changes_randomized_behaviour() {
+        let config = SimConfig::default()
+            .with_hunger(crate::HungerModel::Bernoulli(0.3))
+            .with_trace(true);
+        let mut e = Engine::new(classic_ring(4).unwrap(), ToyProgram, config);
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(400));
+        let t1 = e.trace().unwrap().clone();
+        e.reset_with_seed(1234);
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(400));
+        assert_ne!(e.trace().unwrap(), &t1);
+        assert_eq!(e.step_count(), 400);
+    }
+
+    #[test]
+    fn waiting_times_are_recorded() {
+        let mut e = engine(3, 0);
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(600));
+        let any_waits = e
+            .topology()
+            .philosopher_ids()
+            .any(|p| !e.waiting_times(p).is_empty());
+        assert!(any_waits);
+    }
+
+    #[test]
+    fn view_reflects_engine_state() {
+        let mut e = engine(3, 0);
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(50));
+        let meals = e.total_meals();
+        e.with_view(|view| {
+            assert_eq!(view.total_meals(), meals);
+            assert_eq!(view.num_philosophers(), 3);
+            assert_eq!(view.step(), 50);
+            assert_eq!(view.program_name(), "toy");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "adversary selected philosopher")]
+    fn out_of_range_selection_panics() {
+        let mut e = engine(3, 0);
+        e.step_philosopher(PhilosopherId::new(99));
+    }
+
+    #[test]
+    fn never_hungry_means_no_meals() {
+        let config = SimConfig::default().with_hunger(crate::HungerModel::Never);
+        let mut e = Engine::new(classic_ring(4).unwrap(), ToyProgram, config);
+        let outcome = e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(1_000));
+        assert_eq!(outcome.total_meals, 0);
+        assert!(!outcome.made_progress());
+    }
+
+    #[test]
+    fn nr_range_defaults_to_fork_count() {
+        let e = engine(6, 0);
+        assert_eq!(e.nr_range(), 6);
+        let e2 = Engine::new(
+            classic_ring(6).unwrap(),
+            ToyProgram,
+            SimConfig::default().with_nr_range(50),
+        );
+        assert_eq!(e2.nr_range(), 50);
+    }
+}

@@ -1,0 +1,102 @@
+//! Hunger models: when does a thinking philosopher become hungry?
+//!
+//! In the paper the `think` action "may not terminate" — whether and when a
+//! philosopher becomes hungry is outside the algorithm's control.  The
+//! engine therefore consults a [`HungerModel`] whenever a *thinking*
+//! philosopher is scheduled.  The maximally-contended regime used in the
+//! paper's arguments (everybody wants to eat) is [`HungerModel::Always`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Policy deciding whether a scheduled, thinking philosopher becomes hungry.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum HungerModel {
+    /// A thinking philosopher becomes hungry the first time it is scheduled.
+    /// This is the maximally contended workload used throughout the paper's
+    /// negative and positive arguments.
+    Always,
+    /// Philosophers never become hungry (useful for tests of the engine
+    /// itself and for "cold" baseline measurements).
+    Never,
+    /// A thinking philosopher becomes hungry with the given probability each
+    /// time it is scheduled (a light or bursty workload).
+    Bernoulli(f64),
+}
+
+impl HungerModel {
+    /// Samples the model: should a thinking philosopher scheduled now become
+    /// hungry?
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`HungerModel::Bernoulli`] probability is not within
+    /// `[0, 1]` (validated here rather than at construction so the enum can
+    /// stay a plain data carrier).
+    pub fn becomes_hungry<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        match *self {
+            HungerModel::Always => true,
+            HungerModel::Never => false,
+            HungerModel::Bernoulli(p) => {
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "hunger probability must be in [0, 1], got {p}"
+                );
+                rng.gen_bool(p)
+            }
+        }
+    }
+}
+
+impl Default for HungerModel {
+    fn default() -> Self {
+        HungerModel::Always
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn always_and_never_are_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(HungerModel::Always.becomes_hungry(&mut rng));
+            assert!(!HungerModel::Never.becomes_hungry(&mut rng));
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_probability_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| HungerModel::Bernoulli(0.25).becomes_hungry(&mut rng))
+            .count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.25).abs() < 0.02, "frequency {freq} too far from 0.25");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(!HungerModel::Bernoulli(0.0).becomes_hungry(&mut rng));
+        assert!(HungerModel::Bernoulli(1.0).becomes_hungry(&mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "hunger probability")]
+    fn bernoulli_rejects_out_of_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = HungerModel::Bernoulli(1.5).becomes_hungry(&mut rng);
+    }
+
+    #[test]
+    fn default_is_always() {
+        assert_eq!(HungerModel::default(), HungerModel::Always);
+    }
+}

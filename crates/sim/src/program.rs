@@ -1,0 +1,511 @@
+//! The algorithm interface: programs, atomic steps, and the per-step context.
+//!
+//! A [`Program`] is the code run by **every** philosopher — the symmetry
+//! requirement of the paper is enforced structurally: the engine instantiates
+//! one `Program` value for the whole system, gives every philosopher the same
+//! [`Program::initial_state`], and philosophers can only influence each other
+//! through the fork operations exposed by [`StepCtx`].
+//!
+//! One call to [`Program::step`] models one numbered line of the paper's
+//! pseudo-code (Tables 1–4) and is atomic with respect to the adversary.
+
+use crate::fork::ForkCell;
+use crate::hunger::HungerModel;
+use gdp_topology::{ForkEnds, ForkId, PhilosopherId, Side};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hash;
+
+/// The coarse phase of a philosopher, used for progress / lockout analysis.
+///
+/// These are the `T` (trying) and `E` (eating) state sets of the paper's
+/// progress statements, plus the thinking phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// The philosopher is thinking (may or may not ever become hungry).
+    Thinking,
+    /// The philosopher is hungry and executing its trying section.
+    Hungry,
+    /// The philosopher is eating.
+    Eating,
+}
+
+impl Phase {
+    /// Returns `true` for [`Phase::Hungry`].
+    #[must_use]
+    pub fn is_hungry(self) -> bool {
+        matches!(self, Phase::Hungry)
+    }
+
+    /// Returns `true` for [`Phase::Eating`].
+    #[must_use]
+    pub fn is_eating(self) -> bool {
+        matches!(self, Phase::Eating)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Thinking => write!(f, "thinking"),
+            Phase::Hungry => write!(f, "hungry"),
+            Phase::Eating => write!(f, "eating"),
+        }
+    }
+}
+
+/// What a philosopher did in one atomic step.  Recorded in the
+/// [`Trace`](crate::Trace) and visible to adversaries through the
+/// [`SystemView`](crate::SystemView).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub enum Action {
+    /// The philosopher was scheduled while thinking and kept thinking.
+    KeepThinking,
+    /// The philosopher became hungry and entered its trying section.
+    BecomeHungry,
+    /// LR2/GDP2 line 2: the philosopher inserted its id into both request lists.
+    RegisterRequests,
+    /// The philosopher committed to `fork` as the first fork to acquire.
+    /// `random` is `true` for LR1/LR2 (a coin flip) and `false` for GDP1/GDP2
+    /// (deterministic choice of the higher-`nr` fork).
+    Commit {
+        /// The fork committed to.
+        fork: ForkId,
+        /// Whether the commitment was the outcome of a random draw.
+        random: bool,
+    },
+    /// Attempted to take the first fork (test-and-set).
+    TakeFirst {
+        /// The fork tested.
+        fork: ForkId,
+        /// Whether the test-and-set succeeded.
+        success: bool,
+    },
+    /// Attempted to take the second fork; on failure the first fork was
+    /// released in the same atomic step, as in line 4 of LR1.
+    TakeSecond {
+        /// The fork tested.
+        fork: ForkId,
+        /// Whether the test-and-set succeeded.
+        success: bool,
+    },
+    /// GDP1/GDP2: the philosopher re-drew the priority number of the fork it
+    /// holds because it collided with the other fork's number.
+    RelabelFork {
+        /// The fork whose number changed.
+        fork: ForkId,
+        /// The new priority number.
+        nr: u32,
+    },
+    /// A generic atomic test-and-set on a fork, for user-defined programs.
+    TestAndSet {
+        /// The fork tested.
+        fork: ForkId,
+    },
+    /// The philosopher started eating.
+    StartEating,
+    /// The philosopher finished eating (and released its forks / signed guest
+    /// books, depending on the algorithm).
+    FinishEating,
+    /// The philosopher released `fork` outside of the combined steps above.
+    Release {
+        /// The fork released.
+        fork: ForkId,
+    },
+    /// The philosopher was scheduled but could not act (busy-wait).
+    Wait,
+    /// An algorithm-specific action not covered by the shared vocabulary.
+    Custom(&'static str),
+}
+
+impl Action {
+    /// Returns `true` if the action acquired a fork.
+    #[must_use]
+    pub fn acquired_fork(&self) -> bool {
+        matches!(
+            self,
+            Action::TakeFirst { success: true, .. } | Action::TakeSecond { success: true, .. }
+        )
+    }
+}
+
+/// What an adversary (and the metrics layer) may observe about a
+/// philosopher's private program state.
+///
+/// The paper's adversary has complete information about the computation so
+/// far, including commitments made by philosophers (the "empty arrow" in the
+/// paper's figures); programs expose exactly that through this struct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ProgramObservation {
+    /// The philosopher's coarse phase.
+    pub phase: Phase,
+    /// The fork the philosopher is currently committed to acquiring first
+    /// (the empty arrow of the paper's figures), if any.
+    pub committed: Option<ForkId>,
+    /// A short label identifying the program counter, e.g. `"LR1.3"`.
+    pub label: &'static str,
+}
+
+/// A philosopher algorithm.
+///
+/// Implementations for the paper's Tables 1–4 (LR1, LR2, GDP1, GDP2) live in
+/// the `gdp-algorithms` crate; custom programs can be supplied by users.
+///
+/// The associated `State` is the philosopher's *private* memory.  It must be
+/// `Clone + Eq + Hash` so that executions can be snapshotted and compared —
+/// the analysis crate uses this to detect the no-progress cycles that the
+/// paper's adversaries induce.
+pub trait Program {
+    /// Private per-philosopher control state.
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// A short human-readable name, e.g. `"LR1"`.
+    fn name(&self) -> &'static str;
+
+    /// The state every philosopher starts in (the same for all, by symmetry).
+    fn initial_state(&self) -> Self::State;
+
+    /// The observable part of a private state.
+    ///
+    /// `ends` is the philosopher's own fork pair, provided so the program can
+    /// report which concrete fork it is committed to (the "empty arrow" of
+    /// the paper's figures) without storing topology information in its
+    /// private state.
+    fn observation(&self, state: &Self::State, ends: ForkEnds) -> ProgramObservation;
+
+    /// Executes one atomic step for the scheduled philosopher.
+    ///
+    /// The step may perform any number of operations on the philosopher's own
+    /// two forks through `ctx`; the engine guarantees the whole step is
+    /// atomic with respect to other philosophers.
+    fn step(&self, state: &mut Self::State, ctx: &mut StepCtx<'_>) -> Action;
+}
+
+/// The restricted, per-step view a philosopher has of the system.
+///
+/// A `StepCtx` only exposes the philosopher's own two forks and its private
+/// randomness.  Any attempt to operate on a fork that is not adjacent to the
+/// philosopher panics: that would violate the problem's full-distribution
+/// requirement and indicates a bug in an algorithm implementation.
+pub struct StepCtx<'a> {
+    me: PhilosopherId,
+    ends: ForkEnds,
+    forks: &'a mut [ForkCell],
+    rng: &'a mut ChaCha8Rng,
+    hunger: &'a HungerModel,
+    left_bias: f64,
+    nr_range: u32,
+}
+
+impl<'a> StepCtx<'a> {
+    /// Creates a step context.  Only the engine does this.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        me: PhilosopherId,
+        ends: ForkEnds,
+        forks: &'a mut [ForkCell],
+        rng: &'a mut ChaCha8Rng,
+        hunger: &'a HungerModel,
+        left_bias: f64,
+        nr_range: u32,
+    ) -> Self {
+        StepCtx {
+            me,
+            ends,
+            forks,
+            rng,
+            hunger,
+            left_bias,
+            nr_range,
+        }
+    }
+
+    /// The identity of the philosopher executing this step.
+    ///
+    /// Programs must not branch on this value (that would break symmetry);
+    /// it is exposed because the fork-local data structures of LR2/GDP2 store
+    /// philosopher ids in request lists and guest books.  The symmetry tests
+    /// in `gdp-algorithms` verify that behaviour is invariant under
+    /// relabelling.
+    #[must_use]
+    pub fn me(&self) -> PhilosopherId {
+        self.me
+    }
+
+    /// This philosopher's left fork.
+    #[must_use]
+    pub fn left(&self) -> ForkId {
+        self.ends.left
+    }
+
+    /// This philosopher's right fork.
+    #[must_use]
+    pub fn right(&self) -> ForkId {
+        self.ends.right
+    }
+
+    /// The fork on `side`.
+    #[must_use]
+    pub fn fork_on(&self, side: Side) -> ForkId {
+        self.ends.on(side)
+    }
+
+    /// Given one of this philosopher's forks, returns the other one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fork` is not adjacent to this philosopher.
+    #[must_use]
+    pub fn other(&self, fork: ForkId) -> ForkId {
+        self.check_adjacent(fork);
+        self.ends.other(fork)
+    }
+
+    fn check_adjacent(&self, fork: ForkId) {
+        assert!(
+            self.ends.contains(fork),
+            "philosopher {} attempted to access fork {} which is not adjacent to it \
+             (adjacent forks: {} and {}); this violates full distribution",
+            self.me,
+            fork,
+            self.ends.left,
+            self.ends.right
+        );
+    }
+
+    fn cell(&mut self, fork: ForkId) -> &mut ForkCell {
+        self.check_adjacent(fork);
+        &mut self.forks[fork.index()]
+    }
+
+    fn cell_ref(&self, fork: ForkId) -> &ForkCell {
+        self.check_adjacent(fork);
+        &self.forks[fork.index()]
+    }
+
+    /// Returns `true` if `fork` is currently free.
+    #[must_use]
+    pub fn is_free(&self, fork: ForkId) -> bool {
+        self.cell_ref(fork).is_free()
+    }
+
+    /// Atomic test-and-set: takes `fork` if it is free, returning whether the
+    /// acquisition succeeded.
+    pub fn take_if_free(&mut self, fork: ForkId) -> bool {
+        let me = self.me;
+        self.cell(fork).take_if_free(me)
+    }
+
+    /// Releases `fork` if this philosopher holds it; returns whether a
+    /// release happened.
+    pub fn release(&mut self, fork: ForkId) -> bool {
+        let me = self.me;
+        self.cell(fork).release(me)
+    }
+
+    /// Returns `true` if this philosopher currently holds `fork`.
+    #[must_use]
+    pub fn holds(&self, fork: ForkId) -> bool {
+        self.cell_ref(fork).holder() == Some(self.me)
+    }
+
+    /// The priority number `nr` of `fork` (GDP1/GDP2).
+    #[must_use]
+    pub fn nr(&self, fork: ForkId) -> u32 {
+        self.cell_ref(fork).nr()
+    }
+
+    /// Sets the priority number of `fork` (GDP1/GDP2 relabelling).
+    pub fn set_nr(&mut self, fork: ForkId, value: u32) {
+        self.cell(fork).set_nr(value);
+    }
+
+    /// Inserts this philosopher into the request list of `fork` (LR2/GDP2).
+    pub fn insert_request(&mut self, fork: ForkId) {
+        let me = self.me;
+        self.cell(fork).insert_request(me);
+    }
+
+    /// Removes this philosopher from the request list of `fork` (LR2/GDP2).
+    pub fn remove_request(&mut self, fork: ForkId) {
+        let me = self.me;
+        self.cell(fork).remove_request(me);
+    }
+
+    /// Signs the guest book of `fork` for this philosopher (LR2/GDP2).
+    pub fn sign_guest_book(&mut self, fork: ForkId) {
+        let me = self.me;
+        self.cell(fork).sign_guest_book(me);
+    }
+
+    /// The courtesy condition `Cond(fork)` of LR2/GDP2 for this philosopher.
+    #[must_use]
+    pub fn courtesy_holds(&self, fork: ForkId) -> bool {
+        self.cell_ref(fork).courtesy_holds(self.me)
+    }
+
+    /// The inclusive upper bound `m` of the priority-number range `[1, m]`
+    /// configured for this run (GDP1/GDP2 require `m >= k`).
+    #[must_use]
+    pub fn nr_range(&self) -> u32 {
+        self.nr_range
+    }
+
+    /// Draws a uniformly random priority number in `[1, m]` (Table 3 line 4).
+    pub fn random_nr(&mut self) -> u32 {
+        self.rng.gen_range(1..=self.nr_range)
+    }
+
+    /// Draws a random side: `Left` with the configured bias (default 1/2),
+    /// `Right` otherwise (Table 1 line 2).
+    pub fn random_side(&mut self) -> Side {
+        if self.rng.gen_bool(self.left_bias) {
+            Side::Left
+        } else {
+            Side::Right
+        }
+    }
+
+    /// Draws a random first fork: convenience wrapper around
+    /// [`random_side`](Self::random_side).
+    pub fn random_first_fork(&mut self) -> ForkId {
+        let side = self.random_side();
+        self.fork_on(side)
+    }
+
+    /// Consults the hunger model: returns `true` if a thinking philosopher
+    /// scheduled now stops thinking and becomes hungry.
+    pub fn becomes_hungry(&mut self) -> bool {
+        self.hunger.becomes_hungry(self.rng)
+    }
+}
+
+impl fmt::Debug for StepCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StepCtx")
+            .field("me", &self.me)
+            .field("left", &self.ends.left)
+            .field("right", &self.ends.right)
+            .field("nr_range", &self.nr_range)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_parts() -> (Vec<ForkCell>, ChaCha8Rng, HungerModel) {
+        (
+            vec![ForkCell::new(), ForkCell::new(), ForkCell::new()],
+            ChaCha8Rng::seed_from_u64(42),
+            HungerModel::Always,
+        )
+    }
+
+    fn make_ctx<'a>(
+        forks: &'a mut [ForkCell],
+        rng: &'a mut ChaCha8Rng,
+        hunger: &'a HungerModel,
+    ) -> StepCtx<'a> {
+        StepCtx::new(
+            PhilosopherId::new(0),
+            ForkEnds::new(ForkId::new(0), ForkId::new(1)),
+            forks,
+            rng,
+            hunger,
+            0.5,
+            10,
+        )
+    }
+
+    #[test]
+    fn ctx_exposes_only_adjacent_forks() {
+        let (mut forks, mut rng, hunger) = ctx_parts();
+        let mut ctx = make_ctx(&mut forks, &mut rng, &hunger);
+        assert_eq!(ctx.left(), ForkId::new(0));
+        assert_eq!(ctx.right(), ForkId::new(1));
+        assert_eq!(ctx.other(ForkId::new(0)), ForkId::new(1));
+        assert!(ctx.is_free(ForkId::new(0)));
+        assert!(ctx.take_if_free(ForkId::new(0)));
+        assert!(ctx.holds(ForkId::new(0)));
+        assert!(ctx.release(ForkId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "violates full distribution")]
+    fn touching_a_non_adjacent_fork_panics() {
+        let (mut forks, mut rng, hunger) = ctx_parts();
+        let mut ctx = make_ctx(&mut forks, &mut rng, &hunger);
+        let _ = ctx.take_if_free(ForkId::new(2));
+    }
+
+    #[test]
+    fn random_nr_is_in_range() {
+        let (mut forks, mut rng, hunger) = ctx_parts();
+        let mut ctx = make_ctx(&mut forks, &mut rng, &hunger);
+        for _ in 0..1000 {
+            let nr = ctx.random_nr();
+            assert!((1..=10).contains(&nr));
+        }
+    }
+
+    #[test]
+    fn random_side_respects_bias() {
+        let (mut forks, mut rng, hunger) = ctx_parts();
+        // Bias 1.0: always left.
+        let mut ctx = StepCtx::new(
+            PhilosopherId::new(0),
+            ForkEnds::new(ForkId::new(0), ForkId::new(1)),
+            &mut forks,
+            &mut rng,
+            &hunger,
+            1.0,
+            10,
+        );
+        for _ in 0..50 {
+            assert_eq!(ctx.random_side(), Side::Left);
+            assert_eq!(ctx.random_first_fork(), ForkId::new(0));
+        }
+    }
+
+    #[test]
+    fn request_and_guest_book_operations_are_scoped_to_me() {
+        let (mut forks, mut rng, hunger) = ctx_parts();
+        let mut ctx = make_ctx(&mut forks, &mut rng, &hunger);
+        ctx.insert_request(ForkId::new(0));
+        assert!(ctx.courtesy_holds(ForkId::new(0)));
+        ctx.sign_guest_book(ForkId::new(0));
+        ctx.remove_request(ForkId::new(0));
+        drop(ctx);
+        assert_eq!(forks[0].requests(), &[]);
+        assert_eq!(forks[0].guest_book_len(), 1);
+    }
+
+    #[test]
+    fn phase_predicates() {
+        assert!(Phase::Hungry.is_hungry());
+        assert!(!Phase::Thinking.is_hungry());
+        assert!(Phase::Eating.is_eating());
+        assert_eq!(Phase::Eating.to_string(), "eating");
+    }
+
+    #[test]
+    fn action_acquired_fork_predicate() {
+        assert!(Action::TakeFirst {
+            fork: ForkId::new(0),
+            success: true
+        }
+        .acquired_fork());
+        assert!(!Action::TakeFirst {
+            fork: ForkId::new(0),
+            success: false
+        }
+        .acquired_fork());
+        assert!(!Action::Wait.acquired_fork());
+    }
+}

@@ -1,0 +1,260 @@
+//! The adversary's full-information view of the system.
+//!
+//! The paper assumes the adversary "has complete information of the past of
+//! the computation, and can decide its next step on the basis of that
+//! information".  [`SystemView`] exposes exactly the information an
+//! adversary may use: the topology, the global step count, every fork's
+//! shared state, and every philosopher's observable state (phase, held
+//! forks, current commitment, scheduling and meal counters).
+//!
+//! What the adversary can *not* see is the outcome of random draws that have
+//! not happened yet — randomness is resolved inside the philosopher's step,
+//! after the adversary has committed to scheduling it.
+
+use crate::fork::ForkCell;
+use crate::program::{Phase, ProgramObservation};
+use gdp_topology::{ForkId, PhilosopherId, Topology};
+
+/// Observable state of one philosopher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhilosopherView {
+    /// The philosopher this view describes.
+    pub id: PhilosopherId,
+    /// Coarse phase (thinking / hungry / eating).
+    pub phase: Phase,
+    /// The fork the philosopher is committed to taking first (the "empty
+    /// arrow" of the paper's figures), if any.
+    pub committed: Option<ForkId>,
+    /// Program-counter label reported by the algorithm, e.g. `"LR1.3"`.
+    pub label: &'static str,
+    /// The forks currently held by this philosopher (the "filled arrows").
+    pub holding: Vec<ForkId>,
+    /// How many meals this philosopher has completed.
+    pub meals: u64,
+    /// How many times this philosopher has been scheduled.
+    pub scheduled: u64,
+    /// Step at which the philosopher last became hungry, if currently hungry
+    /// or eating.
+    pub hungry_since: Option<u64>,
+}
+
+impl PhilosopherView {
+    /// Returns `true` if the philosopher currently holds `fork`.
+    #[must_use]
+    pub fn holds(&self, fork: ForkId) -> bool {
+        self.holding.contains(&fork)
+    }
+
+    /// Returns `true` if the philosopher is committed to `fork` but does not
+    /// hold it yet (the empty arrow of the paper's figures).
+    #[must_use]
+    pub fn committed_to(&self, fork: ForkId) -> bool {
+        self.committed == Some(fork) && !self.holds(fork)
+    }
+}
+
+/// Full-information snapshot handed to [`Adversary::select`](crate::Adversary::select).
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    topology: &'a Topology,
+    step: u64,
+    program_name: &'static str,
+    forks: &'a [ForkCell],
+    philosophers: &'a [PhilosopherView],
+}
+
+impl<'a> SystemView<'a> {
+    pub(crate) fn new(
+        topology: &'a Topology,
+        step: u64,
+        program_name: &'static str,
+        forks: &'a [ForkCell],
+        philosophers: &'a [PhilosopherView],
+    ) -> Self {
+        SystemView {
+            topology,
+            step,
+            program_name,
+            forks,
+            philosophers,
+        }
+    }
+
+    /// The conflict topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The number of atomic steps executed so far.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The name of the algorithm being executed (e.g. `"LR1"`).
+    #[must_use]
+    pub fn program_name(&self) -> &'static str {
+        self.program_name
+    }
+
+    /// Shared state of `fork`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fork` is out of range for the topology.
+    #[must_use]
+    pub fn fork(&self, fork: ForkId) -> &ForkCell {
+        &self.forks[fork.index()]
+    }
+
+    /// Shared state of every fork, indexed by [`ForkId::index`].
+    #[must_use]
+    pub fn forks(&self) -> &[ForkCell] {
+        self.forks
+    }
+
+    /// Observable state of `philosopher`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `philosopher` is out of range for the topology.
+    #[must_use]
+    pub fn philosopher(&self, philosopher: PhilosopherId) -> &PhilosopherView {
+        &self.philosophers[philosopher.index()]
+    }
+
+    /// Observable state of every philosopher, indexed by
+    /// [`PhilosopherId::index`].
+    #[must_use]
+    pub fn philosophers(&self) -> &[PhilosopherView] {
+        self.philosophers
+    }
+
+    /// Number of philosophers in the system.
+    #[must_use]
+    pub fn num_philosophers(&self) -> usize {
+        self.philosophers.len()
+    }
+
+    /// The philosophers currently in the given phase.
+    #[must_use]
+    pub fn in_phase(&self, phase: Phase) -> Vec<PhilosopherId> {
+        self.philosophers
+            .iter()
+            .filter(|p| p.phase == phase)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Returns `true` if some philosopher is currently eating.
+    #[must_use]
+    pub fn someone_eating(&self) -> bool {
+        self.philosophers.iter().any(|p| p.phase == Phase::Eating)
+    }
+
+    /// The philosopher currently holding `fork`, if any (derived from the
+    /// fork cell, so it is consistent with the shared state).
+    #[must_use]
+    pub fn holder_of(&self, fork: ForkId) -> Option<PhilosopherId> {
+        self.forks[fork.index()].holder()
+    }
+
+    /// Total meals completed so far across all philosophers.
+    #[must_use]
+    pub fn total_meals(&self) -> u64 {
+        self.philosophers.iter().map(|p| p.meals).sum()
+    }
+}
+
+pub(crate) fn make_view(
+    id: PhilosopherId,
+    observation: ProgramObservation,
+    holding: Vec<ForkId>,
+    meals: u64,
+    scheduled: u64,
+    hungry_since: Option<u64>,
+) -> PhilosopherView {
+    PhilosopherView {
+        id,
+        phase: observation.phase,
+        committed: observation.committed,
+        label: observation.label,
+        holding,
+        meals,
+        scheduled,
+        hungry_since,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_topology::builders::classic_ring;
+
+    fn sample_philosophers() -> Vec<PhilosopherView> {
+        vec![
+            PhilosopherView {
+                id: PhilosopherId::new(0),
+                phase: Phase::Hungry,
+                committed: Some(ForkId::new(0)),
+                label: "test.3",
+                holding: vec![],
+                meals: 0,
+                scheduled: 2,
+                hungry_since: Some(0),
+            },
+            PhilosopherView {
+                id: PhilosopherId::new(1),
+                phase: Phase::Eating,
+                committed: None,
+                label: "test.5",
+                holding: vec![ForkId::new(1), ForkId::new(2)],
+                meals: 3,
+                scheduled: 9,
+                hungry_since: Some(4),
+            },
+            PhilosopherView {
+                id: PhilosopherId::new(2),
+                phase: Phase::Thinking,
+                committed: None,
+                label: "test.1",
+                holding: vec![],
+                meals: 1,
+                scheduled: 4,
+                hungry_since: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn philosopher_view_predicates() {
+        let phils = sample_philosophers();
+        assert!(phils[0].committed_to(ForkId::new(0)));
+        assert!(!phils[0].holds(ForkId::new(0)));
+        assert!(phils[1].holds(ForkId::new(2)));
+        assert!(!phils[1].committed_to(ForkId::new(2)));
+    }
+
+    #[test]
+    fn system_view_queries() {
+        let topology = classic_ring(3).unwrap();
+        let mut forks = vec![ForkCell::new(), ForkCell::new(), ForkCell::new()];
+        forks[1].take_if_free(PhilosopherId::new(1));
+        forks[2].take_if_free(PhilosopherId::new(1));
+        let phils = sample_philosophers();
+        let view = SystemView::new(&topology, 42, "test", &forks, &phils);
+
+        assert_eq!(view.step(), 42);
+        assert_eq!(view.program_name(), "test");
+        assert_eq!(view.num_philosophers(), 3);
+        assert!(view.someone_eating());
+        assert_eq!(view.in_phase(Phase::Hungry), vec![PhilosopherId::new(0)]);
+        assert_eq!(view.holder_of(ForkId::new(1)), Some(PhilosopherId::new(1)));
+        assert_eq!(view.holder_of(ForkId::new(0)), None);
+        assert_eq!(view.total_meals(), 4);
+        assert_eq!(view.philosopher(PhilosopherId::new(2)).phase, Phase::Thinking);
+        assert_eq!(view.forks().len(), 3);
+        assert_eq!(view.topology().num_philosophers(), 3);
+    }
+}

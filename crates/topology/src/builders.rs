@@ -1,0 +1,558 @@
+//! Topology generators.
+//!
+//! This module contains constructors for every topology the paper discusses:
+//!
+//! * the **classic ring** (the original Dijkstra table), on which Lehmann &
+//!   Rabin's algorithms are correct;
+//! * the four example generalized systems of **Figure 1**;
+//! * the **ring with a chord** family that witnesses Theorem 1 (LR1 fails);
+//! * the **theta graphs** (two nodes joined by three internally disjoint
+//!   paths) that witness Theorem 2 (LR2 fails);
+//! * auxiliary families (star, path, complete conflict graph) used in the
+//!   test-suite and benchmarks;
+//! * **random multigraph** generators for the probabilistic sweeps of
+//!   experiments E5/E6.
+//!
+//! All generators return [`Result<Topology>`](crate::Result) and document the
+//! parameter ranges they accept.
+
+use crate::{Result, Topology, TopologyError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn invalid(message: impl Into<String>) -> TopologyError {
+    TopologyError::InvalidParameter {
+        message: message.into(),
+    }
+}
+
+/// The classic dining philosophers table: `n` forks and `n` philosophers
+/// alternating around a ring.
+///
+/// Philosopher `i` is adjacent to forks `i` (its left) and `(i + 1) % n`
+/// (its right).
+///
+/// # Errors
+///
+/// Returns an error if `n < 2`: with fewer than two philosophers there is no
+/// ring (and fewer than two forks violates Definition 1).
+///
+/// ```
+/// use gdp_topology::builders::classic_ring;
+/// let t = classic_ring(7)?;
+/// assert!(t.is_classic_ring());
+/// # Ok::<(), gdp_topology::TopologyError>(())
+/// ```
+pub fn classic_ring(n: usize) -> Result<Topology> {
+    if n < 2 {
+        return Err(invalid(format!(
+            "classic ring needs at least 2 philosophers, got {n}"
+        )));
+    }
+    let arcs = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32));
+    Topology::from_arcs(n, arcs)
+}
+
+/// A ring of `k` forks in which every pair of adjacent forks is contended by
+/// `sharing` parallel philosophers.
+///
+/// With `sharing == 1` this is the classic ring; with `sharing == 2` and
+/// `k == 3` it is the leftmost system of Figure 1 (6 philosophers, 3 forks),
+/// and with `sharing == 2`, `k == 6` the second system (12 philosophers,
+/// 6 forks).
+///
+/// # Errors
+///
+/// Returns an error if `k < 2` or `sharing == 0`.
+pub fn shared_ring(k: usize, sharing: usize) -> Result<Topology> {
+    if k < 2 {
+        return Err(invalid(format!("shared ring needs at least 2 forks, got {k}")));
+    }
+    if sharing == 0 {
+        return Err(invalid("sharing factor must be at least 1"));
+    }
+    let mut arcs = Vec::with_capacity(k * sharing);
+    for i in 0..k {
+        let left = i as u32;
+        let right = ((i + 1) % k) as u32;
+        for copy in 0..sharing {
+            // Alternate the orientation of parallel philosophers so that the
+            // topology stays symmetric but the left/right labels differ,
+            // mirroring how the paper draws the Figure 1 systems.
+            if copy % 2 == 0 {
+                arcs.push((left, right));
+            } else {
+                arcs.push((right, left));
+            }
+        }
+    }
+    Topology::from_arcs(k, arcs)
+}
+
+/// Figure 1, leftmost system: **6 philosophers, 3 forks** — a triangle of
+/// forks with every edge doubled.
+///
+/// This is the topology on which Section 3 of the paper constructs the
+/// adversary defeating LR1.
+pub fn figure1_triangle() -> Topology {
+    shared_ring(3, 2).expect("triangle-6 parameters are valid")
+}
+
+/// Figure 1, second system: **12 philosophers, 6 forks** — a hexagon of forks
+/// with every edge doubled.
+pub fn figure1_hexagon() -> Topology {
+    shared_ring(6, 2).expect("hexagon-12 parameters are valid")
+}
+
+/// Figure 1, third system: **16 philosophers, 12 forks**.
+///
+/// The figure shows a ring of twelve forks in which the twelve ring
+/// philosophers are augmented by four additional philosophers bridging
+/// opposite-quadrant forks.  We reproduce it as a 12-ring plus four chords
+/// `{0-6, 3-9, 1-7, 4-10}`, which matches the stated counts and keeps the
+/// system vertex- and arc-transitive enough for the experiments that use it
+/// (the *exact* drawing is not load-bearing for any claim in the paper; any
+/// 16-arc/12-fork system with shared forks exhibits the same phenomena).
+pub fn figure1_ring12_chords() -> Topology {
+    let mut arcs: Vec<(u32, u32)> = (0..12).map(|i| (i as u32, ((i + 1) % 12) as u32)).collect();
+    arcs.extend_from_slice(&[(0, 6), (3, 9), (1, 7), (4, 10)]);
+    Topology::from_arcs(12, arcs).expect("ring-12 with 4 chords is valid")
+}
+
+/// Figure 1, rightmost system: **10 philosophers, 9 forks**.
+///
+/// We reproduce it as a ring of nine forks (nine philosophers) plus one
+/// additional philosopher bridging forks 0 and 3, giving one fork of degree 3
+/// — the smallest asymmetric-sharing example of the figure.  As with
+/// [`figure1_ring12_chords`], the precise drawing is not load-bearing; the
+/// counts and the presence of a fork shared by three philosophers are.
+pub fn figure1_ring9_chord() -> Topology {
+    let mut arcs: Vec<(u32, u32)> = (0..9).map(|i| (i as u32, ((i + 1) % 9) as u32)).collect();
+    arcs.push((0, 3));
+    Topology::from_arcs(9, arcs).expect("ring-9 with 1 chord is valid")
+}
+
+/// The full Figure 1 gallery in left-to-right order, with the paper's
+/// philosopher/fork counts.
+///
+/// ```
+/// let gallery = gdp_topology::builders::figure1_gallery();
+/// let counts: Vec<(usize, usize)> = gallery
+///     .iter()
+///     .map(|(_, t)| (t.num_philosophers(), t.num_forks()))
+///     .collect();
+/// assert_eq!(counts, vec![(6, 3), (12, 6), (16, 12), (10, 9)]);
+/// ```
+pub fn figure1_gallery() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("triangle-6/3", figure1_triangle()),
+        ("hexagon-12/6", figure1_hexagon()),
+        ("ring12+4chords-16/12", figure1_ring12_chords()),
+        ("ring9+chord-10/9", figure1_ring9_chord()),
+    ]
+}
+
+/// Where the extra philosopher of [`ring_with_chord`] attaches its far end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChordTarget {
+    /// The far end is another node of the ring, `offset` steps around from
+    /// node 0 (so `offset` must be in `2..ring_size - 1` to avoid creating a
+    /// parallel arc with a ring philosopher — parallel arcs are legal but a
+    /// different shape than Figure 2 draws).
+    RingNode {
+        /// Distance around the ring from node 0 to the far endpoint.
+        offset: usize,
+    },
+    /// The far end is a brand-new fork outside the ring, exactly as drawn in
+    /// Figure 2 (node `g` need not belong to `H`).
+    ExternalFork,
+}
+
+/// The Theorem 1 witness family: a ring `H` of `ring_size` forks (and
+/// `ring_size` philosophers) plus one extra philosopher `P` incident on ring
+/// node 0, so that node 0 has three incident arcs.
+///
+/// Figure 2 of the paper draws `ring_size == 6` and an external far endpoint
+/// `g`; [`ChordTarget::ExternalFork`] reproduces that exactly.  The returned
+/// topology places the extra philosopher **last** (identifier
+/// `ring_size`), and its shared fork is node `0`; the Theorem 1 adversary in
+/// `gdp-adversary` relies on this layout.
+///
+/// # Errors
+///
+/// Returns an error if `ring_size < 3`, or if a `RingNode` offset is not in
+/// `2..ring_size - 1`.
+pub fn ring_with_chord(ring_size: usize, target: ChordTarget) -> Result<Topology> {
+    if ring_size < 3 {
+        return Err(invalid(format!(
+            "ring with chord needs a ring of at least 3 forks, got {ring_size}"
+        )));
+    }
+    let mut arcs: Vec<(u32, u32)> = (0..ring_size)
+        .map(|i| (i as u32, ((i + 1) % ring_size) as u32))
+        .collect();
+    let num_forks;
+    match target {
+        ChordTarget::RingNode { offset } => {
+            if offset < 2 || offset >= ring_size - 1 {
+                return Err(invalid(format!(
+                    "chord offset must be in 2..{} to avoid duplicating a ring arc, got {offset}",
+                    ring_size - 1
+                )));
+            }
+            arcs.push((0, offset as u32));
+            num_forks = ring_size;
+        }
+        ChordTarget::ExternalFork => {
+            arcs.push((0, ring_size as u32));
+            num_forks = ring_size + 1;
+        }
+    }
+    Topology::from_arcs(num_forks, arcs)
+}
+
+/// The exact system drawn in Figure 2: a hexagonal ring plus one philosopher
+/// from ring node 0 to an external fork `g`.
+pub fn figure2_hexagon_with_pendant() -> Topology {
+    ring_with_chord(6, ChordTarget::ExternalFork).expect("figure 2 parameters are valid")
+}
+
+/// The Theorem 2 witness family: a **theta graph**.  Two hub forks are joined
+/// by three internally disjoint paths with `len_a`, `len_b` and `len_c`
+/// philosophers respectively.
+///
+/// Any two of the paths form a ring `H`, and the third is the extra path `P`
+/// required by Theorem 2.  Fork 0 and fork 1 are the hubs; the interior forks
+/// of the paths are numbered consecutively path by path, and the philosophers
+/// are numbered along path A, then path B, then path C.
+///
+/// # Errors
+///
+/// Returns an error if any path length is zero or if all three lengths are 1
+/// (three parallel arcs form a legal multigraph but not the theta graph of
+/// Figure 3; use [`Topology::from_arcs`] directly for that shape).
+pub fn theta_graph(len_a: usize, len_b: usize, len_c: usize) -> Result<Topology> {
+    if len_a == 0 || len_b == 0 || len_c == 0 {
+        return Err(invalid("theta graph paths must each contain at least one philosopher"));
+    }
+    if len_a == 1 && len_b == 1 && len_c == 1 {
+        return Err(invalid(
+            "a theta graph needs at least one path of length >= 2; three parallel arcs requested",
+        ));
+    }
+    let hub_a = 0u32;
+    let hub_b = 1u32;
+    let mut next_fork = 2u32;
+    let mut arcs = Vec::new();
+    for len in [len_a, len_b, len_c] {
+        let mut prev = hub_a;
+        for step in 0..len {
+            let next = if step + 1 == len {
+                hub_b
+            } else {
+                let f = next_fork;
+                next_fork += 1;
+                f
+            };
+            arcs.push((prev, next));
+            prev = next;
+        }
+    }
+    Topology::from_arcs(next_fork as usize, arcs)
+}
+
+/// The system drawn in Figure 3: a hexagonal ring two of whose opposite nodes
+/// are additionally joined by a two-philosopher path (a theta graph with path
+/// lengths 3, 3 and 2: 8 philosophers, 7 forks).
+pub fn figure3_theta() -> Topology {
+    theta_graph(3, 3, 2).expect("figure 3 parameters are valid")
+}
+
+/// A star: one hub fork shared by `spokes` philosophers, each of which also
+/// has a private outer fork.
+///
+/// Stars are acyclic, so both Lehmann–Rabin algorithms *do* work on them; the
+/// test-suite uses them as a contrast class for the Theorem 1/2 preconditions.
+///
+/// # Errors
+///
+/// Returns an error if `spokes == 0`.
+pub fn star(spokes: usize) -> Result<Topology> {
+    if spokes == 0 {
+        return Err(invalid("a star needs at least one spoke"));
+    }
+    let arcs = (0..spokes).map(|i| (0u32, (i + 1) as u32));
+    Topology::from_arcs(spokes + 1, arcs)
+}
+
+/// A path (open chain) of `k` forks with `k - 1` philosophers.
+///
+/// # Errors
+///
+/// Returns an error if `k < 2`.
+pub fn path(k: usize) -> Result<Topology> {
+    if k < 2 {
+        return Err(invalid(format!("a path needs at least 2 forks, got {k}")));
+    }
+    let arcs = (0..k - 1).map(|i| (i as u32, (i + 1) as u32));
+    Topology::from_arcs(k, arcs)
+}
+
+/// The complete conflict graph on `k` forks: one philosopher for every
+/// unordered pair of forks (`k * (k - 1) / 2` philosophers).
+///
+/// This is the densest simple topology and the worst case for the
+/// symmetry-breaking argument in the proof of Theorem 3 (the probability
+/// bound `m!/(mᵏ (m−k)!)` is stated for a complete graph of forks).
+///
+/// # Errors
+///
+/// Returns an error if `k < 2`.
+pub fn complete_conflict(k: usize) -> Result<Topology> {
+    if k < 2 {
+        return Err(invalid(format!(
+            "a complete conflict graph needs at least 2 forks, got {k}"
+        )));
+    }
+    let mut arcs = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            arcs.push((i as u32, j as u32));
+        }
+    }
+    Topology::from_arcs(k, arcs)
+}
+
+/// A uniformly random multigraph with `num_forks` forks and
+/// `num_philosophers` philosophers; each philosopher independently picks an
+/// ordered pair of distinct forks uniformly at random.
+///
+/// The result may be disconnected; use [`random_connected`] when a connected
+/// conflict graph is required.
+///
+/// # Errors
+///
+/// Returns an error if `num_forks < 2` or `num_philosophers == 0`.
+pub fn random_multigraph<R: Rng + ?Sized>(
+    num_forks: usize,
+    num_philosophers: usize,
+    rng: &mut R,
+) -> Result<Topology> {
+    if num_forks < 2 {
+        return Err(invalid(format!(
+            "random multigraph needs at least 2 forks, got {num_forks}"
+        )));
+    }
+    if num_philosophers == 0 {
+        return Err(invalid("random multigraph needs at least 1 philosopher"));
+    }
+    let mut arcs = Vec::with_capacity(num_philosophers);
+    for _ in 0..num_philosophers {
+        let left = rng.gen_range(0..num_forks) as u32;
+        let mut right = rng.gen_range(0..num_forks) as u32;
+        while right == left {
+            right = rng.gen_range(0..num_forks) as u32;
+        }
+        arcs.push((left, right));
+    }
+    Topology::from_arcs(num_forks, arcs)
+}
+
+/// A random *connected* multigraph: a random spanning tree over the forks
+/// (guaranteeing connectivity, `num_forks - 1` philosophers) plus
+/// `extra_philosophers` additional uniformly random arcs.
+///
+/// # Errors
+///
+/// Returns an error if `num_forks < 2`.
+pub fn random_connected<R: Rng + ?Sized>(
+    num_forks: usize,
+    extra_philosophers: usize,
+    rng: &mut R,
+) -> Result<Topology> {
+    if num_forks < 2 {
+        return Err(invalid(format!(
+            "random connected multigraph needs at least 2 forks, got {num_forks}"
+        )));
+    }
+    // Random spanning tree by random attachment order.
+    let mut order: Vec<u32> = (0..num_forks as u32).collect();
+    order.shuffle(rng);
+    let mut arcs = Vec::with_capacity(num_forks - 1 + extra_philosophers);
+    for i in 1..order.len() {
+        let parent = order[rng.gen_range(0..i)];
+        arcs.push((parent, order[i]));
+    }
+    for _ in 0..extra_philosophers {
+        let left = rng.gen_range(0..num_forks) as u32;
+        let mut right = rng.gen_range(0..num_forks) as u32;
+        while right == left {
+            right = rng.gen_range(0..num_forks) as u32;
+        }
+        arcs.push((left, right));
+    }
+    Topology::from_arcs(num_forks, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::ForkId;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn classic_ring_counts() {
+        for n in 2..20 {
+            let t = classic_ring(n).unwrap();
+            assert_eq!(t.num_philosophers(), n);
+            assert_eq!(t.num_forks(), n);
+            assert!(t.is_classic_ring(), "ring of size {n} must be classic");
+        }
+        assert!(classic_ring(0).is_err());
+        assert!(classic_ring(1).is_err());
+    }
+
+    #[test]
+    fn figure1_gallery_matches_paper_counts() {
+        let gallery = figure1_gallery();
+        let counts: Vec<(usize, usize)> = gallery
+            .iter()
+            .map(|(_, t)| (t.num_philosophers(), t.num_forks()))
+            .collect();
+        assert_eq!(counts, vec![(6, 3), (12, 6), (16, 12), (10, 9)]);
+        // Every gallery system is a *generalized* instance: either n != k or
+        // some fork is shared by more than two philosophers.
+        for (name, t) in &gallery {
+            assert!(
+                t.num_philosophers() != t.num_forks() || t.max_fork_sharing() > 2,
+                "{name} should not be a classic instance"
+            );
+            assert!(analysis::is_connected(t), "{name} should be connected");
+        }
+    }
+
+    #[test]
+    fn shared_ring_rejects_bad_parameters() {
+        assert!(shared_ring(1, 2).is_err());
+        assert!(shared_ring(3, 0).is_err());
+    }
+
+    #[test]
+    fn ring_with_chord_layout() {
+        let t = ring_with_chord(6, ChordTarget::ExternalFork).unwrap();
+        assert_eq!(t.num_philosophers(), 7);
+        assert_eq!(t.num_forks(), 7);
+        // Node 0 has three incident arcs: the Theorem 1 precondition.
+        assert_eq!(t.fork_degree(ForkId::new(0)), 3);
+
+        let t = ring_with_chord(6, ChordTarget::RingNode { offset: 3 }).unwrap();
+        assert_eq!(t.num_philosophers(), 7);
+        assert_eq!(t.num_forks(), 6);
+        assert_eq!(t.fork_degree(ForkId::new(0)), 3);
+        assert_eq!(t.fork_degree(ForkId::new(3)), 3);
+
+        assert!(ring_with_chord(2, ChordTarget::ExternalFork).is_err());
+        assert!(ring_with_chord(6, ChordTarget::RingNode { offset: 1 }).is_err());
+        assert!(ring_with_chord(6, ChordTarget::RingNode { offset: 5 }).is_err());
+    }
+
+    #[test]
+    fn theta_graph_counts() {
+        let t = theta_graph(3, 3, 2).unwrap();
+        assert_eq!(t.num_philosophers(), 8);
+        assert_eq!(t.num_forks(), 7);
+        // The hubs have degree 3.
+        assert_eq!(t.fork_degree(ForkId::new(0)), 3);
+        assert_eq!(t.fork_degree(ForkId::new(1)), 3);
+        // Interior forks have degree 2.
+        for f in t.fork_ids().skip(2) {
+            assert_eq!(t.fork_degree(f), 2);
+        }
+        assert!(theta_graph(0, 1, 1).is_err());
+        assert!(theta_graph(1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn figure3_theta_is_the_8_over_7_system() {
+        let t = figure3_theta();
+        assert_eq!(t.num_philosophers(), 8);
+        assert_eq!(t.num_forks(), 7);
+    }
+
+    #[test]
+    fn star_and_path_shapes() {
+        let s = star(5).unwrap();
+        assert_eq!(s.num_philosophers(), 5);
+        assert_eq!(s.num_forks(), 6);
+        assert_eq!(s.max_fork_sharing(), 5);
+        assert!(star(0).is_err());
+
+        let p = path(4).unwrap();
+        assert_eq!(p.num_philosophers(), 3);
+        assert_eq!(p.num_forks(), 4);
+        assert!(path(1).is_err());
+    }
+
+    #[test]
+    fn complete_conflict_counts() {
+        let t = complete_conflict(5).unwrap();
+        assert_eq!(t.num_philosophers(), 10);
+        assert_eq!(t.num_forks(), 5);
+        assert_eq!(t.max_fork_sharing(), 4);
+        assert!(complete_conflict(1).is_err());
+    }
+
+    #[test]
+    fn random_generators_respect_counts_and_validity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = random_multigraph(6, 10, &mut rng).unwrap();
+            assert_eq!(t.num_forks(), 6);
+            assert_eq!(t.num_philosophers(), 10);
+        }
+        for _ in 0..50 {
+            let t = random_connected(8, 5, &mut rng).unwrap();
+            assert_eq!(t.num_forks(), 8);
+            assert_eq!(t.num_philosophers(), 12);
+            assert!(analysis::is_connected(&t));
+        }
+        assert!(random_multigraph(1, 3, &mut rng).is_err());
+        assert!(random_multigraph(4, 0, &mut rng).is_err());
+        assert!(random_connected(1, 0, &mut rng).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_classic_ring_every_fork_shared_by_two(n in 2usize..64) {
+            let t = classic_ring(n).unwrap();
+            prop_assert!(t.fork_ids().all(|f| t.fork_degree(f) == 2));
+        }
+
+        #[test]
+        fn prop_shared_ring_degree_is_twice_sharing(k in 2usize..16, s in 1usize..5) {
+            let t = shared_ring(k, s).unwrap();
+            prop_assert_eq!(t.num_philosophers(), k * s);
+            prop_assert!(t.fork_ids().all(|f| t.fork_degree(f) == 2 * s));
+        }
+
+        #[test]
+        fn prop_theta_counts(a in 1usize..6, b in 2usize..6, c in 1usize..6) {
+            let t = theta_graph(a, b, c).unwrap();
+            prop_assert_eq!(t.num_philosophers(), a + b + c);
+            prop_assert_eq!(t.num_forks(), (a - 1) + (b - 1) + (c - 1) + 2);
+        }
+
+        #[test]
+        fn prop_random_multigraph_arcs_are_valid(seed in 0u64..500, forks in 2usize..12, phils in 1usize..20) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = random_multigraph(forks, phils, &mut rng).unwrap();
+            for p in t.philosopher_ids() {
+                let ends = t.forks_of(p);
+                prop_assert_ne!(ends.left, ends.right);
+            }
+        }
+    }
+}

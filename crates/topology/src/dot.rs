@@ -1,0 +1,106 @@
+//! Graphviz DOT export.
+//!
+//! The paper communicates topologies and adversary strategies through
+//! drawings (Figures 1–3).  [`to_dot`] renders a [`Topology`] in the same
+//! convention — forks as nodes, philosophers as labelled edges — so that a
+//! reproduction run can be inspected visually with `dot -Tpng`.
+
+use crate::Topology;
+use std::fmt::Write as _;
+
+/// Options controlling the DOT rendering.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name used in the `graph <name> { ... }` header.
+    pub name: String,
+    /// Whether to label each edge with its philosopher identifier.
+    pub label_philosophers: bool,
+    /// Whether to label each node with its fork identifier.
+    pub label_forks: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "gdp".to_string(),
+            label_philosophers: true,
+            label_forks: true,
+        }
+    }
+}
+
+/// Renders `topology` as an undirected Graphviz graph.
+///
+/// ```
+/// use gdp_topology::{builders, dot};
+/// let t = builders::classic_ring(3).unwrap();
+/// let rendered = dot::to_dot(&t, &dot::DotOptions::default());
+/// assert!(rendered.starts_with("graph gdp {"));
+/// assert!(rendered.contains("f0 -- f1"));
+/// ```
+#[must_use]
+pub fn to_dot(topology: &Topology, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", options.name);
+    let _ = writeln!(out, "  node [shape=circle, fixedsize=true, width=0.4];");
+    for fork in topology.fork_ids() {
+        if options.label_forks {
+            let _ = writeln!(out, "  {fork} [label=\"{fork}\"];");
+        } else {
+            let _ = writeln!(out, "  {fork} [label=\"\"];");
+        }
+    }
+    for (philosopher, left, right) in topology.arcs() {
+        if options.label_philosophers {
+            let _ = writeln!(out, "  {left} -- {right} [label=\"{philosopher}\"];");
+        } else {
+            let _ = writeln!(out, "  {left} -- {right};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{figure1_triangle, figure3_theta};
+
+    #[test]
+    fn dot_output_contains_every_fork_and_philosopher() {
+        let t = figure1_triangle();
+        let rendered = to_dot(&t, &DotOptions::default());
+        for f in t.fork_ids() {
+            assert!(rendered.contains(&format!("{f} [label=")));
+        }
+        for p in t.philosopher_ids() {
+            assert!(rendered.contains(&format!("label=\"{p}\"")));
+        }
+        // Undirected graph syntax.
+        assert!(rendered.contains("--"));
+        assert!(!rendered.contains("->"));
+    }
+
+    #[test]
+    fn dot_output_respects_label_options() {
+        let t = figure3_theta();
+        let rendered = to_dot(
+            &t,
+            &DotOptions {
+                name: "fig3".to_string(),
+                label_philosophers: false,
+                label_forks: false,
+            },
+        );
+        assert!(rendered.starts_with("graph fig3 {"));
+        assert!(!rendered.contains("label=\"P"));
+    }
+
+    #[test]
+    fn dot_edge_count_matches_philosopher_count() {
+        let t = figure3_theta();
+        let rendered = to_dot(&t, &DotOptions::default());
+        let edges = rendered.matches("--").count();
+        assert_eq!(edges, t.num_philosophers());
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for topology construction and validation.
+
+use crate::{ForkId, PhilosopherId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`Topology`](crate::Topology).
+///
+/// Every variant corresponds to a violation of Definition 1 of the paper or
+/// to a reference to a nonexistent component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The system must contain at least two forks (`k >= 2`).
+    TooFewForks {
+        /// Number of forks that were actually declared.
+        found: usize,
+    },
+    /// The system must contain at least one philosopher (`n >= 1`).
+    NoPhilosophers,
+    /// A philosopher was declared with `left == right`; Definition 1 requires
+    /// each philosopher to be connected to two *distinct* forks.
+    DegenerateArc {
+        /// The philosopher whose two endpoints coincide.
+        philosopher: PhilosopherId,
+        /// The fork used for both endpoints.
+        fork: ForkId,
+    },
+    /// A philosopher refers to a fork that was never declared.
+    UnknownFork {
+        /// The philosopher holding the dangling reference.
+        philosopher: PhilosopherId,
+        /// The missing fork.
+        fork: ForkId,
+    },
+    /// A parameter of a topology generator was out of its documented range.
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooFewForks { found } => {
+                write!(f, "a system needs at least 2 forks, found {found}")
+            }
+            TopologyError::NoPhilosophers => {
+                write!(f, "a system needs at least 1 philosopher")
+            }
+            TopologyError::DegenerateArc { philosopher, fork } => write!(
+                f,
+                "philosopher {philosopher} uses fork {fork} for both left and right; \
+                 a philosopher must connect two distinct forks"
+            ),
+            TopologyError::UnknownFork { philosopher, fork } => write!(
+                f,
+                "philosopher {philosopher} refers to undeclared fork {fork}"
+            ),
+            TopologyError::InvalidParameter { message } => {
+                write!(f, "invalid topology parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors: Vec<TopologyError> = vec![
+            TopologyError::TooFewForks { found: 1 },
+            TopologyError::NoPhilosophers,
+            TopologyError::DegenerateArc {
+                philosopher: PhilosopherId::new(2),
+                fork: ForkId::new(5),
+            },
+            TopologyError::UnknownFork {
+                philosopher: PhilosopherId::new(0),
+                fork: ForkId::new(9),
+            },
+            TopologyError::InvalidParameter {
+                message: "ring size must be at least 3".to_string(),
+            },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

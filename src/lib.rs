@@ -1,0 +1,30 @@
+//! # gdp — generalized dining philosophers
+//!
+//! A reproduction of Herescu & Palamidessi, *On the generalized dining
+//! philosophers problem* (PODC 2001): randomized, symmetric, fully
+//! distributed resource allocation on arbitrary conflict topologies.
+//!
+//! This umbrella crate re-exports the whole workspace through
+//! [`gdp_core`]'s prelude.  See `README.md` for a tour, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the reproduced results.
+//!
+//! ```
+//! use gdp::prelude::*;
+//!
+//! // GDP2 on the paper's Figure 3 theta graph: everyone eventually eats.
+//! let mut engine = Engine::new(builders::figure3_theta(), Gdp2::new(), SimConfig::default());
+//! let outcome = engine.run(
+//!     &mut UniformRandomAdversary::new(7),
+//!     StopCondition::EveryoneEats { times: 1, max_steps: 500_000 },
+//! );
+//! assert!(outcome.everyone_ate());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use gdp_core::*;
+
+/// Re-export of the full prelude (see [`gdp_core::prelude`]).
+pub mod prelude {
+    pub use gdp_core::prelude::*;
+}

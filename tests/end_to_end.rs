@@ -1,0 +1,125 @@
+//! End-to-end integration tests across the simulation, runtime and
+//! guarded-choice layers.
+
+use gdp::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The simulated GDP2 and the threaded GDP2 runtime agree on the essentials:
+/// on the same topology both are lockout-free and produce roughly balanced
+/// meal counts.
+#[test]
+fn simulation_and_runtime_agree_on_lockout_freedom() {
+    let topology = builders::figure1_ring9_chord();
+
+    // Simulated.
+    let mut engine = Engine::new(
+        topology.clone(),
+        Gdp2::new(),
+        SimConfig::default().with_seed(3),
+    );
+    let outcome = engine.run(
+        &mut UniformRandomAdversary::new(11),
+        StopCondition::EveryoneEats {
+            times: 2,
+            max_steps: 2_000_000,
+        },
+    );
+    assert!(outcome.reason.target_reached(), "simulated GDP2 must feed everyone twice");
+
+    // Threaded.
+    let report = run_for_meals(topology, 25, || {});
+    assert!(report.everyone_ate());
+    assert_eq!(report.total_meals(), 25 * 10);
+}
+
+/// The experiment facade, the analysis estimators and the algorithms crate
+/// compose: a full sweep over algorithms on the classic ring where all four
+/// are correct (experiment E7's sanity backbone).
+#[test]
+fn all_algorithms_work_on_the_classic_ring() {
+    for kind in AlgorithmKind::all() {
+        let report = Experiment::new(TopologySpec::ClassicRing(6), kind)
+            .with_trials(4)
+            .with_max_steps(150_000)
+            .with_base_seed(17)
+            .run();
+        assert_eq!(
+            report.progress.progress_fraction, 1.0,
+            "{kind} must make progress on the classic ring"
+        );
+        assert!(
+            report.representative.total_meals > 0,
+            "{kind} must complete meals on the classic ring"
+        );
+    }
+}
+
+/// Guarded choice on top of the runtime: a mixed-choice conflict whose
+/// resolution requires the generalized topology (a fork shared by more than
+/// two philosophers), checked for mutual exclusion of commitments.
+#[test]
+fn guarded_choice_commits_are_exclusive_and_productive() {
+    let executed = AtomicU64::new(0);
+    for seed in 0..5u64 {
+        let mut round = ChoiceRound::new();
+        let hub = round.add_process(vec![Guard::recv(ChannelId::new(0))]);
+        for v in 0..4 {
+            round.add_process(vec![Guard::send(ChannelId::new(0), v + seed)]);
+        }
+        let outcome = round.resolve();
+        assert!(outcome.is_conflict_free());
+        assert_eq!(outcome.synchronizations().len(), 1);
+        assert!(outcome.committed_partner(hub).is_some());
+        executed.fetch_add(1, Ordering::Relaxed);
+    }
+    assert_eq!(executed.load(Ordering::Relaxed), 5);
+}
+
+/// Deterministic replay through the whole stack: the same experiment run
+/// twice yields identical reports (a requirement for EXPERIMENTS.md).
+#[test]
+fn experiments_replay_deterministically() {
+    let build = || {
+        Experiment::new(TopologySpec::Figure3Theta, AlgorithmKind::Gdp1)
+            .with_scheduler(SchedulerSpec::BlockingGlobal)
+            .with_trials(3)
+            .with_max_steps(30_000)
+            .with_base_seed(23)
+            .run()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b);
+}
+
+/// Traces recorded through the facade satisfy the safety invariants the
+/// algorithms promise (no fork held by two philosophers, eating implies
+/// holding both forks).
+#[test]
+fn recorded_traces_respect_safety_invariants() {
+    let topology = builders::figure3_theta();
+    let mut engine = Engine::new(
+        topology.clone(),
+        Lr2::new(),
+        SimConfig::default().with_seed(9).with_trace(true),
+    );
+    let mut adversary = UniformRandomAdversary::new(21);
+    for _ in 0..20_000 {
+        engine.step_with(&mut adversary);
+        engine.with_view(|view| {
+            for fork in view.topology().fork_ids() {
+                if let Some(holder) = view.holder_of(fork) {
+                    assert!(view.topology().forks_of(holder).contains(fork));
+                }
+            }
+            for p in view.philosophers() {
+                if p.phase == Phase::Eating {
+                    assert_eq!(p.holding.len(), 2);
+                }
+            }
+        });
+    }
+    let trace = engine.trace().expect("tracing was enabled");
+    assert_eq!(trace.len(), 20_000);
+    assert!(trace.bounded_fairness().is_some());
+}
