@@ -117,7 +117,7 @@ impl BlockingPolicy {
     }
 
     fn is_target(&self, p: PhilosopherId) -> bool {
-        self.targets.as_ref().map_or(true, |set| set.contains(&p))
+        self.targets.as_ref().is_none_or(|set| set.contains(&p))
     }
 
     /// The starved set, or `None` when the policy targets everyone.
@@ -166,18 +166,15 @@ fn least_scheduled(view: &SystemView<'_>, candidates: &[PhilosopherId]) -> Optio
 /// committed to it.  Philosophers parked on a different fork cannot cover —
 /// under LR1/LR2 they only re-draw after a failed *second* take.
 fn coverable(view: &SystemView<'_>, fork: ForkId, exclude: PhilosopherId) -> bool {
-    view.topology()
-        .philosophers_at(fork)
-        .iter()
-        .any(|&q| {
-            if q == exclude {
-                return false;
-            }
-            let qv = view.philosopher(q);
-            qv.phase != Phase::Eating
-                && qv.holding.is_empty()
-                && (qv.committed.is_none() || qv.committed == Some(fork))
-        })
+    view.topology().philosophers_at(fork).iter().any(|&q| {
+        if q == exclude {
+            return false;
+        }
+        let qv = view.philosopher(q);
+        qv.phase != Phase::Eating
+            && qv.holding.is_empty()
+            && (qv.committed.is_none() || qv.committed == Some(fork))
+    })
 }
 
 /// A *standby* for fork `fork` is a philosopher holding nothing that is
@@ -398,7 +395,10 @@ impl SchedulingPolicy for BlockingPolicy {
                 overdue.push((age, id));
             }
         }
-        if let Some(&(_, p)) = overdue.iter().max_by_key(|&&(age, id)| (age, std::cmp::Reverse(id))) {
+        if let Some(&(_, p)) = overdue
+            .iter()
+            .max_by_key(|&&(age, id)| (age, std::cmp::Reverse(id)))
+        {
             return self.record(p);
         }
 
@@ -585,8 +585,7 @@ mod tests {
         // Section 3 example: the paper proves its scheduler induces a
         // no-progress computation with probability >= 1/4; ours clears that
         // bound comfortably on a 40k-step window.
-        let fraction =
-            no_progress_fraction(&figure1_triangle(), Lr1::new(), global_patient, 20);
+        let fraction = no_progress_fraction(&figure1_triangle(), Lr1::new(), global_patient, 20);
         assert!(
             fraction >= 0.75,
             "blocking adversary defeated LR1 on the triangle in only {fraction} of trials"
@@ -674,7 +673,10 @@ mod tests {
                 "seed {seed}: too many meals ({}) slipped through the blocker",
                 outcome.total_meals
             );
-            assert!(adversary.overrides() > 0, "growing schedule must have forced overrides");
+            assert!(
+                adversary.overrides() > 0,
+                "growing schedule must have forced overrides"
+            );
         }
     }
 
@@ -694,10 +696,8 @@ mod tests {
                 Lr1::new(),
                 SimConfig::default().with_seed(seed),
             );
-            let mut adversary = BlockingAdversary::with_schedule(
-                BlockingPolicy::starving(ring.clone()),
-                patient(),
-            );
+            let mut adversary =
+                BlockingAdversary::with_schedule(BlockingPolicy::starving(ring.clone()), patient());
             let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(WINDOW));
             let ring_meals: u64 = ring
                 .iter()
@@ -751,8 +751,7 @@ mod tests {
         // even for LR1 on the triangle and on the classic ring: the negative
         // results fundamentally rely on the scheduler's freedom to defer.
         for topology in [figure1_triangle(), classic_ring(6).unwrap()] {
-            let mut engine =
-                Engine::new(topology, Lr1::new(), SimConfig::default().with_seed(1));
+            let mut engine = Engine::new(topology, Lr1::new(), SimConfig::default().with_seed(1));
             let mut adversary = BlockingAdversary::with_schedule(
                 BlockingPolicy::global(),
                 StubbornnessSchedule::constant(64),
@@ -793,6 +792,3 @@ mod tests {
         assert_eq!(global.overrides(), 0);
     }
 }
-
-
-

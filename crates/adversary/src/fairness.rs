@@ -14,14 +14,13 @@
 
 use gdp_sim::SystemView;
 use gdp_topology::PhilosopherId;
-use serde::{Deserialize, Serialize};
 
 /// How the stubbornness bound grows from round to round.
 ///
 /// A *round* here is "one forced override": every time the guard has to
 /// override the policy to rescue an overdue philosopher, the bound for the
 /// next round is enlarged, mirroring the `n_k` sequence of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StubbornnessSchedule {
     /// Bound on deferral (in scheduler steps) during the first round.
     pub initial: u64,

@@ -228,23 +228,18 @@ impl TriangleWaveAdversary {
         ];
         for [x, y, z] in orientations {
             let committed_to = |fork: ForkId, other: ForkId| -> Option<PhilosopherId> {
-                self.phils_of_edge(fork, other)
-                    .iter()
-                    .copied()
-                    .find(|&p| {
-                        let pv = view.philosopher(p);
-                        pv.holding.is_empty() && pv.committed == Some(fork)
-                    })
+                self.phils_of_edge(fork, other).iter().copied().find(|&p| {
+                    let pv = view.philosopher(p);
+                    pv.holding.is_empty() && pv.committed == Some(fork)
+                })
             };
             // Interpret the cycle x→y→z→x as: holder committed to g = x with
             // other fork b = y; next_b committed to b = y with other fork
             // a = z; next_a committed to a = z with other fork g = x.
             let (g, b, a) = (x, y, z);
-            let (Some(holder), Some(next_b), Some(next_a)) = (
-                committed_to(g, b),
-                committed_to(b, a),
-                committed_to(a, g),
-            ) else {
+            let (Some(holder), Some(next_b), Some(next_a)) =
+                (committed_to(g, b), committed_to(b, a), committed_to(a, g))
+            else {
                 continue;
             };
             let sp_h = self.other_on_edge(holder, g, b);
@@ -278,9 +273,11 @@ impl TriangleWaveAdversary {
         // Phase 1: get everyone hungry and committed (each philosopher needs
         // a couple of schedulings: become hungry, possibly register (LR2),
         // then draw).
-        if let Some(p) = view.philosophers().iter().find(|p| {
-            p.phase != Phase::Eating && p.holding.is_empty() && p.committed.is_none()
-        }) {
+        if let Some(p) = view
+            .philosophers()
+            .iter()
+            .find(|p| p.phase != Phase::Eating && p.holding.is_empty() && p.committed.is_none())
+        {
             self.attempts += 1;
             if self.attempts > 8 * view.num_philosophers() as u64 {
                 return self.concede(view);
@@ -446,7 +443,11 @@ mod tests {
 
     fn run_one<P: Program>(program: P, seed: u64) -> (bool, bool, u64) {
         let topology = figure1_triangle();
-        let mut engine = Engine::new(topology.clone(), program, SimConfig::default().with_seed(seed));
+        let mut engine = Engine::new(
+            topology.clone(),
+            program,
+            SimConfig::default().with_seed(seed),
+        );
         let mut adversary = TriangleWaveAdversary::new(&topology).unwrap();
         let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(WINDOW));
         (
@@ -475,7 +476,10 @@ mod tests {
             if !progressed {
                 blocked += 1;
                 assert!(!conceded, "a blocked run should not have conceded");
-                assert!(rounds > 100, "the wave should cycle many times (got {rounds})");
+                assert!(
+                    rounds > 100,
+                    "the wave should cycle many times (got {rounds})"
+                );
             }
         }
         let fraction = blocked as f64 / TRIALS as f64;

@@ -237,7 +237,9 @@ impl Program for AlternatingColor {
 mod tests {
     use super::*;
     use gdp_sim::{Engine, RoundRobinAdversary, SimConfig, StopCondition, UniformRandomAdversary};
-    use gdp_topology::builders::{classic_ring, complete_conflict, figure1_triangle, figure3_theta};
+    use gdp_topology::builders::{
+        classic_ring, complete_conflict, figure1_triangle, figure3_theta,
+    };
     use gdp_topology::Topology;
 
     #[test]
@@ -250,7 +252,11 @@ mod tests {
             complete_conflict(5).unwrap(),
         ];
         for (i, t) in topologies.into_iter().enumerate() {
-            let mut e = Engine::new(t, OrderedForks::new(), SimConfig::default().with_seed(i as u64));
+            let mut e = Engine::new(
+                t,
+                OrderedForks::new(),
+                SimConfig::default().with_seed(i as u64),
+            );
             let outcome = e.run(
                 &mut UniformRandomAdversary::new(i as u64),
                 StopCondition::EveryoneEats {
@@ -392,7 +398,10 @@ mod tests {
         assert_eq!(obs.committed, Some(ForkId::new(2)), "lower fork first");
         let obs = program.observation(&BaselineState::TakeSecond, ends);
         assert_eq!(obs.committed, Some(ForkId::new(7)));
-        assert_eq!(program.observation(&BaselineState::Eating, ends).phase, Phase::Eating);
+        assert_eq!(
+            program.observation(&BaselineState::Eating, ends).phase,
+            Phase::Eating
+        );
         assert_eq!(program.name(), "ordered-forks");
         assert_eq!(AlternatingColor::new().name(), "alternating-color");
     }

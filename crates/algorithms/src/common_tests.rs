@@ -7,15 +7,19 @@
 
 use crate::{AlgorithmKind, AnyProgram};
 use gdp_sim::{Engine, Phase, SimConfig, StopCondition, UniformRandomAdversary};
-use gdp_topology::builders::{
-    classic_ring, figure1_triangle, figure3_theta, random_connected,
-};
+use gdp_topology::builders::{classic_ring, figure1_triangle, figure3_theta, random_connected};
 use gdp_topology::Topology;
-use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn check_safety_invariants(engine: &Engine<AnyProgram>) {
+    // The persistent incremental view buffer must agree with views rebuilt
+    // from scratch at every observation point, for every algorithm.
+    assert_eq!(
+        engine.views(),
+        engine.rebuilt_views().as_slice(),
+        "incremental view buffer diverged from the from-scratch rebuild"
+    );
     engine.with_view(|view| {
         let topology = view.topology();
         for fork in topology.fork_ids() {
@@ -168,24 +172,31 @@ fn gdp_algorithms_progress_on_random_connected_multigraphs() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// Property-style sweeps over seeded parameter grids (the offline replacement
+// for the former proptest strategies; 24 cases each, like the old config).
 
-    #[test]
-    fn prop_no_safety_violation_on_random_topologies(
-        seed in 0u64..10_000,
-        forks in 3usize..8,
-        extra in 0usize..6,
-        kind_idx in 0usize..5,
-    ) {
+#[test]
+fn prop_no_safety_violation_on_random_topologies() {
+    use rand::Rng;
+    let mut param_rng = ChaCha8Rng::seed_from_u64(0x5AFE_5AFE);
+    for case in 0..24u64 {
+        let seed = param_rng.gen_range(0u64..10_000);
+        let forks = param_rng.gen_range(3usize..8);
+        let extra = param_rng.gen_range(0usize..6);
+        let kind = AlgorithmKind::all()[case as usize % 5];
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let topology = random_connected(forks, extra, &mut rng).unwrap();
-        let kind = AlgorithmKind::all()[kind_idx];
         run_with_invariants(kind, topology, seed, 4_000);
     }
+}
 
-    #[test]
-    fn prop_gdp1_reaches_a_meal_on_small_rings(seed in 0u64..200, n in 3usize..8) {
+#[test]
+fn prop_gdp1_reaches_a_meal_on_small_rings() {
+    use rand::Rng;
+    let mut param_rng = ChaCha8Rng::seed_from_u64(0x0123_4567);
+    for _ in 0..24 {
+        let seed = param_rng.gen_range(0u64..200);
+        let n = param_rng.gen_range(3usize..8);
         let mut engine = Engine::new(
             classic_ring(n).unwrap(),
             AlgorithmKind::Gdp1.program(),
@@ -195,6 +206,6 @@ proptest! {
             &mut UniformRandomAdversary::new(seed + 5),
             StopCondition::FirstMeal { max_steps: 100_000 },
         );
-        prop_assert!(outcome.made_progress());
+        assert!(outcome.made_progress(), "seed {seed}, ring {n}");
     }
 }

@@ -202,9 +202,7 @@ impl Program for Gdp1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdp_sim::{
-        Engine, RoundRobinAdversary, SimConfig, StopCondition, UniformRandomAdversary,
-    };
+    use gdp_sim::{Engine, RoundRobinAdversary, SimConfig, StopCondition, UniformRandomAdversary};
     use gdp_topology::builders::{
         classic_ring, complete_conflict, figure1_gallery, figure3_theta, ring_with_chord,
         ChordTarget,
@@ -342,7 +340,10 @@ mod tests {
             Some(ForkId::new(0))
         );
         assert_eq!(committed_fork(&Gdp1State::Thinking, ends), None);
-        assert_eq!(program.observation(&Gdp1State::Choose, ends).label, "GDP1.2");
+        assert_eq!(
+            program.observation(&Gdp1State::Choose, ends).label,
+            "GDP1.2"
+        );
         assert_eq!(
             program
                 .observation(&Gdp1State::Eating { first: Side::Left }, ends)
@@ -406,8 +407,14 @@ mod tests {
             Gdp1::new(),
             SimConfig::default().with_seed(21).with_trace(true),
         );
-        a.run(&mut UniformRandomAdversary::new(4), StopCondition::MaxSteps(5_000));
-        b.run(&mut UniformRandomAdversary::new(4), StopCondition::MaxSteps(5_000));
+        a.run(
+            &mut UniformRandomAdversary::new(4),
+            StopCondition::MaxSteps(5_000),
+        );
+        b.run(
+            &mut UniformRandomAdversary::new(4),
+            StopCondition::MaxSteps(5_000),
+        );
         assert_eq!(a.trace(), b.trace());
     }
 }

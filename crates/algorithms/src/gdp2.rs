@@ -206,9 +206,7 @@ impl Program for Gdp2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdp_sim::{
-        Engine, RoundRobinAdversary, SimConfig, StopCondition, UniformRandomAdversary,
-    };
+    use gdp_sim::{Engine, RoundRobinAdversary, SimConfig, StopCondition, UniformRandomAdversary};
     use gdp_topology::builders::{classic_ring, figure1_gallery, figure3_theta};
     use gdp_topology::Topology;
 
@@ -329,9 +327,18 @@ mod tests {
     fn observation_labels_and_commitments() {
         let program = Gdp2::new();
         let ends = ForkEnds::new(ForkId::new(1), ForkId::new(4));
-        assert_eq!(program.observation(&Gdp2State::Thinking, ends).label, "GDP2.1");
-        assert_eq!(program.observation(&Gdp2State::Register, ends).label, "GDP2.2");
-        assert_eq!(program.observation(&Gdp2State::Choose, ends).label, "GDP2.3");
+        assert_eq!(
+            program.observation(&Gdp2State::Thinking, ends).label,
+            "GDP2.1"
+        );
+        assert_eq!(
+            program.observation(&Gdp2State::Register, ends).label,
+            "GDP2.2"
+        );
+        assert_eq!(
+            program.observation(&Gdp2State::Choose, ends).label,
+            "GDP2.3"
+        );
         let obs = program.observation(&Gdp2State::TakeFirst { first: Side::Left }, ends);
         assert_eq!(obs.committed, Some(ForkId::new(1)));
         let obs = program.observation(&Gdp2State::Relabel { first: Side::Left }, ends);
@@ -355,8 +362,14 @@ mod tests {
             Gdp2::new(),
             SimConfig::default().with_seed(77).with_trace(true),
         );
-        a.run(&mut UniformRandomAdversary::new(1), StopCondition::MaxSteps(5_000));
-        b.run(&mut UniformRandomAdversary::new(1), StopCondition::MaxSteps(5_000));
+        a.run(
+            &mut UniformRandomAdversary::new(1),
+            StopCondition::MaxSteps(5_000),
+        );
+        b.run(
+            &mut UniformRandomAdversary::new(1),
+            StopCondition::MaxSteps(5_000),
+        );
         assert_eq!(a.trace(), b.trace());
     }
 }

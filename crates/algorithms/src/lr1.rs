@@ -278,7 +278,11 @@ mod tests {
             e.with_view(|view| {
                 for p in view.philosophers() {
                     if p.phase == Phase::Eating {
-                        assert_eq!(p.holding.len(), 2, "eating philosopher must hold both forks");
+                        assert_eq!(
+                            p.holding.len(),
+                            2,
+                            "eating philosopher must hold both forks"
+                        );
                     }
                 }
             });
@@ -326,7 +330,7 @@ mod tests {
         // when fork 1 is taken by P0, P1's second take fails and releases.
         e.step_philosopher(p0); // become hungry
         e.step_philosopher(p0); // draw (fork0, biased) -> commits
-        // P0 cannot take fork 0 (held by P1): busy-wait, nothing held.
+                                // P0 cannot take fork 0 (held by P1): busy-wait, nothing held.
         let r = e.step_philosopher(p0);
         assert_eq!(
             r.action,
@@ -371,7 +375,10 @@ mod tests {
     fn observation_labels_follow_the_table() {
         let program = Lr1::new();
         let ends = ForkEnds::new(ForkId::new(0), ForkId::new(1));
-        assert_eq!(program.observation(&Lr1State::Thinking, ends).label, "LR1.1");
+        assert_eq!(
+            program.observation(&Lr1State::Thinking, ends).label,
+            "LR1.1"
+        );
         assert_eq!(program.observation(&Lr1State::Draw, ends).label, "LR1.2");
         let obs = program.observation(&Lr1State::TakeFirst { first: Side::Left }, ends);
         assert_eq!(obs.label, "LR1.3");
@@ -393,8 +400,14 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = engine(5, 77);
         let mut b = engine(5, 77);
-        a.run(&mut UniformRandomAdversary::new(5), StopCondition::MaxSteps(5_000));
-        b.run(&mut UniformRandomAdversary::new(5), StopCondition::MaxSteps(5_000));
+        a.run(
+            &mut UniformRandomAdversary::new(5),
+            StopCondition::MaxSteps(5_000),
+        );
+        b.run(
+            &mut UniformRandomAdversary::new(5),
+            StopCondition::MaxSteps(5_000),
+        );
         assert_eq!(a.trace(), b.trace());
     }
 }

@@ -283,7 +283,7 @@ mod tests {
         // P1 becomes hungry and registers (so it is in the request lists).
         e.step_philosopher(p1); // think -> register state
         e.step_philosopher(p1); // register
-        // P0 eats once.
+                                // P0 eats once.
         e.step_philosopher(p0); // hungry
         e.step_philosopher(p0); // register
         e.step_philosopher(p0); // draw
@@ -291,8 +291,8 @@ mod tests {
         e.step_philosopher(p0); // take second -> eating
         assert_eq!(e.phase_of(p0), Phase::Eating);
         e.step_philosopher(p0); // finish eating, sign guest books
-        // P0 becomes hungry again and tries to take a fork: courtesy must fail
-        // because P1 is requesting and has not eaten since.
+                                // P0 becomes hungry again and tries to take a fork: courtesy must fail
+                                // because P1 is requesting and has not eaten since.
         e.step_philosopher(p0); // hungry
         e.step_philosopher(p0); // register
         e.step_philosopher(p0); // draw
@@ -323,8 +323,14 @@ mod tests {
     fn observation_labels_and_commitments() {
         let program = Lr2::new();
         let ends = ForkEnds::new(ForkId::new(2), ForkId::new(9));
-        assert_eq!(program.observation(&Lr2State::Thinking, ends).label, "LR2.1");
-        assert_eq!(program.observation(&Lr2State::Register, ends).label, "LR2.2");
+        assert_eq!(
+            program.observation(&Lr2State::Thinking, ends).label,
+            "LR2.1"
+        );
+        assert_eq!(
+            program.observation(&Lr2State::Register, ends).label,
+            "LR2.2"
+        );
         assert_eq!(program.observation(&Lr2State::Draw, ends).label, "LR2.3");
         let obs = program.observation(&Lr2State::TakeFirst { first: Side::Right }, ends);
         assert_eq!(obs.committed, Some(ForkId::new(9)));
@@ -341,8 +347,14 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = engine(5, 123);
         let mut b = engine(5, 123);
-        a.run(&mut UniformRandomAdversary::new(9), StopCondition::MaxSteps(5_000));
-        b.run(&mut UniformRandomAdversary::new(9), StopCondition::MaxSteps(5_000));
+        a.run(
+            &mut UniformRandomAdversary::new(9),
+            StopCondition::MaxSteps(5_000),
+        );
+        b.run(
+            &mut UniformRandomAdversary::new(9),
+            StopCondition::MaxSteps(5_000),
+        );
         assert_eq!(a.trace(), b.trace());
     }
 }

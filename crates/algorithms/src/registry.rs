@@ -11,12 +11,11 @@ use crate::baselines::{BaselineState, OrderedForks};
 use crate::{Gdp1, Gdp1State, Gdp2, Gdp2State, Lr1, Lr1State, Lr2, Lr2State};
 use gdp_sim::{Action, Program, ProgramObservation, StepCtx};
 use gdp_topology::ForkEnds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// The algorithms available for run-time selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// Lehmann & Rabin's first algorithm (Table 1).
     Lr1,
@@ -252,7 +251,10 @@ mod tests {
     #[test]
     fn parsing_is_case_insensitive_and_rejects_unknown() {
         assert_eq!("lr1".parse::<AlgorithmKind>().unwrap(), AlgorithmKind::Lr1);
-        assert_eq!("GDP2".parse::<AlgorithmKind>().unwrap(), AlgorithmKind::Gdp2);
+        assert_eq!(
+            "GDP2".parse::<AlgorithmKind>().unwrap(),
+            AlgorithmKind::Gdp2
+        );
         assert_eq!(
             "hierarchical".parse::<AlgorithmKind>().unwrap(),
             AlgorithmKind::OrderedForks
@@ -269,8 +271,14 @@ mod tests {
         let config = SimConfig::default().with_seed(9).with_trace(true);
         let mut direct = Engine::new(t.clone(), crate::Gdp1::new(), config.clone());
         let mut dispatched = Engine::new(t, AlgorithmKind::Gdp1.program(), config);
-        direct.run(&mut UniformRandomAdversary::new(2), StopCondition::MaxSteps(3_000));
-        dispatched.run(&mut UniformRandomAdversary::new(2), StopCondition::MaxSteps(3_000));
+        direct.run(
+            &mut UniformRandomAdversary::new(2),
+            StopCondition::MaxSteps(3_000),
+        );
+        dispatched.run(
+            &mut UniformRandomAdversary::new(2),
+            StopCondition::MaxSteps(3_000),
+        );
         assert_eq!(direct.trace(), dispatched.trace());
         assert_eq!(direct.total_meals(), dispatched.total_meals());
     }
@@ -287,7 +295,10 @@ mod tests {
                 &mut UniformRandomAdversary::new(kind as u64),
                 StopCondition::FirstMeal { max_steps: 200_000 },
             );
-            assert!(outcome.made_progress(), "{kind} should progress on the classic ring");
+            assert!(
+                outcome.made_progress(),
+                "{kind} should progress on the classic ring"
+            );
             assert_eq!(e.program().kind(), kind);
             assert_eq!(e.program().name(), kind.name());
         }

@@ -2,10 +2,9 @@
 
 use crate::stats;
 use gdp_sim::RunOutcome;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a single finished run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// Steps executed.
     pub steps: u64,
@@ -51,9 +50,19 @@ impl RunMetrics {
             everyone_ate: outcome.everyone_ate(),
             starved_count: outcome.starved().len(),
             meal_fairness: stats::jain_index(&meals),
-            meals_min: outcome.meals_per_philosopher.iter().copied().min().unwrap_or(0),
+            meals_min: outcome
+                .meals_per_philosopher
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(0),
             meals_mean: stats::mean(&meals),
-            meals_max: outcome.meals_per_philosopher.iter().copied().max().unwrap_or(0),
+            meals_max: outcome
+                .meals_per_philosopher
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
             fairness_bound: outcome.fairness_bound,
         }
     }
@@ -78,7 +87,7 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdp_sim::{StopReason, RunOutcome};
+    use gdp_sim::{RunOutcome, StopReason};
 
     fn outcome() -> RunOutcome {
         RunOutcome {

@@ -14,14 +14,25 @@
 //! The estimators are generic in the program and the adversary, so the same
 //! harness measures LR1/LR2 under the paper's defeating schedulers and
 //! GDP1/GDP2 under every scheduler (experiments E2–E6, E9).
+//!
+//! ## Parallelism and determinism
+//!
+//! Trials are embarrassingly parallel: trial `i` runs on seed
+//! `base_seed + i` with a fresh engine and a fresh adversary, so batches are
+//! fanned out over a scoped thread pool ([`TrialConfig::threads`]; the
+//! default uses every available core).  Each trial reduces to a small
+//! fixed-size per-trial summary — no traces are retained — and the final
+//! aggregation folds those summaries **in trial order** on one thread.
+//! Because the per-trial work is seed-deterministic and the fold order is
+//! fixed, the resulting estimates are bitwise-identical to a serial run
+//! regardless of the thread count (test-enforced below).
 
 use crate::stats;
 use gdp_sim::{Adversary, Engine, Program, SimConfig, StopCondition};
 use gdp_topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a batch of independent trials.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrialConfig {
     /// Number of independent trials.
     pub trials: u64,
@@ -29,19 +40,25 @@ pub struct TrialConfig {
     pub max_steps: u64,
     /// Base seed; trial `i` uses seed `base_seed + i`.
     pub base_seed: u64,
+    /// Worker threads for the trial batch: `0` means "use every available
+    /// core", `1` forces the serial path.  Results are identical for every
+    /// value (see the module docs).
+    pub threads: usize,
     /// Simulation configuration template (its seed field is overridden
     /// per trial).
     pub sim: SimConfig,
 }
 
 impl TrialConfig {
-    /// A convenient default: 100 trials of 100 000 steps from seed 0.
+    /// A convenient default: the given number of trials and step budget,
+    /// base seed 0, all cores.
     #[must_use]
     pub fn new(trials: u64, max_steps: u64) -> Self {
         TrialConfig {
             trials,
             max_steps,
             base_seed: 0,
+            threads: 0,
             sim: SimConfig::default(),
         }
     }
@@ -53,16 +70,71 @@ impl TrialConfig {
         self
     }
 
+    /// Sets the worker thread count (`0` = all cores, `1` = serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Sets the simulation configuration template.
     #[must_use]
     pub fn with_sim(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
         self
     }
+
+    /// The number of worker threads a batch of `trials` will actually use.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        requested.max(1).min(self.trials.max(1) as usize)
+    }
+}
+
+/// Runs `run_one` for every trial index and returns the per-trial summaries
+/// **indexed by trial**, fanning the batch out over scoped worker threads.
+///
+/// Workers own disjoint contiguous chunks of the result vector, so no
+/// synchronization is needed beyond the scope join, and the output layout —
+/// hence any subsequent in-order fold — is independent of the thread count.
+fn collect_trials<T, F>(trials: u64, threads: usize, run_one: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let n = trials as usize;
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    if threads <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(run_one(i as u64));
+        }
+    } else {
+        let chunk_len = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_index, chunk) in results.chunks_mut(chunk_len).enumerate() {
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(run_one((chunk_index * chunk_len + offset) as u64));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every trial slot is filled by exactly one worker"))
+        .collect()
 }
 
 /// Result of estimating the progress property.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProgressEstimate {
     /// Trials run.
     pub trials: u64,
@@ -83,7 +155,7 @@ pub struct ProgressEstimate {
 }
 
 /// Result of estimating the lockout-freedom property.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LockoutEstimate {
     /// Trials run.
     pub trials: u64,
@@ -102,23 +174,29 @@ pub struct LockoutEstimate {
     pub fairness_mean: f64,
 }
 
+/// The fixed-size summary one progress trial reduces to.
+struct ProgressTrial {
+    first_meal: Option<u64>,
+    total_meals: u64,
+}
+
 /// Estimates the progress probability of `program` on `topology` under the
 /// adversaries produced by `make_adversary` (one fresh adversary per trial).
+///
+/// Trials run in parallel per [`TrialConfig::threads`]; the estimate is
+/// bitwise-identical for every thread count.
 pub fn estimate_progress<P, A, F>(
     topology: &Topology,
     program: &P,
-    mut make_adversary: F,
+    make_adversary: F,
     config: &TrialConfig,
 ) -> ProgressEstimate
 where
-    P: Program + Clone,
+    P: Program + Clone + Sync,
     A: Adversary,
-    F: FnMut(u64) -> A,
+    F: Fn(u64) -> A + Sync,
 {
-    let mut progressed = 0u64;
-    let mut first_meals = Vec::new();
-    let mut meals = Vec::new();
-    for trial in 0..config.trials {
+    let outcomes = collect_trials(config.trials, config.effective_threads(), |trial| {
         let seed = config.base_seed + trial;
         let sim = config.sim.clone().with_seed(seed);
         let mut engine = Engine::new(topology.clone(), program.clone(), sim);
@@ -129,8 +207,20 @@ where
                 max_steps: config.max_steps,
             },
         );
-        meals.push(outcome.total_meals as f64);
-        if let Some(step) = outcome.first_meal_step {
+        ProgressTrial {
+            first_meal: outcome.first_meal_step,
+            total_meals: outcome.total_meals,
+        }
+    });
+
+    // In-order fold over the per-trial summaries (identical for serial and
+    // parallel batches).
+    let mut progressed = 0u64;
+    let mut first_meals = Vec::new();
+    let mut meals = Vec::with_capacity(outcomes.len());
+    for trial in &outcomes {
+        meals.push(trial.total_meals as f64);
+        if let Some(step) = trial.first_meal {
             progressed += 1;
             first_meals.push(step as f64);
         }
@@ -151,43 +241,69 @@ where
     }
 }
 
+/// The fixed-size summary one lockout trial reduces to.
+struct LockoutTrial {
+    all_ate: bool,
+    /// Indices of the philosophers that completed no meal.
+    starved: Vec<u32>,
+    min_meals: u64,
+    jain: f64,
+}
+
 /// Estimates the lockout-freedom probability of `program` on `topology`
 /// under the adversaries produced by `make_adversary`.
+///
+/// Trials run in parallel per [`TrialConfig::threads`]; the estimate is
+/// bitwise-identical for every thread count.
 pub fn estimate_lockout_freedom<P, A, F>(
     topology: &Topology,
     program: &P,
-    mut make_adversary: F,
+    make_adversary: F,
     config: &TrialConfig,
 ) -> LockoutEstimate
 where
-    P: Program + Clone,
+    P: Program + Clone + Sync,
     A: Adversary,
-    F: FnMut(u64) -> A,
+    F: Fn(u64) -> A + Sync,
 {
     let n = topology.num_philosophers();
-    let mut all_ate = 0u64;
-    let mut starvation = vec![0u64; n];
-    let mut min_meals = Vec::new();
-    let mut fairness = Vec::new();
-    for trial in 0..config.trials {
+    let outcomes = collect_trials(config.trials, config.effective_threads(), |trial| {
         let seed = config.base_seed + trial;
         let sim = config.sim.clone().with_seed(seed);
         let mut engine = Engine::new(topology.clone(), program.clone(), sim);
         let mut adversary = make_adversary(trial);
         let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(config.max_steps));
-        if outcome.everyone_ate() {
-            all_ate += 1;
-        }
-        for starved in outcome.starved() {
-            starvation[starved.index()] += 1;
-        }
-        min_meals.push(*outcome.meals_per_philosopher.iter().min().unwrap_or(&0) as f64);
         let meals: Vec<f64> = outcome
             .meals_per_philosopher
             .iter()
             .map(|&m| m as f64)
             .collect();
-        fairness.push(stats::jain_index(&meals));
+        LockoutTrial {
+            all_ate: outcome.everyone_ate(),
+            starved: outcome.starved().iter().map(|p| p.raw()).collect(),
+            min_meals: outcome
+                .meals_per_philosopher
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(0),
+            jain: stats::jain_index(&meals),
+        }
+    });
+
+    let mut all_ate = 0u64;
+    let mut starvation = vec![0u64; n];
+    let mut min_meals = Vec::with_capacity(outcomes.len());
+    let mut fairness = Vec::with_capacity(outcomes.len());
+    for trial in &outcomes {
+        if trial.all_ate {
+            all_ate += 1;
+        }
+        for &starved in &trial.starved {
+            starvation[starved as usize] += 1;
+        }
+        min_meals.push(trial.min_meals as f64);
+        fairness.push(trial.jain);
     }
     LockoutEstimate {
         trials: config.trials,
@@ -217,7 +333,7 @@ mod tests {
         let estimate = estimate_progress(
             &figure1_triangle(),
             &Gdp1::new(),
-            |t| UniformRandomAdversary::new(t),
+            UniformRandomAdversary::new,
             &config,
         );
         assert_eq!(estimate.progressed, estimate.trials);
@@ -261,6 +377,7 @@ mod tests {
             trials: 0,
             max_steps: 10,
             base_seed: 0,
+            threads: 0,
             sim: SimConfig::default(),
         };
         let estimate = estimate_progress(
@@ -279,15 +396,76 @@ mod tests {
         let a = estimate_progress(
             &figure1_triangle(),
             &Gdp1::new(),
-            |t| UniformRandomAdversary::new(t),
+            UniformRandomAdversary::new,
             &config,
         );
         let b = estimate_progress(
             &figure1_triangle(),
             &Gdp1::new(),
-            |t| UniformRandomAdversary::new(t),
+            UniformRandomAdversary::new,
             &config,
         );
         assert_eq!(a, b);
+    }
+
+    /// The tentpole determinism guarantee: parallel batches produce summaries
+    /// bitwise-identical to a reference serial run, for LR1 and GDP1 on the
+    /// 5-ring, across several thread counts (including more threads than
+    /// trials would need).
+    #[test]
+    fn parallel_trials_are_bitwise_identical_to_serial() {
+        let topology = classic_ring(5).unwrap();
+        let serial = TrialConfig::new(12, 30_000)
+            .with_base_seed(7)
+            .with_threads(1);
+        for threads in [2usize, 3, 8, 32] {
+            let parallel = serial.clone().with_threads(threads);
+
+            let lr1_serial =
+                estimate_progress(&topology, &Lr1::new(), UniformRandomAdversary::new, &serial);
+            let lr1_parallel = estimate_progress(
+                &topology,
+                &Lr1::new(),
+                UniformRandomAdversary::new,
+                &parallel,
+            );
+            assert_eq!(lr1_serial, lr1_parallel, "LR1 progress, {threads} threads");
+
+            let gdp1_serial = estimate_lockout_freedom(
+                &topology,
+                &Gdp1::new(),
+                UniformRandomAdversary::new,
+                &serial,
+            );
+            let gdp1_parallel = estimate_lockout_freedom(
+                &topology,
+                &Gdp1::new(),
+                UniformRandomAdversary::new,
+                &parallel,
+            );
+            assert_eq!(
+                gdp1_serial, gdp1_parallel,
+                "GDP1 lockout, {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_threads_respects_request_and_trial_count() {
+        assert_eq!(
+            TrialConfig::new(10, 5).with_threads(1).effective_threads(),
+            1
+        );
+        assert_eq!(
+            TrialConfig::new(10, 5).with_threads(4).effective_threads(),
+            4
+        );
+        // Never more workers than trials.
+        assert_eq!(
+            TrialConfig::new(2, 5).with_threads(16).effective_threads(),
+            2
+        );
+        // Auto is at least one.
+        assert!(TrialConfig::new(10, 5).effective_threads() >= 1);
     }
 }

@@ -29,7 +29,10 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile input must not contain NaN")
+    });
     let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }

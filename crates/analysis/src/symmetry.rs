@@ -89,9 +89,7 @@ mod tests {
         // k = m = 4: 4!/4^4 = 24/256.
         assert!((distinct_probability_lower_bound(4, 4) - 24.0 / 256.0).abs() < 1e-12);
         // Larger m makes collisions rarer.
-        assert!(
-            distinct_probability_lower_bound(4, 16) > distinct_probability_lower_bound(4, 4)
-        );
+        assert!(distinct_probability_lower_bound(4, 16) > distinct_probability_lower_bound(4, 4));
     }
 
     #[test]
@@ -116,7 +114,10 @@ mod tests {
         let ring = classic_ring(6).unwrap();
         let estimate = empirical_distinct_probability(&ring, 6, 40_000, &mut rng);
         let bound = distinct_probability_lower_bound(6, 6);
-        assert!(estimate > bound, "estimate {estimate} should exceed bound {bound}");
+        assert!(
+            estimate > bound,
+            "estimate {estimate} should exceed bound {bound}"
+        );
         // And the triangle (3 forks, adjacency = complete) matches the bound.
         let tri = figure1_triangle();
         let estimate = empirical_distinct_probability(&tri, 3, 40_000, &mut rng);

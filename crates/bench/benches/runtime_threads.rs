@@ -18,7 +18,10 @@ fn config() -> Criterion {
 
 fn resolve_round(clients: usize) -> usize {
     let mut round = ChoiceRound::new();
-    let _server = round.add_process(vec![Guard::recv(ChannelId::new(0)), Guard::send(ChannelId::new(1), 1)]);
+    let _server = round.add_process(vec![
+        Guard::recv(ChannelId::new(0)),
+        Guard::send(ChannelId::new(1), 1),
+    ]);
     for i in 0..clients {
         round.add_process(vec![Guard::send(ChannelId::new(0), i as u64)]);
         round.add_process(vec![Guard::recv(ChannelId::new(1))]);
@@ -34,7 +37,7 @@ fn bench_runtime(c: &mut Criterion) {
         ("figure1-triangle", figure1_triangle()),
         ("figure3-theta", figure3_theta()),
     ] {
-        let report = run_for_meals(topology, 200, || std::hint::spin_loop());
+        let report = run_for_meals(topology, 200, std::hint::spin_loop);
         println!(
             "{:<18} threads={:<3} meals={:<6} throughput={:>10.0} meals/s  everyone_ate={}",
             name,

@@ -54,7 +54,9 @@ fn run(algorithm: AlgorithmKind, trials: u64, steps: u64) -> StarvationSummary {
 }
 
 fn bench_sec5(c: &mut Criterion) {
-    print_header("E9 | Section 5: the starvation scheduler vs GDP1 and GDP2 (victim = P0, triangle)");
+    print_header(
+        "E9 | Section 5: the starvation scheduler vs GDP1 and GDP2 (victim = P0, triangle)",
+    );
     println!(
         "{:<10} {:>20} {:>20} {:>20}",
         "algorithm", "P(victim starved)", "mean victim meals", "mean system meals"

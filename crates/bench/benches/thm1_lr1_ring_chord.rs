@@ -72,7 +72,11 @@ fn bench_thm1(c: &mut Criterion) {
     );
     println!(
         "{:<10} {:<22} {:>22} {:>18} {:>20}",
-        "algorithm", "adversary patience", "P(ring fully starved)", "mean ring meals", "mean pendant meals"
+        "algorithm",
+        "adversary patience",
+        "P(ring fully starved)",
+        "mean ring meals",
+        "mean pendant meals"
     );
     for (algorithm, patient) in [
         (AlgorithmKind::Lr1, true),
@@ -84,7 +88,11 @@ fn bench_thm1(c: &mut Criterion) {
         println!(
             "{:<10} {:<22} {:>22.2} {:>18.1} {:>20.1}",
             algorithm.name(),
-            if patient { "patient (bound>window)" } else { "growing (default)" },
+            if patient {
+                "patient (bound>window)"
+            } else {
+                "growing (default)"
+            },
             summary.ring_starved_fraction,
             summary.mean_ring_meals,
             summary.mean_pendant_meals

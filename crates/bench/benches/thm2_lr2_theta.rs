@@ -22,7 +22,12 @@ fn config() -> Criterion {
         .warm_up_time(Duration::from_millis(300))
 }
 
-fn theta_no_progress_fraction(algorithm: AlgorithmKind, trials: u64, steps: u64, patient: bool) -> f64 {
+fn theta_no_progress_fraction(
+    algorithm: AlgorithmKind,
+    trials: u64,
+    steps: u64,
+    patient: bool,
+) -> f64 {
     let topology = figure3_theta();
     let mut blocked = 0u64;
     for seed in 0..trials {
@@ -69,7 +74,11 @@ fn bench_thm2(c: &mut Criterion) {
         println!(
             "    {:<6} ({:<22}) P(no progress in window) = {:.2}",
             algorithm.name(),
-            if patient { "patient (bound>window)" } else { "growing (default)" },
+            if patient {
+                "patient (bound>window)"
+            } else {
+                "growing (default)"
+            },
             fraction
         );
     }

@@ -1,0 +1,72 @@
+//! A counting global allocator for allocation-regression measurements.
+//!
+//! The zero-allocation claim of the engine hot path (`docs/PERFORMANCE.md`)
+//! is verified empirically: binaries that want the numbers install
+//! [`CountingAllocator`] as their `#[global_allocator]` and read
+//! [`allocations`] around the measured region.  The counter tracks
+//! *allocation events* (`alloc` + `realloc` calls), which is the right proxy
+//! for hot-path regressions: a step that allocates shows up as ≥ 1 event per
+//! step regardless of size.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gdp_bench::alloc_counter::CountingAllocator =
+//!     gdp_bench::alloc_counter::CountingAllocator;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATION_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// A pass-through allocator that counts `alloc`/`realloc` events.
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`; the only added
+// behaviour is a relaxed atomic increment, which cannot violate the
+// `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+/// Number of allocation events since process start (0 forever unless the
+/// binary installed [`CountingAllocator`]).
+#[must_use]
+pub fn allocations() -> u64 {
+    ALLOCATION_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Returns `true` if the counting allocator is actually installed in this
+/// binary (checked by performing one heap allocation and watching the
+/// counter move).
+#[must_use]
+pub fn tracking_active() -> bool {
+    let before = allocations();
+    let canary = std::hint::black_box(Box::new(0u8));
+    drop(canary);
+    allocations() > before
+}
+
+/// Runs `f` and returns `(allocation events during f, result)`.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations();
+    let result = f();
+    (allocations() - before, result)
+}

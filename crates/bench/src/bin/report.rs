@@ -1,11 +1,16 @@
-//! Regenerates every experiment summary table (E1–E10) in one run:
+//! Regenerates every experiment summary table (E1–E10) in one run, then
+//! records the performance trajectory into `BENCH_results.json`:
 //!
 //! ```bash
-//! cargo run -p gdp-bench --bin report --release
+//! cargo run -p gdp-bench --bin report --release                  # everything
+//! cargo run -p gdp-bench --bin report --release -- --perf-only   # just BENCH_results.json
+//! cargo run -p gdp-bench --bin report --release -- --skip-perf   # just the tables
 //! ```
 //!
-//! The output of this binary is the source of the numbers recorded in
-//! `EXPERIMENTS.md`.
+//! The table output is the source of the numbers recorded in
+//! `EXPERIMENTS.md`; the perf output (steps/sec, allocations/step,
+//! Monte-Carlo trials/sec serial vs parallel) is the baseline future PRs
+//! must not regress — see `docs/PERFORMANCE.md`.
 
 use gdp_adversary::{BlockingAdversary, BlockingPolicy, StubbornnessSchedule, TargetStarver};
 use gdp_algorithms::AlgorithmKind;
@@ -22,8 +27,36 @@ use gdp_topology::PhilosopherId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+#[global_allocator]
+static ALLOC: gdp_bench::alloc_counter::CountingAllocator =
+    gdp_bench::alloc_counter::CountingAllocator;
+
+/// Runs the perf suite and writes `BENCH_results.json` into the working
+/// directory.
+fn run_perf() {
+    print_header("PERF | engine hot loop and Monte-Carlo throughput -> BENCH_results.json");
+    let report = gdp_bench::perf::run_perf_suite();
+    assert!(
+        report.montecarlo.identical,
+        "parallel Monte-Carlo must match serial bitwise"
+    );
+    report
+        .write_json("BENCH_results.json")
+        .expect("writing BENCH_results.json");
+}
+
 fn main() {
-    println!("gdp reproduction report — {TRIALS} trials x {MAX_STEPS} steps unless stated otherwise");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let perf_only = args.iter().any(|a| a == "--perf-only");
+    let skip_perf = args.iter().any(|a| a == "--skip-perf");
+    if perf_only {
+        run_perf();
+        return;
+    }
+
+    println!(
+        "gdp reproduction report — {TRIALS} trials x {MAX_STEPS} steps unless stated otherwise"
+    );
 
     // ---------------------------------------------------------------- E1
     print_header("E1 | Figure 1 gallery: GDP1/GDP2 on the paper's four generalized systems");
@@ -39,7 +72,9 @@ fn main() {
     }
 
     // ---------------------------------------------------------------- E2
-    print_header("E2 | Section 3: wave scheduler vs all four algorithms on the triangle (50k-step windows)");
+    print_header(
+        "E2 | Section 3: wave scheduler vs all four algorithms on the triangle (50k-step windows)",
+    );
     println!(
         "{:<10} {:>16} {:>16} {:>24}",
         "algorithm", "P(no progress)", "mean meals/run", "mean fairness bound"
@@ -56,7 +91,9 @@ fn main() {
     }
 
     // ---------------------------------------------------------------- E3
-    print_header("E3 | Theorem 1 (Figure 2): ring + pendant, targeted blocking adversary (40k-step windows)");
+    print_header(
+        "E3 | Theorem 1 (Figure 2): ring + pendant, targeted blocking adversary (40k-step windows)",
+    );
     let figure2 = ring_with_chord(6, ChordTarget::ExternalFork).unwrap();
     let ring: Vec<PhilosopherId> = (0..6).map(PhilosopherId::new).collect();
     println!(
@@ -81,7 +118,10 @@ fn main() {
             let mut adversary =
                 BlockingAdversary::with_schedule(BlockingPolicy::starving(ring.clone()), schedule);
             let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(40_000));
-            let r: u64 = ring.iter().map(|p| outcome.meals_per_philosopher[p.index()]).sum();
+            let r: u64 = ring
+                .iter()
+                .map(|p| outcome.meals_per_philosopher[p.index()])
+                .sum();
             if r == 0 {
                 starved += 1;
             }
@@ -122,7 +162,8 @@ fn main() {
             } else {
                 StubbornnessSchedule::default()
             };
-            let mut adversary = BlockingAdversary::with_schedule(BlockingPolicy::global(), schedule);
+            let mut adversary =
+                BlockingAdversary::with_schedule(BlockingPolicy::global(), schedule);
             let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(40_000));
             if !outcome.made_progress() {
                 blocked += 1;
@@ -241,10 +282,13 @@ fn main() {
     for (name, topology) in [
         ("classic-ring-8", classic_ring(8).unwrap()),
         ("classic-ring-32", classic_ring(32).unwrap()),
-        ("figure1-triangle", gdp_topology::builders::figure1_triangle()),
+        (
+            "figure1-triangle",
+            gdp_topology::builders::figure1_triangle(),
+        ),
         ("figure3-theta", figure3_theta()),
     ] {
-        let report = run_for_meals(topology, 200, || std::hint::spin_loop());
+        let report = run_for_meals(topology, 200, std::hint::spin_loop);
         println!(
             "{:<18} threads={:<3} meals={:<6} throughput={:>10.0} meals/s  everyone_ate={}",
             name,
@@ -257,8 +301,10 @@ fn main() {
     let mut committed = 0usize;
     for _ in 0..20 {
         let mut round = ChoiceRound::new();
-        let _server =
-            round.add_process(vec![Guard::recv(ChannelId::new(0)), Guard::send(ChannelId::new(1), 1)]);
+        let _server = round.add_process(vec![
+            Guard::recv(ChannelId::new(0)),
+            Guard::send(ChannelId::new(1), 1),
+        ]);
         for i in 0..6 {
             round.add_process(vec![Guard::send(ChannelId::new(0), i)]);
             round.add_process(vec![Guard::recv(ChannelId::new(1))]);
@@ -266,6 +312,10 @@ fn main() {
         committed += round.resolve().synchronizations().len();
     }
     println!("guarded choice: 20 rounds with a mixed-choice server and 12 clients -> {committed} synchronizations committed");
+
+    if !skip_perf {
+        run_perf();
+    }
     println!();
     println!("done.");
 }

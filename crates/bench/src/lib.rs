@@ -12,6 +12,9 @@ use gdp_core::{Experiment, ExperimentReport, SchedulerSpec, TopologySpec};
 use gdp_sim::{Engine, SimConfig, StopCondition};
 use gdp_topology::Topology;
 
+pub mod alloc_counter;
+pub mod perf;
+
 /// Number of Monte-Carlo trials used by the printed summaries.  Kept modest
 /// so `cargo bench` stays interactive; the `report` binary uses the same
 /// value so its output matches `EXPERIMENTS.md`.

@@ -1,0 +1,323 @@
+//! The engine-hot-loop performance harness and the machine-readable
+//! `BENCH_results.json` emitter.
+//!
+//! Every figure here is wall-clock based and meant as a *trajectory marker*:
+//! future PRs re-run `report --perf-only` (or the `engine_hot_loop` bench)
+//! and compare against the committed `BENCH_results.json`.  Three families
+//! are measured:
+//!
+//! * **steps/sec** of the adversary-driven hot loop (`step_with`) for GDP1
+//!   on classic rings of increasing size;
+//! * **allocations/step** over the same loop, counted by
+//!   [`crate::alloc_counter`] when the binary installs the counting
+//!   allocator (the zero-allocation-views claim, empirically);
+//! * **trials/sec** of the Monte-Carlo layer, serial vs parallel, plus the
+//!   bitwise-equality check between the two estimates.
+
+use crate::alloc_counter;
+use gdp_algorithms::AlgorithmKind;
+use gdp_analysis::montecarlo::{estimate_lockout_freedom, LockoutEstimate};
+use gdp_analysis::TrialConfig;
+use gdp_sim::{Engine, SimConfig, UniformRandomAdversary};
+use gdp_topology::builders::classic_ring;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Hot-loop measurement for one ring size.
+#[derive(Clone, Copy, Debug)]
+pub struct HotLoopSample {
+    /// Number of philosophers (= forks) in the ring.
+    pub n: usize,
+    /// Steps executed in the timed region.
+    pub steps: u64,
+    /// Steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Allocation events per step (`None` when the binary did not install
+    /// the counting allocator).
+    pub allocations_per_step: Option<f64>,
+}
+
+/// Serial-vs-parallel Monte-Carlo measurement.
+#[derive(Clone, Debug)]
+pub struct MonteCarloSample {
+    /// Ring size used.
+    pub n: usize,
+    /// Trials per batch.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// Worker threads used by the parallel batch.
+    pub threads: usize,
+    /// Trials per second, serial runner.
+    pub serial_trials_per_sec: f64,
+    /// Trials per second, parallel runner.
+    pub parallel_trials_per_sec: f64,
+    /// `parallel / serial` throughput ratio.
+    pub speedup: f64,
+    /// Whether the two estimates were bitwise-identical (must be `true`).
+    pub identical: bool,
+}
+
+/// Everything `BENCH_results.json` records.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Hot-loop samples, one per ring size.
+    pub hot_loop: Vec<HotLoopSample>,
+    /// The same loop with views rebuilt from scratch each step (the
+    /// pre-refactor behaviour), for comparison.
+    pub hot_loop_rebuild: Vec<HotLoopSample>,
+    /// The Monte-Carlo serial-vs-parallel sample.
+    pub montecarlo: MonteCarloSample,
+}
+
+/// Runs `steps` adversary-driven steps of GDP1 on a fresh classic `n`-ring
+/// and returns the total meals (the timed kernel of the hot-loop bench).
+#[must_use]
+pub fn hot_loop_kernel(n: usize, steps: u64, seed: u64) -> u64 {
+    let mut engine = Engine::new(
+        classic_ring(n).expect("bench ring size is valid"),
+        AlgorithmKind::Gdp1.program(),
+        SimConfig::default().with_seed(seed),
+    );
+    let mut adversary = UniformRandomAdversary::new(seed ^ 0xBEEF);
+    for _ in 0..steps {
+        engine.step_with(&mut adversary);
+    }
+    engine.total_meals()
+}
+
+/// Shared skeleton of the hot-loop measurements: construct engine and
+/// adversary *outside* the timed-and-counted region, warm up for a quarter
+/// of the step budget (so per-meal bookkeeping buffers reach steady-state
+/// capacity), then time and allocation-count `steps` iterations of
+/// `step_body`.
+fn measure_stepping<B>(n: usize, steps: u64, mut step_body: B) -> HotLoopSample
+where
+    B: FnMut(&mut Engine<gdp_algorithms::AnyProgram>, &mut UniformRandomAdversary),
+{
+    let mut engine = Engine::new(
+        classic_ring(n).expect("bench ring size is valid"),
+        AlgorithmKind::Gdp1.program(),
+        SimConfig::default().with_seed(42),
+    );
+    let mut adversary = UniformRandomAdversary::new(7);
+    for _ in 0..steps / 4 {
+        engine.step_with(&mut adversary);
+    }
+    let tracking = alloc_counter::tracking_active();
+    let started = Instant::now();
+    let (events, ()) = alloc_counter::count_allocations(|| {
+        for _ in 0..steps {
+            step_body(&mut engine, &mut adversary);
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    HotLoopSample {
+        n,
+        steps,
+        steps_per_sec: steps as f64 / elapsed,
+        allocations_per_step: tracking.then(|| events as f64 / steps as f64),
+    }
+}
+
+/// Measures steps/sec and allocations/step of the steady-state stepping
+/// loop for one ring size.
+#[must_use]
+pub fn measure_hot_loop(n: usize, steps: u64) -> HotLoopSample {
+    measure_stepping(n, steps, |engine, adversary| {
+        engine.step_with(adversary);
+    })
+}
+
+/// Measures the same loop with the views additionally rebuilt from scratch
+/// on every step — the work the engine performed *before* the incremental
+/// view buffer existed.  Kept as a same-binary comparison point for the
+/// steps/sec and allocations/step figures.
+#[must_use]
+pub fn measure_hot_loop_rebuild_every_step(n: usize, steps: u64) -> HotLoopSample {
+    measure_stepping(n, steps, |engine, adversary| {
+        let views = engine.rebuilt_views();
+        std::hint::black_box(&views);
+        engine.step_with(adversary);
+    })
+}
+
+fn timed_lockout(n: usize, config: &TrialConfig) -> (f64, LockoutEstimate) {
+    let topology = classic_ring(n).expect("bench ring size is valid");
+    let program = AlgorithmKind::Gdp1.program();
+    let started = Instant::now();
+    // Lockout estimation runs every trial for the full step budget (the stop
+    // condition is `MaxSteps`), so each trial is a fixed amount of work and
+    // trials/sec is a meaningful throughput figure.
+    let estimate =
+        estimate_lockout_freedom(&topology, &program, UniformRandomAdversary::new, config);
+    (started.elapsed().as_secs_f64(), estimate)
+}
+
+/// Measures serial vs parallel Monte-Carlo throughput on the classic
+/// `n`-ring and checks the two estimates are identical.
+#[must_use]
+pub fn measure_montecarlo(n: usize, trials: u64, max_steps: u64) -> MonteCarloSample {
+    let serial_config = TrialConfig::new(trials, max_steps)
+        .with_base_seed(3)
+        .with_threads(1);
+    let parallel_config = serial_config.clone().with_threads(0);
+    let threads = parallel_config.effective_threads();
+    let (serial_secs, serial_estimate) = timed_lockout(n, &serial_config);
+    let (parallel_secs, parallel_estimate) = timed_lockout(n, &parallel_config);
+    MonteCarloSample {
+        n,
+        trials,
+        max_steps,
+        threads,
+        serial_trials_per_sec: trials as f64 / serial_secs,
+        parallel_trials_per_sec: trials as f64 / parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        identical: serial_estimate == parallel_estimate,
+    }
+}
+
+/// Runs the full perf suite with the default sizes used by
+/// `BENCH_results.json`.
+#[must_use]
+pub fn run_perf_suite() -> PerfReport {
+    let sizes = [5usize, 50, 500];
+    let hot_loop = sizes
+        .into_iter()
+        .map(|n| measure_hot_loop(n, 400_000))
+        .collect();
+    let hot_loop_rebuild = sizes
+        .into_iter()
+        .map(|n| measure_hot_loop_rebuild_every_step(n, 100_000))
+        .collect();
+    // Trials long enough that spawning threads is noise, many enough that
+    // every core gets work.
+    let montecarlo = measure_montecarlo(50, 64, 40_000);
+    PerfReport {
+        hot_loop,
+        hot_loop_rebuild,
+        montecarlo,
+    }
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl PerfReport {
+    fn write_samples(out: &mut String, samples: &[HotLoopSample]) {
+        for (i, sample) in samples.iter().enumerate() {
+            let allocations = match sample.allocations_per_step {
+                Some(a) => format!("{a:.4}"),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"topology\": \"classic-ring-{}\", \"algorithm\": \"GDP1\", \
+                 \"steps\": {}, \"steps_per_sec\": {}, \"allocations_per_step\": {}}}{}",
+                sample.n,
+                sample.steps,
+                json_f64(sample.steps_per_sec),
+                allocations,
+                if i + 1 < samples.len() { "," } else { "" },
+            );
+        }
+    }
+
+    /// Renders the report as the `BENCH_results.json` document (stable,
+    /// hand-written JSON — this workspace is fully offline and carries no
+    /// serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"engine_hot_loop\": [\n");
+        Self::write_samples(&mut out, &self.hot_loop);
+        out.push_str("  ],\n  \"engine_hot_loop_rebuild_every_step\": [\n");
+        Self::write_samples(&mut out, &self.hot_loop_rebuild);
+        let mc = &self.montecarlo;
+        let _ = write!(
+            out,
+            "  ],\n  \"montecarlo\": {{\n    \"topology\": \"classic-ring-{}\",\n    \
+             \"algorithm\": \"GDP1\",\n    \"trials\": {},\n    \"max_steps\": {},\n    \
+             \"threads\": {},\n    \"serial_trials_per_sec\": {},\n    \
+             \"parallel_trials_per_sec\": {},\n    \"speedup\": {},\n    \
+             \"bitwise_identical\": {}\n  }}\n}}\n",
+            mc.n,
+            mc.trials,
+            mc.max_steps,
+            mc.threads,
+            json_f64(mc.serial_trials_per_sec),
+            json_f64(mc.parallel_trials_per_sec),
+            json_f64(mc.speedup),
+            mc.identical,
+        );
+        out
+    }
+
+    /// Writes [`Self::to_json`] to `path` and prints a human summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from writing the file.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        println!("perf: wrote {path}");
+        let print_samples = |label: &str, samples: &[HotLoopSample]| {
+            for sample in samples {
+                println!(
+                    "perf: {label} ring-{:<4} {:>12.0} steps/sec  allocations/step: {}",
+                    sample.n,
+                    sample.steps_per_sec,
+                    sample
+                        .allocations_per_step
+                        .map_or("untracked".to_string(), |a| format!("{a:.4}")),
+                );
+            }
+        };
+        print_samples("engine_hot_loop", &self.hot_loop);
+        print_samples("rebuild-every-step", &self.hot_loop_rebuild);
+        let mc = &self.montecarlo;
+        println!(
+            "perf: montecarlo ring-{} {} trials x {} steps: serial {:.1} trials/s, \
+             parallel({} threads) {:.1} trials/s, speedup {:.2}x, identical={}",
+            mc.n,
+            mc.trials,
+            mc.max_steps,
+            mc.serial_trials_per_sec,
+            mc.threads,
+            mc.parallel_trials_per_sec,
+            mc.speedup,
+            mc.identical,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_loop_kernel_makes_progress() {
+        assert!(hot_loop_kernel(5, 20_000, 1) > 0);
+    }
+
+    #[test]
+    fn perf_json_is_well_formed_enough() {
+        // Tiny sizes: this is a shape test, not a measurement.
+        let report = PerfReport {
+            hot_loop: vec![measure_hot_loop(5, 2_000)],
+            hot_loop_rebuild: vec![measure_hot_loop_rebuild_every_step(5, 2_000)],
+            montecarlo: measure_montecarlo(5, 4, 2_000),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"engine_hot_loop\""));
+        assert!(json.contains("\"steps_per_sec\""));
+        assert!(json.contains("\"bitwise_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.montecarlo.identical);
+    }
+}

@@ -5,14 +5,13 @@ use gdp_algorithms::AlgorithmKind;
 use gdp_analysis::montecarlo::{estimate_lockout_freedom, estimate_progress};
 use gdp_analysis::{LockoutEstimate, ProgressEstimate, RunMetrics, TrialConfig};
 use gdp_sim::{Engine, SimConfig, StopCondition};
-use serde::{Deserialize, Serialize};
 
 /// A fully specified, repeatable experiment.
 ///
 /// Build one with [`Experiment::new`] plus the `with_*` methods, then call
 /// [`run`](Experiment::run).  Every experiment in `EXPERIMENTS.md` is an
 /// instance of this type (see `crates/bench`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Experiment {
     /// The conflict topology.
     pub topology: TopologySpec,
@@ -29,6 +28,9 @@ pub struct Experiment {
     pub base_seed: u64,
     /// Priority-number range `m` for GDP1/GDP2 (`None` = number of forks).
     pub nr_range: Option<u32>,
+    /// Worker threads for the Monte-Carlo batches (`0` = all cores,
+    /// `1` = serial).  Estimates are identical for every value.
+    pub threads: usize,
 }
 
 impl Experiment {
@@ -44,6 +46,7 @@ impl Experiment {
             max_steps: 100_000,
             base_seed: 0,
             nr_range: None,
+            threads: 0,
         }
     }
 
@@ -82,6 +85,13 @@ impl Experiment {
         self
     }
 
+    /// Sets the Monte-Carlo worker thread count (`0` = all cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     fn sim_config(&self) -> SimConfig {
         let base = SimConfig::default();
         match self.nr_range {
@@ -95,6 +105,7 @@ impl Experiment {
             trials: self.trials,
             max_steps: self.max_steps,
             base_seed: self.base_seed,
+            threads: self.threads,
             sim: self.sim_config(),
         }
     }
@@ -141,7 +152,7 @@ impl Experiment {
 }
 
 /// Everything measured by one [`Experiment::run`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
     /// The experiment that produced this report.
     pub experiment: Experiment,
@@ -200,7 +211,11 @@ mod tests {
             .with_max_steps(150_000)
             .run();
         assert_eq!(report.lockout.lockout_free_fraction, 1.0);
-        assert!(report.lockout.starvation_per_philosopher.iter().all(|&s| s == 0));
+        assert!(report
+            .lockout
+            .starvation_per_philosopher
+            .iter()
+            .all(|&s| s == 0));
     }
 
     #[test]

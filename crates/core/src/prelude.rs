@@ -23,9 +23,7 @@ pub use gdp_sim::{
     StopCondition, StopReason, SystemView, Trace, UniformRandomAdversary,
 };
 
-pub use gdp_algorithms::{
-    baselines, AlgorithmKind, AnyProgram, AnyState, Gdp1, Gdp2, Lr1, Lr2,
-};
+pub use gdp_algorithms::{baselines, AlgorithmKind, AnyProgram, AnyState, Gdp1, Gdp2, Lr1, Lr2};
 
 pub use gdp_adversary::{
     BlockingAdversary, BlockingPolicy, FairDriver, FairnessGuard, SchedulingPolicy,

@@ -3,12 +3,11 @@
 use gdp_adversary::{BlockingAdversary, TargetStarver, TriangleWaveAdversary};
 use gdp_sim::{Adversary, RoundRobinAdversary, UniformRandomAdversary};
 use gdp_topology::{builders, PhilosopherId, Topology};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The topologies used by the paper and its experiments, nameable at run
 /// time.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TopologySpec {
     /// The classic Dijkstra ring with `n` philosophers and `n` forks.
@@ -81,7 +80,7 @@ impl fmt::Display for TopologySpec {
 }
 
 /// The schedulers (adversaries) available to experiments.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SchedulerSpec {
     /// Fair round-robin.

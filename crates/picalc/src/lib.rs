@@ -52,12 +52,11 @@
 use gdp_runtime::DiningTable;
 use gdp_topology::{ForkId, PhilosopherId, Topology};
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a process (one mixed-choice state).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u32);
 
 impl ProcessId {
@@ -81,7 +80,7 @@ impl fmt::Display for ProcessId {
 }
 
 /// Identifier of a channel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(u32);
 
 impl ChannelId {
@@ -99,7 +98,7 @@ impl fmt::Display for ChannelId {
 }
 
 /// One alternative of a mixed guarded choice.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Guard {
     /// Offer to send `value` on the channel.
     Send {
@@ -138,7 +137,7 @@ impl Guard {
 }
 
 /// A committed synchronization.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Synchronization {
     /// The sending process.
     pub sender: ProcessId,
@@ -151,7 +150,7 @@ pub struct Synchronization {
 }
 
 /// The result of resolving one round of mixed choices.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundOutcome {
     committed: Vec<Synchronization>,
     num_processes: usize,
@@ -283,24 +282,25 @@ impl ChoiceRound {
         };
         let table = DiningTable::for_topology(topology);
         let committed_flags: Arc<Vec<Mutex<bool>>> = Arc::new(
-            (0..self.processes.len()).map(|_| Mutex::new(false)).collect(),
+            (0..self.processes.len())
+                .map(|_| Mutex::new(false))
+                .collect(),
         );
         let results: Arc<Mutex<Vec<Synchronization>>> = Arc::new(Mutex::new(Vec::new()));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (idx, candidate) in candidates.iter().enumerate() {
                 let seat = table.seat(PhilosopherId::new(idx as u32));
                 let committed_flags = Arc::clone(&committed_flags);
                 let results = Arc::clone(&results);
                 let candidate = *candidate;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Quick pre-check outside the critical section is only an
                     // optimization; the authoritative check happens while both
                     // forks (process states) are held.
                     seat.dine(|| {
                         let mut sender_state = committed_flags[candidate.sender.index()].lock();
-                        let mut receiver_state =
-                            committed_flags[candidate.receiver.index()].lock();
+                        let mut receiver_state = committed_flags[candidate.receiver.index()].lock();
                         if !*sender_state && !*receiver_state {
                             *sender_state = true;
                             *receiver_state = true;
@@ -309,8 +309,7 @@ impl ChoiceRound {
                     });
                 });
             }
-        })
-        .expect("synchronization thread panicked");
+        });
 
         let committed = Arc::try_unwrap(results)
             .expect("all threads joined")
@@ -354,10 +353,7 @@ mod tests {
     fn a_process_never_commits_twice_in_a_round() {
         // One server with a mixed choice contended by four clients.
         let mut round = ChoiceRound::new();
-        let server = round.add_process(vec![
-            Guard::recv(chan(0)),
-            Guard::send(chan(1), 42),
-        ]);
+        let server = round.add_process(vec![Guard::recv(chan(0)), Guard::send(chan(1), 42)]);
         for _ in 0..2 {
             round.add_process(vec![Guard::send(chan(0), 7)]);
         }

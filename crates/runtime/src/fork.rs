@@ -86,11 +86,7 @@ impl SharedFork {
     /// The bounded wait keeps the caller responsive: the GDP2 loop in
     /// [`Seat::dine`](crate::Seat::dine) simply re-evaluates its fork choice
     /// after a timeout, which also refreshes the `nr` comparison.
-    pub fn take_first_when_courteous(
-        &self,
-        philosopher: PhilosopherId,
-        timeout: Duration,
-    ) -> bool {
+    pub fn take_first_when_courteous(&self, philosopher: PhilosopherId, timeout: Duration) -> bool {
         let mut state = self.state.lock();
         if state.holder.is_none() && state.courtesy_holds(philosopher) {
             state.holder = Some(philosopher);
@@ -223,6 +219,9 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(20));
         fork.release(p(0));
-        assert!(waiter.join().unwrap(), "the waiter should acquire the fork after the release");
+        assert!(
+            waiter.join().unwrap(),
+            "the waiter should acquire the fork after the release"
+        );
     }
 }

@@ -3,12 +3,11 @@
 
 use crate::table::DiningTable;
 use gdp_topology::Topology;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of [`run_for_meals`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Number of philosophers (threads) that participated.
     pub philosophers: usize,
@@ -40,11 +39,7 @@ impl RunReport {
 /// Spawns one thread per philosopher of `topology`; each thread completes
 /// `meals_per_philosopher` meals (each running `critical`), then the report
 /// is returned.  Uses scoped threads, so `critical` only needs to be `Sync`.
-pub fn run_for_meals<F>(
-    topology: Topology,
-    meals_per_philosopher: u64,
-    critical: F,
-) -> RunReport
+pub fn run_for_meals<F>(topology: Topology, meals_per_philosopher: u64, critical: F) -> RunReport
 where
     F: Fn() + Sync,
 {
@@ -52,16 +47,15 @@ where
     let started = Instant::now();
     let table_ref: &Arc<DiningTable> = &table;
     let critical_ref = &critical;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for seat in table_ref.seats() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..meals_per_philosopher {
                     seat.dine(critical_ref);
                 }
             });
         }
-    })
-    .expect("philosopher thread panicked");
+    });
     let elapsed = started.elapsed();
     let stats = table.stats();
     let total = stats.total_meals();

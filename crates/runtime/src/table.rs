@@ -124,16 +124,18 @@ impl DiningTable {
     /// Iterator over all seats, in philosopher order.
     pub fn seats(self: &Arc<Self>) -> impl Iterator<Item = Seat> + '_ {
         let table = Arc::clone(self);
-        self.topology
-            .philosopher_ids()
-            .map(move |p| table.seat(p))
+        self.topology.philosopher_ids().map(move |p| table.seat(p))
     }
 
     /// A snapshot of the per-philosopher statistics.
     #[must_use]
     pub fn stats(&self) -> TableStats {
         TableStats {
-            meals: self.meals.iter().map(|m| m.load(Ordering::Relaxed)).collect(),
+            meals: self
+                .meals
+                .iter()
+                .map(|m| m.load(Ordering::Relaxed))
+                .collect(),
             wait_nanos: self
                 .wait_nanos
                 .iter()

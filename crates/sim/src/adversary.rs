@@ -135,7 +135,7 @@ mod tests {
     use super::*;
     use crate::fork::ForkCell;
     use crate::program::Phase;
-    use crate::view::PhilosopherView;
+    use crate::view::{Holding, PhilosopherView};
     use gdp_topology::builders::classic_ring;
     use gdp_topology::Topology;
 
@@ -146,7 +146,7 @@ mod tests {
                 phase: Phase::Thinking,
                 committed: None,
                 label: "t",
-                holding: vec![],
+                holding: Holding::new(),
                 meals: 0,
                 scheduled: 0,
                 hungry_since: None,
@@ -199,7 +199,7 @@ mod tests {
     fn uniform_random_covers_all_philosophers_eventually() {
         let topology = classic_ring(6).unwrap();
         let mut adv = UniformRandomAdversary::new(0);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for _ in 0..500 {
             let p = with_view(&topology, |v| adv.select(v));
             seen[p.index()] = true;

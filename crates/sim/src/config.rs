@@ -1,7 +1,6 @@
 //! Simulation configuration.
 
 use crate::hunger::HungerModel;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulated execution.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 ///     .with_trace(true);
 /// assert_eq!(config.seed, 7);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Seed for the philosophers' private randomness.  Two runs with the same
     /// topology, program, adversary and seed are identical.

@@ -3,15 +3,14 @@
 use crate::adversary::Adversary;
 use crate::config::SimConfig;
 use crate::fork::ForkCell;
+use crate::hash::fingerprint64;
 use crate::outcome::{RunOutcome, StopCondition, StopReason};
 use crate::program::{Phase, Program, StepCtx};
 use crate::trace::{StepRecord, Trace};
-use crate::view::{make_view, PhilosopherView, SystemView};
+use crate::view::{make_view, Holding, PhilosopherView, SystemView};
 use gdp_topology::{ForkId, PhilosopherId, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
 /// A deterministic, seedable simulator of one generalized dining
 /// philosophers system running one [`Program`] under one [`Adversary`].
@@ -25,6 +24,14 @@ use std::hash::{Hash, Hasher};
 /// Determinism: two engines constructed with the same topology, program,
 /// configuration (including seed) and driven by the same adversary produce
 /// identical traces.  The regression tests of `gdp-algorithms` rely on this.
+///
+/// Performance: the engine keeps one persistent [`PhilosopherView`] buffer
+/// that is updated *incrementally* — an atomic step can only change the
+/// stepped philosopher's observable state (its phase, commitment and held
+/// forks, all derived from its own private state and its own two fork
+/// cells), so after each step exactly one view is refreshed in place.  The
+/// hot path `step_with` → `with_view` → `step_philosopher` performs no heap
+/// allocation; see `docs/PERFORMANCE.md`.
 pub struct Engine<P: Program> {
     topology: Topology,
     program: P,
@@ -43,6 +50,10 @@ pub struct Engine<P: Program> {
     hungry_since: Vec<Option<u64>>,
     waiting_times: Vec<Vec<u64>>,
     trace: Option<Trace>,
+    /// Persistent adversary-facing views, kept in sync incrementally:
+    /// `views[i]` always equals the view rebuilt from scratch for
+    /// philosopher `i` (test-enforced, see `rebuilt_views`).
+    views: Vec<PhilosopherView>,
 }
 
 impl<P: Program> Engine<P> {
@@ -52,7 +63,7 @@ impl<P: Program> Engine<P> {
         let k = topology.num_forks();
         let nr_range = config.effective_nr_range(k);
         let trace = config.record_trace.then(|| Trace::new(n));
-        Engine {
+        let mut engine = Engine {
             nr_range,
             forks: (0..k).map(|_| ForkCell::new()).collect(),
             states: (0..n).map(|_| program.initial_state()).collect(),
@@ -67,10 +78,16 @@ impl<P: Program> Engine<P> {
             hungry_since: vec![None; n],
             waiting_times: vec![Vec::new(); n],
             trace,
+            views: Vec::with_capacity(n),
             topology,
             program,
             config,
+        };
+        for p in 0..n {
+            let view = engine.compute_view(PhilosopherId::new(p as u32));
+            engine.views.push(view);
         }
+        engine
     }
 
     /// The topology being simulated.
@@ -160,51 +177,88 @@ impl<P: Program> Engine<P> {
     /// adversaries (State 6 being "isomorphic" to State 1 in Section 3).
     #[must_use]
     pub fn state_fingerprint(&self) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        self.forks.hash(&mut hasher);
-        for state in &self.states {
-            state.hash(&mut hasher);
-        }
-        hasher.finish()
+        fingerprint64(&(&self.forks, &self.states))
     }
 
-    fn holding_of(&self, philosopher: PhilosopherId) -> Vec<ForkId> {
+    fn holding_of(&self, philosopher: PhilosopherId) -> Holding {
         let ends = self.topology.forks_of(philosopher);
-        ends.as_array()
-            .into_iter()
-            .filter(|f| self.forks[f.index()].holder() == Some(philosopher))
-            .collect()
+        let mut holding = Holding::new();
+        for fork in ends.as_array() {
+            if self.forks[fork.index()].holder() == Some(philosopher) {
+                holding.push(fork);
+            }
+        }
+        holding
     }
 
-    fn philosopher_views(&self) -> Vec<PhilosopherView> {
+    /// Builds philosopher `p`'s view from scratch.
+    fn compute_view(&self, p: PhilosopherId) -> PhilosopherView {
+        make_view(
+            p,
+            self.program
+                .observation(&self.states[p.index()], self.topology.forks_of(p)),
+            self.holding_of(p),
+            self.meals_completed[p.index()],
+            self.scheduled[p.index()],
+            self.hungry_since[p.index()],
+        )
+    }
+
+    /// Refreshes the persistent view of philosopher `idx` in place.
+    ///
+    /// An atomic step can only change the stepped philosopher's own
+    /// observable state — its program observation is a function of its own
+    /// private state, and `take_if_free` / `release` only ever set or clear
+    /// the *caller's* holdership of its own two forks — so refreshing this
+    /// one view after each step keeps the whole buffer exact.
+    fn refresh_view(&mut self, idx: usize) {
+        let p = PhilosopherId::new(idx as u32);
+        let ends = self.topology.forks_of(p);
+        let observation = self.program.observation(&self.states[idx], ends);
+        let holding = self.holding_of(p);
+        let view = &mut self.views[idx];
+        view.phase = observation.phase;
+        view.committed = observation.committed;
+        view.label = observation.label;
+        view.holding = holding;
+        view.meals = self.meals_completed[idx];
+        view.scheduled = self.scheduled[idx];
+        view.hungry_since = self.hungry_since[idx];
+    }
+
+    /// Rebuilds every philosopher view from scratch, bypassing the
+    /// incremental buffer.
+    ///
+    /// This is the slow reference path; the engine itself never calls it on
+    /// the hot path.  It exists so tests can assert that the incremental
+    /// buffer stays exactly in sync (see the `incremental_views` tests and
+    /// `docs/PERFORMANCE.md`).
+    #[must_use]
+    pub fn rebuilt_views(&self) -> Vec<PhilosopherView> {
         self.topology
             .philosopher_ids()
-            .map(|p| {
-                make_view(
-                    p,
-                    self.program
-                        .observation(&self.states[p.index()], self.topology.forks_of(p)),
-                    self.holding_of(p),
-                    self.meals_completed[p.index()],
-                    self.scheduled[p.index()],
-                    self.hungry_since[p.index()],
-                )
-            })
+            .map(|p| self.compute_view(p))
             .collect()
+    }
+
+    /// The persistent, incrementally maintained philosopher views.
+    #[must_use]
+    pub fn views(&self) -> &[PhilosopherView] {
+        &self.views
     }
 
     /// Runs `f` with a full-information [`SystemView`] of the current state.
     ///
-    /// The view borrows the engine, so it cannot outlive the call; this
-    /// closure-passing shape avoids cloning the fork cells on every step.
+    /// The view borrows the engine's persistent buffers, so this performs no
+    /// allocation and no per-call view rebuilding; it cannot outlive the
+    /// call.
     pub fn with_view<R>(&self, f: impl FnOnce(&SystemView<'_>) -> R) -> R {
-        let views = self.philosopher_views();
         let view = SystemView::new(
             &self.topology,
             self.step_count,
             self.program.name(),
             &self.forks,
-            &views,
+            &self.views,
         );
         f(&view)
     }
@@ -265,6 +319,10 @@ impl<P: Program> Engine<P> {
             }
             self.hungry_since[idx] = None;
         }
+
+        // Keep the persistent view buffer exact: only the stepped
+        // philosopher's observable state can have changed.
+        self.refresh_view(idx);
 
         let record = StepRecord {
             step: self.step_count,
@@ -367,15 +425,18 @@ impl<P: Program> Engine<P> {
         }
         let n = self.states.len();
         self.step_count = 0;
-        self.meals_completed = vec![0; n];
-        self.first_meal_finished = vec![None; n];
+        self.meals_completed.iter_mut().for_each(|m| *m = 0);
+        self.first_meal_finished.iter_mut().for_each(|f| *f = None);
         self.first_meal_started = None;
-        self.scheduled = vec![0; n];
-        self.last_scheduled = vec![None; n];
+        self.scheduled.iter_mut().for_each(|s| *s = 0);
+        self.last_scheduled.iter_mut().for_each(|l| *l = None);
         self.max_scheduling_gap = 0;
-        self.hungry_since = vec![None; n];
-        self.waiting_times = vec![Vec::new(); n];
+        self.hungry_since.iter_mut().for_each(|h| *h = None);
+        self.waiting_times.iter_mut().for_each(Vec::clear);
         self.trace = self.config.record_trace.then(|| Trace::new(n));
+        for idx in 0..n {
+            self.refresh_view(idx);
+        }
     }
 }
 
@@ -465,7 +526,10 @@ mod tests {
     #[test]
     fn round_robin_run_makes_progress_and_counts_meals() {
         let mut e = engine(5, 1);
-        let outcome = e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(1_000));
+        let outcome = e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(1_000),
+        );
         assert_eq!(outcome.steps, 1_000);
         assert!(outcome.made_progress());
         assert!(outcome.total_meals > 0);
@@ -526,8 +590,14 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         let mut a = engine(5, 42);
         let mut b = engine(5, 42);
-        a.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
-        b.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
+        a.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(500),
+        );
+        b.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(500),
+        );
         assert_eq!(a.trace().unwrap(), b.trace().unwrap());
         assert_eq!(a.state_fingerprint(), b.state_fingerprint());
     }
@@ -536,8 +606,14 @@ mod tests {
     fn different_seeds_usually_differ() {
         let mut a = engine(5, 1);
         let mut b = engine(5, 2);
-        a.run(&mut UniformRandomAdversary::new(7), StopCondition::MaxSteps(500));
-        b.run(&mut UniformRandomAdversary::new(7), StopCondition::MaxSteps(500));
+        a.run(
+            &mut UniformRandomAdversary::new(7),
+            StopCondition::MaxSteps(500),
+        );
+        b.run(
+            &mut UniformRandomAdversary::new(7),
+            StopCondition::MaxSteps(500),
+        );
         // The toy program only uses randomness through the hunger model
         // (Always → no randomness), so instead compare against a Bernoulli
         // model to make sure seeds reach the philosophers.
@@ -546,24 +622,32 @@ mod tests {
             .with_hunger(crate::HungerModel::Bernoulli(0.5))
             .with_trace(true);
         let mut c = Engine::new(classic_ring(5).unwrap(), ToyProgram, config.clone());
-        let mut d = Engine::new(
-            classic_ring(5).unwrap(),
-            ToyProgram,
-            config.with_seed(99),
+        let mut d = Engine::new(classic_ring(5).unwrap(), ToyProgram, config.with_seed(99));
+        c.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(500),
         );
-        c.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
-        d.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(500));
+        d.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(500),
+        );
         assert_ne!(c.trace().unwrap(), d.trace().unwrap());
     }
 
     #[test]
     fn reset_replays_identically() {
         let mut e = engine(4, 5);
-        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(300));
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(300),
+        );
         let first_trace = e.trace().unwrap().clone();
         let fp1 = e.state_fingerprint();
         e.reset();
-        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(300));
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(300),
+        );
         assert_eq!(e.trace().unwrap(), &first_trace);
         assert_eq!(e.state_fingerprint(), fp1);
     }
@@ -574,10 +658,16 @@ mod tests {
             .with_hunger(crate::HungerModel::Bernoulli(0.3))
             .with_trace(true);
         let mut e = Engine::new(classic_ring(4).unwrap(), ToyProgram, config);
-        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(400));
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(400),
+        );
         let t1 = e.trace().unwrap().clone();
         e.reset_with_seed(1234);
-        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(400));
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(400),
+        );
         assert_ne!(e.trace().unwrap(), &t1);
         assert_eq!(e.step_count(), 400);
     }
@@ -585,12 +675,56 @@ mod tests {
     #[test]
     fn waiting_times_are_recorded() {
         let mut e = engine(3, 0);
-        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(600));
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(600),
+        );
         let any_waits = e
             .topology()
             .philosopher_ids()
             .any(|p| !e.waiting_times(p).is_empty());
         assert!(any_waits);
+    }
+
+    /// Property-style check for the incremental view buffer: after arbitrary
+    /// step sequences (random adversary, random seeds, several topologies and
+    /// hunger models) the persistent views must equal views rebuilt from
+    /// scratch, after every single step.
+    #[test]
+    fn incremental_views_match_rebuilt_views_under_random_stepping() {
+        for n in [2usize, 3, 5, 8] {
+            for seed in 0..4u64 {
+                let config = SimConfig::default()
+                    .with_seed(seed)
+                    .with_hunger(crate::HungerModel::Bernoulli(0.7));
+                let mut engine = Engine::new(classic_ring(n).unwrap(), ToyProgram, config);
+                let mut adversary = UniformRandomAdversary::new(seed ^ 0xFEED);
+                for step in 0..400 {
+                    engine.step_with(&mut adversary);
+                    assert_eq!(
+                        engine.views(),
+                        engine.rebuilt_views().as_slice(),
+                        "incremental views diverged (n={n}, seed={seed}, step={step})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_views_match_after_reset_with_seed() {
+        let mut engine = engine(4, 11);
+        engine.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(250),
+        );
+        engine.reset_with_seed(12);
+        assert_eq!(engine.views(), engine.rebuilt_views().as_slice());
+        engine.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(123),
+        );
+        assert_eq!(engine.views(), engine.rebuilt_views().as_slice());
     }
 
     #[test]
@@ -617,7 +751,10 @@ mod tests {
     fn never_hungry_means_no_meals() {
         let config = SimConfig::default().with_hunger(crate::HungerModel::Never);
         let mut e = Engine::new(classic_ring(4).unwrap(), ToyProgram, config);
-        let outcome = e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(1_000));
+        let outcome = e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(1_000),
+        );
         assert_eq!(outcome.total_meals, 0);
         assert!(!outcome.made_progress());
     }

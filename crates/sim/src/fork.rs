@@ -16,7 +16,6 @@
 //! paper's atomic test-and-set assumption.
 
 use gdp_topology::PhilosopherId;
-use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing per-fork usage counter.
 ///
@@ -31,7 +30,7 @@ pub type UsageStamp = u64;
 /// All fields are private; the atomic-step operations below are the only way
 /// to read or modify them, mirroring the paper's "test-and-set operations on
 /// the forks are performed atomically".
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct ForkCell {
     holder: Option<PhilosopherId>,
     nr: u32,
@@ -135,11 +134,7 @@ impl ForkCell {
     pub fn sign_guest_book(&mut self, philosopher: PhilosopherId) -> UsageStamp {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        if let Some(entry) = self
-            .guest_book
-            .iter_mut()
-            .find(|(p, _)| *p == philosopher)
-        {
+        if let Some(entry) = self.guest_book.iter_mut().find(|(p, _)| *p == philosopher) {
             entry.1 = stamp;
         } else {
             self.guest_book.push((philosopher, stamp));
@@ -305,7 +300,10 @@ mod tests {
         assert!(fork.courtesy_holds(p(1)), "P1 is owed the fork");
         // P1 eats; both have eaten once, P1 more recently.
         fork.sign_guest_book(p(1));
-        assert!(fork.courtesy_holds(p(0)), "P1 ate after P0, so P0 may go again");
+        assert!(
+            fork.courtesy_holds(p(0)),
+            "P1 ate after P0, so P0 may go again"
+        );
         assert!(!fork.courtesy_holds(p(1)));
     }
 

@@ -1,0 +1,46 @@
+//! One shared fingerprinting helper.
+//!
+//! Everything in this workspace that needs a 64-bit state digest (the
+//! engine's [`state_fingerprint`](crate::Engine::state_fingerprint), the
+//! analysis crate's state-space exploration) goes through [`fingerprint64`]
+//! instead of setting up an ad-hoc hasher at each call site.  The hasher is
+//! `std`'s `DefaultHasher` constructed with fixed keys, so fingerprints are
+//! deterministic within a build — which is all the exploration code relies
+//! on; fingerprints are never persisted.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hashes `value` to a deterministic 64-bit fingerprint.
+///
+/// ```
+/// use gdp_sim::fingerprint64;
+/// let a = fingerprint64(&("state", 42u64));
+/// let b = fingerprint64(&("state", 42u64));
+/// assert_eq!(a, b);
+/// assert_ne!(a, fingerprint64(&("state", 43u64)));
+/// ```
+#[must_use]
+pub fn fingerprint64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(fingerprint64(&[1u8, 2, 3]), fingerprint64(&[1u8, 2, 3]));
+        assert_eq!(fingerprint64("abc"), fingerprint64("abc"));
+    }
+
+    #[test]
+    fn distinct_values_usually_hash_distinct() {
+        let fingerprints: std::collections::HashSet<u64> =
+            (0u64..1_000).map(|i| fingerprint64(&i)).collect();
+        assert_eq!(fingerprints.len(), 1_000);
+    }
+}

@@ -7,15 +7,16 @@
 //! paper's arguments (everybody wants to eat) is [`HungerModel::Always`].
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Policy deciding whether a scheduled, thinking philosopher becomes hungry.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum HungerModel {
     /// A thinking philosopher becomes hungry the first time it is scheduled.
     /// This is the maximally contended workload used throughout the paper's
     /// negative and positive arguments.
+    #[default]
     Always,
     /// Philosophers never become hungry (useful for tests of the engine
     /// itself and for "cold" baseline measurements).
@@ -49,12 +50,6 @@ impl HungerModel {
     }
 }
 
-impl Default for HungerModel {
-    fn default() -> Self {
-        HungerModel::Always
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,7 +73,10 @@ mod tests {
             .filter(|_| HungerModel::Bernoulli(0.25).becomes_hungry(&mut rng))
             .count();
         let freq = hits as f64 / trials as f64;
-        assert!((freq - 0.25).abs() < 0.02, "frequency {freq} too far from 0.25");
+        assert!(
+            (freq - 0.25).abs() < 0.02,
+            "frequency {freq} too far from 0.25"
+        );
     }
 
     #[test]

@@ -98,6 +98,7 @@ mod adversary;
 mod config;
 mod engine;
 mod fork;
+mod hash;
 mod hunger;
 mod outcome;
 mod program;
@@ -108,8 +109,9 @@ pub use adversary::{Adversary, RoundRobinAdversary, UniformRandomAdversary};
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use fork::{ForkCell, UsageStamp};
+pub use hash::fingerprint64;
 pub use hunger::HungerModel;
 pub use outcome::{RunOutcome, StopCondition, StopReason};
 pub use program::{Action, Phase, Program, ProgramObservation, StepCtx};
 pub use trace::{StepRecord, Trace};
-pub use view::{PhilosopherView, SystemView};
+pub use view::{Holding, PhilosopherView, SystemView};

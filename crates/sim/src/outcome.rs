@@ -1,7 +1,6 @@
 //! Stop conditions and run outcomes.
 
 use gdp_topology::PhilosopherId;
-use serde::{Deserialize, Serialize};
 
 /// When should [`Engine::run`](crate::Engine::run) stop?
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// approximations of the paper's infinite computations, and the analysis
 /// crate interprets "budget exhausted without the target event" as evidence
 /// of (or an upper bound on the probability of) a no-progress computation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum StopCondition {
     /// Run exactly this many steps (or until the schedule is exhausted).
@@ -61,7 +60,7 @@ impl StopCondition {
 }
 
 /// Why a run stopped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
     /// The target event of the [`StopCondition`] occurred.
     TargetReached,
@@ -78,7 +77,7 @@ impl StopReason {
 }
 
 /// Summary of one finished run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Number of atomic steps executed.
     pub steps: u64,

@@ -14,7 +14,6 @@ use crate::hunger::HungerModel;
 use gdp_topology::{ForkEnds, ForkId, PhilosopherId, Side};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::Hash;
 
@@ -22,7 +21,7 @@ use std::hash::Hash;
 ///
 /// These are the `T` (trying) and `E` (eating) state sets of the paper's
 /// progress statements, plus the thinking phase.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// The philosopher is thinking (may or may not ever become hungry).
     Thinking,
@@ -59,7 +58,7 @@ impl fmt::Display for Phase {
 /// What a philosopher did in one atomic step.  Recorded in the
 /// [`Trace`](crate::Trace) and visible to adversaries through the
 /// [`SystemView`](crate::SystemView).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Action {
     /// The philosopher was scheduled while thinking and kept thinking.
@@ -138,7 +137,7 @@ impl Action {
 /// The paper's adversary has complete information about the computation so
 /// far, including commitments made by philosophers (the "empty arrow" in the
 /// paper's figures); programs expose exactly that through this struct.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProgramObservation {
     /// The philosopher's coarse phase.
     pub phase: Phase,
@@ -476,12 +475,13 @@ mod tests {
     #[test]
     fn request_and_guest_book_operations_are_scoped_to_me() {
         let (mut forks, mut rng, hunger) = ctx_parts();
-        let mut ctx = make_ctx(&mut forks, &mut rng, &hunger);
-        ctx.insert_request(ForkId::new(0));
-        assert!(ctx.courtesy_holds(ForkId::new(0)));
-        ctx.sign_guest_book(ForkId::new(0));
-        ctx.remove_request(ForkId::new(0));
-        drop(ctx);
+        {
+            let mut ctx = make_ctx(&mut forks, &mut rng, &hunger);
+            ctx.insert_request(ForkId::new(0));
+            assert!(ctx.courtesy_holds(ForkId::new(0)));
+            ctx.sign_guest_book(ForkId::new(0));
+            ctx.remove_request(ForkId::new(0));
+        }
         assert_eq!(forks[0].requests(), &[]);
         assert_eq!(forks[0].guest_book_len(), 1);
     }

@@ -9,10 +9,9 @@
 
 use crate::program::{Action, Phase};
 use gdp_topology::PhilosopherId;
-use serde::Serialize;
 
 /// One scheduled atomic step.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StepRecord {
     /// Global step index (0-based).
     pub step: u64,
@@ -25,7 +24,7 @@ pub struct StepRecord {
 }
 
 /// A recorded execution.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     records: Vec<StepRecord>,
     num_philosophers: usize,

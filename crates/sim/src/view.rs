@@ -10,10 +10,129 @@
 //! What the adversary can *not* see is the outcome of random draws that have
 //! not happened yet — randomness is resolved inside the philosopher's step,
 //! after the adversary has committed to scheduling it.
+//!
+//! ## Zero-allocation views
+//!
+//! Views sit on the simulator's hottest path: the engine consults the
+//! adversary before *every* atomic step.  Two design decisions keep that
+//! path allocation-free:
+//!
+//! * [`PhilosopherView`] stores the held forks in [`Holding`], a fixed
+//!   two-slot inline array (a philosopher is an *arc* of the conflict
+//!   multigraph, so it is adjacent to exactly two forks and can never hold
+//!   more) instead of a heap `Vec`;
+//! * the engine maintains one persistent `Vec<PhilosopherView>` that is
+//!   updated **incrementally** — an atomic step can only change the stepped
+//!   philosopher's own observable state, so only that one view is refreshed
+//!   — rather than rebuilding every view before every adversary decision.
 
 use crate::fork::ForkCell;
 use crate::program::{Phase, ProgramObservation};
 use gdp_topology::{ForkId, PhilosopherId, Topology};
+use std::ops::Deref;
+
+/// The set of forks a philosopher currently holds, stored inline.
+///
+/// Capacity is exactly two because every philosopher is adjacent to exactly
+/// two forks (an arc of the conflict multigraph); no heap allocation is ever
+/// performed.  `Holding` dereferences to a `&[ForkId]` slice, so all the
+/// usual slice queries (`len`, `is_empty`, `contains`, `first`, indexing,
+/// iteration) work unchanged.
+///
+/// ```
+/// use gdp_sim::Holding;
+/// use gdp_topology::ForkId;
+///
+/// let mut holding = Holding::new();
+/// assert!(holding.is_empty());
+/// holding.push(ForkId::new(3));
+/// assert_eq!(holding.len(), 1);
+/// assert_eq!(holding[0], ForkId::new(3));
+/// assert!(holding.contains(&ForkId::new(3)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Holding {
+    forks: [ForkId; 2],
+    len: u8,
+}
+
+impl Holding {
+    /// An empty holding set.
+    #[must_use]
+    pub const fn new() -> Self {
+        Holding {
+            forks: [ForkId::new(0), ForkId::new(0)],
+            len: 0,
+        }
+    }
+
+    /// Adds `fork` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two forks are already held — a philosopher has only two
+    /// adjacent forks, so a third push indicates an engine bug.
+    pub fn push(&mut self, fork: ForkId) {
+        assert!(
+            self.len < 2,
+            "a philosopher holds at most two forks (attempted to add {fork})"
+        );
+        self.forks[self.len as usize] = fork;
+        self.len += 1;
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The held forks as a slice, in acquisition-scan order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[ForkId] {
+        &self.forks[..self.len as usize]
+    }
+}
+
+impl Default for Holding {
+    fn default() -> Self {
+        Holding::new()
+    }
+}
+
+impl Deref for Holding {
+    type Target = [ForkId];
+
+    fn deref(&self) -> &[ForkId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Holding {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Holding {}
+
+impl FromIterator<ForkId> for Holding {
+    fn from_iter<I: IntoIterator<Item = ForkId>>(iter: I) -> Self {
+        let mut holding = Holding::new();
+        for fork in iter {
+            holding.push(fork);
+        }
+        holding
+    }
+}
+
+impl<'a> IntoIterator for &'a Holding {
+    type Item = &'a ForkId;
+    type IntoIter = std::slice::Iter<'a, ForkId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// Observable state of one philosopher.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,7 +147,7 @@ pub struct PhilosopherView {
     /// Program-counter label reported by the algorithm, e.g. `"LR1.3"`.
     pub label: &'static str,
     /// The forks currently held by this philosopher (the "filled arrows").
-    pub holding: Vec<ForkId>,
+    pub holding: Holding,
     /// How many meals this philosopher has completed.
     pub meals: u64,
     /// How many times this philosopher has been scheduled.
@@ -170,7 +289,7 @@ impl<'a> SystemView<'a> {
 pub(crate) fn make_view(
     id: PhilosopherId,
     observation: ProgramObservation,
-    holding: Vec<ForkId>,
+    holding: Holding,
     meals: u64,
     scheduled: u64,
     hungry_since: Option<u64>,
@@ -199,7 +318,7 @@ mod tests {
                 phase: Phase::Hungry,
                 committed: Some(ForkId::new(0)),
                 label: "test.3",
-                holding: vec![],
+                holding: Holding::new(),
                 meals: 0,
                 scheduled: 2,
                 hungry_since: Some(0),
@@ -209,7 +328,7 @@ mod tests {
                 phase: Phase::Eating,
                 committed: None,
                 label: "test.5",
-                holding: vec![ForkId::new(1), ForkId::new(2)],
+                holding: [ForkId::new(1), ForkId::new(2)].into_iter().collect(),
                 meals: 3,
                 scheduled: 9,
                 hungry_since: Some(4),
@@ -219,12 +338,50 @@ mod tests {
                 phase: Phase::Thinking,
                 committed: None,
                 label: "test.1",
-                holding: vec![],
+                holding: Holding::new(),
                 meals: 1,
                 scheduled: 4,
                 hungry_since: None,
             },
         ]
+    }
+
+    #[test]
+    fn holding_is_a_bounded_inline_set() {
+        let mut h = Holding::new();
+        assert!(h.is_empty());
+        assert_eq!(h.as_slice(), &[]);
+        h.push(ForkId::new(7));
+        h.push(ForkId::new(2));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], ForkId::new(7));
+        assert_eq!(h[1], ForkId::new(2));
+        assert!(h.contains(&ForkId::new(2)));
+        assert_eq!(h.first(), Some(&ForkId::new(7)));
+        let collected: Vec<ForkId> = (&h).into_iter().copied().collect();
+        assert_eq!(collected, vec![ForkId::new(7), ForkId::new(2)]);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn holding_equality_ignores_stale_slots() {
+        let mut a = Holding::new();
+        a.push(ForkId::new(5));
+        a.clear();
+        let b = Holding::new();
+        // `a` still has 5 in its backing array; equality must compare only
+        // the live prefix.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two forks")]
+    fn holding_rejects_a_third_fork() {
+        let mut h = Holding::new();
+        h.push(ForkId::new(0));
+        h.push(ForkId::new(1));
+        h.push(ForkId::new(2));
     }
 
     #[test]
@@ -253,7 +410,10 @@ mod tests {
         assert_eq!(view.holder_of(ForkId::new(1)), Some(PhilosopherId::new(1)));
         assert_eq!(view.holder_of(ForkId::new(0)), None);
         assert_eq!(view.total_meals(), 4);
-        assert_eq!(view.philosopher(PhilosopherId::new(2)).phase, Phase::Thinking);
+        assert_eq!(
+            view.philosopher(PhilosopherId::new(2)).phase,
+            Phase::Thinking
+        );
         assert_eq!(view.forks().len(), 3);
         assert_eq!(view.topology().num_philosophers(), 3);
     }

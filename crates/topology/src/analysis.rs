@@ -143,6 +143,7 @@ pub fn enumerate_cycles(topology: &Topology, limit: usize) -> Vec<Cycle> {
 
     // DFS from every fork; standard simple-cycle enumeration on small graphs.
     // A cycle is recorded when we return to the start fork with length >= 2.
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         topology: &Topology,
         start: ForkId,
@@ -161,7 +162,7 @@ pub fn enumerate_cycles(topology: &Topology, limit: usize) -> Vec<Cycle> {
                 continue;
             }
             let next = topology.other_fork(p, current);
-            if next == start && arc_path.len() >= 1 {
+            if next == start && !arc_path.is_empty() {
                 let mut cycle = arc_path.clone();
                 cycle.push(p);
                 if cycle.len() >= 2 {
@@ -185,7 +186,9 @@ pub fn enumerate_cycles(topology: &Topology, limit: usize) -> Vec<Cycle> {
             }
             arc_path.push(p);
             fork_path.push(next);
-            dfs(topology, start, next, arc_path, fork_path, found, seen, limit);
+            dfs(
+                topology, start, next, arc_path, fork_path, found, seen, limit,
+            );
             arc_path.pop();
             fork_path.pop();
         }
@@ -217,7 +220,7 @@ fn canonical_cycle(cycle: &[PhilosopherId]) -> Vec<PhilosopherId> {
     let mut best: Option<Vec<PhilosopherId>> = None;
     let n = cycle.len();
     let mut consider = |candidate: Vec<PhilosopherId>| {
-        if best.as_ref().map_or(true, |b| candidate < *b) {
+        if best.as_ref().is_none_or(|b| candidate < *b) {
             best = Some(candidate);
         }
     };
@@ -228,8 +231,7 @@ fn canonical_cycle(cycle: &[PhilosopherId]) -> Vec<PhilosopherId> {
             cycle.iter().rev().copied().collect()
         };
         for shift in 0..n {
-            let rotated: Vec<PhilosopherId> =
-                (0..n).map(|i| seq[(i + shift) % n]).collect();
+            let rotated: Vec<PhilosopherId> = (0..n).map(|i| seq[(i + shift) % n]).collect();
             consider(rotated);
         }
     }
@@ -284,15 +286,13 @@ pub fn theorem1_applies(topology: &Topology) -> bool {
 /// ```
 #[must_use]
 pub fn theorem2_applies(topology: &Topology) -> bool {
-    biconnected_components(topology)
-        .iter()
-        .any(|comp| {
-            let forks: HashSet<ForkId> = comp
-                .iter()
-                .flat_map(|&p| topology.forks_of(p).as_array())
-                .collect();
-            comp.len() > forks.len()
-        })
+    biconnected_components(topology).iter().any(|comp| {
+        let forks: HashSet<ForkId> = comp
+            .iter()
+            .flat_map(|&p| topology.forks_of(p).as_array())
+            .collect();
+        comp.len() > forks.len()
+    })
 }
 
 /// The set of forks that lie on at least one cycle.
@@ -405,7 +405,7 @@ pub fn biconnected_components(topology: &Topology) -> Vec<Vec<PhilosopherId>> {
                     }
                 } else if !arc_stack.is_empty() {
                     // Root of the DFS tree: flush whatever remains.
-                    let mut component: Vec<PhilosopherId> = arc_stack.drain(..).collect();
+                    let mut component: Vec<PhilosopherId> = std::mem::take(&mut arc_stack);
                     component.sort_unstable();
                     components.push(component);
                 }
@@ -449,7 +449,6 @@ mod tests {
         figure2_hexagon_with_pendant, figure3_theta, path, ring_with_chord, star, ChordTarget,
     };
     use crate::Topology;
-    use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -468,8 +467,7 @@ mod tests {
     fn connectivity_detection() {
         assert!(is_connected(&classic_ring(5).unwrap()));
         assert!(is_connected(&figure3_theta()));
-        let disconnected =
-            Topology::from_arcs(4, [(0, 1), (2, 3)]).unwrap();
+        let disconnected = Topology::from_arcs(4, [(0, 1), (2, 3)]).unwrap();
         assert!(!is_connected(&disconnected));
         assert_eq!(connected_components(&disconnected).len(), 2);
     }
@@ -532,7 +530,10 @@ mod tests {
         // forks on cycles).
         assert!(theorem1_applies(&figure3_theta()));
         for (name, t) in figure1_gallery() {
-            assert!(theorem1_applies(&t), "{name} should satisfy Theorem 1 precondition");
+            assert!(
+                theorem1_applies(&t),
+                "{name} should satisfy Theorem 1 precondition"
+            );
         }
     }
 
@@ -590,16 +591,28 @@ mod tests {
                     count[p.index()] += 1;
                 }
             }
-            assert!(count.iter().all(|&c| c == 1), "each arc in exactly one component: {count:?}");
+            assert!(
+                count.iter().all(|&c| c == 1),
+                "each arc in exactly one component: {count:?}"
+            );
         }
     }
 
     #[test]
     fn fork_distance_on_ring() {
         let ring = classic_ring(8).unwrap();
-        assert_eq!(fork_distance(&ring, ForkId::new(0), ForkId::new(0)), Some(0));
-        assert_eq!(fork_distance(&ring, ForkId::new(0), ForkId::new(3)), Some(3));
-        assert_eq!(fork_distance(&ring, ForkId::new(0), ForkId::new(5)), Some(3));
+        assert_eq!(
+            fork_distance(&ring, ForkId::new(0), ForkId::new(0)),
+            Some(0)
+        );
+        assert_eq!(
+            fork_distance(&ring, ForkId::new(0), ForkId::new(3)),
+            Some(3)
+        );
+        assert_eq!(
+            fork_distance(&ring, ForkId::new(0), ForkId::new(5)),
+            Some(3)
+        );
         let disconnected = Topology::from_arcs(4, [(0, 1), (2, 3)]).unwrap();
         assert_eq!(
             fork_distance(&disconnected, ForkId::new(0), ForkId::new(3)),
@@ -607,30 +620,41 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_connected_components_partition_forks(seed in 0u64..200, forks in 2usize..10, phils in 1usize..15) {
+    // Property-style sweeps over seeded / exhaustive parameter grids (the
+    // offline replacement for the former proptest strategies).
+
+    #[test]
+    fn prop_connected_components_partition_forks() {
+        use rand::Rng;
+        let mut param_rng = ChaCha8Rng::seed_from_u64(0xC0_FFEE);
+        for seed in 0u64..200 {
+            let forks = param_rng.gen_range(2usize..10);
+            let phils = param_rng.gen_range(1usize..15);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let t = crate::builders::random_multigraph(forks, phils, &mut rng).unwrap();
             let comps = connected_components(&t);
             let total: usize = comps.iter().map(Vec::len).sum();
-            prop_assert_eq!(total, t.num_forks());
+            assert_eq!(total, t.num_forks());
         }
+    }
 
-        #[test]
-        fn prop_girth_at_least_two(seed in 0u64..200) {
+    #[test]
+    fn prop_girth_at_least_two() {
+        for seed in 0u64..200 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let t = crate::builders::random_multigraph(6, 8, &mut rng).unwrap();
             if let Some(g) = girth(&t) {
-                prop_assert!(g >= 2);
+                assert!(g >= 2, "seed {seed}: girth {g}");
             }
         }
+    }
 
-        #[test]
-        fn prop_classic_ring_never_triggers_negative_theorems(n in 3usize..32) {
+    #[test]
+    fn prop_classic_ring_never_triggers_negative_theorems() {
+        for n in 3usize..32 {
             let t = classic_ring(n).unwrap();
-            prop_assert!(!theorem1_applies(&t));
-            prop_assert!(!theorem2_applies(&t));
+            assert!(!theorem1_applies(&t), "ring {n}");
+            assert!(!theorem2_applies(&t), "ring {n}");
         }
     }
 }

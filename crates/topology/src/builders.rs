@@ -66,7 +66,9 @@ pub fn classic_ring(n: usize) -> Result<Topology> {
 /// Returns an error if `k < 2` or `sharing == 0`.
 pub fn shared_ring(k: usize, sharing: usize) -> Result<Topology> {
     if k < 2 {
-        return Err(invalid(format!("shared ring needs at least 2 forks, got {k}")));
+        return Err(invalid(format!(
+            "shared ring needs at least 2 forks, got {k}"
+        )));
     }
     if sharing == 0 {
         return Err(invalid("sharing factor must be at least 1"));
@@ -191,8 +193,7 @@ pub fn ring_with_chord(ring_size: usize, target: ChordTarget) -> Result<Topology
     let mut arcs: Vec<(u32, u32)> = (0..ring_size)
         .map(|i| (i as u32, ((i + 1) % ring_size) as u32))
         .collect();
-    let num_forks;
-    match target {
+    let num_forks = match target {
         ChordTarget::RingNode { offset } => {
             if offset < 2 || offset >= ring_size - 1 {
                 return Err(invalid(format!(
@@ -201,13 +202,13 @@ pub fn ring_with_chord(ring_size: usize, target: ChordTarget) -> Result<Topology
                 )));
             }
             arcs.push((0, offset as u32));
-            num_forks = ring_size;
+            ring_size
         }
         ChordTarget::ExternalFork => {
             arcs.push((0, ring_size as u32));
-            num_forks = ring_size + 1;
+            ring_size + 1
         }
-    }
+    };
     Topology::from_arcs(num_forks, arcs)
 }
 
@@ -233,7 +234,9 @@ pub fn figure2_hexagon_with_pendant() -> Topology {
 /// Figure 3; use [`Topology::from_arcs`] directly for that shape).
 pub fn theta_graph(len_a: usize, len_b: usize, len_c: usize) -> Result<Topology> {
     if len_a == 0 || len_b == 0 || len_c == 0 {
-        return Err(invalid("theta graph paths must each contain at least one philosopher"));
+        return Err(invalid(
+            "theta graph paths must each contain at least one philosopher",
+        ));
     }
     if len_a == 1 && len_b == 1 && len_c == 1 {
         return Err(invalid(
@@ -399,7 +402,6 @@ mod tests {
     use super::*;
     use crate::analysis;
     use crate::ForkId;
-    use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -524,34 +526,55 @@ mod tests {
         assert!(random_connected(1, 0, &mut rng).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_classic_ring_every_fork_shared_by_two(n in 2usize..64) {
+    // Property-style sweeps over exhaustive / seeded parameter grids (the
+    // offline replacement for the former proptest strategies).
+
+    #[test]
+    fn prop_classic_ring_every_fork_shared_by_two() {
+        for n in 2usize..64 {
             let t = classic_ring(n).unwrap();
-            prop_assert!(t.fork_ids().all(|f| t.fork_degree(f) == 2));
+            assert!(t.fork_ids().all(|f| t.fork_degree(f) == 2), "ring {n}");
         }
+    }
 
-        #[test]
-        fn prop_shared_ring_degree_is_twice_sharing(k in 2usize..16, s in 1usize..5) {
-            let t = shared_ring(k, s).unwrap();
-            prop_assert_eq!(t.num_philosophers(), k * s);
-            prop_assert!(t.fork_ids().all(|f| t.fork_degree(f) == 2 * s));
+    #[test]
+    fn prop_shared_ring_degree_is_twice_sharing() {
+        for k in 2usize..16 {
+            for s in 1usize..5 {
+                let t = shared_ring(k, s).unwrap();
+                assert_eq!(t.num_philosophers(), k * s);
+                assert!(
+                    t.fork_ids().all(|f| t.fork_degree(f) == 2 * s),
+                    "shared_ring({k}, {s})"
+                );
+            }
         }
+    }
 
-        #[test]
-        fn prop_theta_counts(a in 1usize..6, b in 2usize..6, c in 1usize..6) {
-            let t = theta_graph(a, b, c).unwrap();
-            prop_assert_eq!(t.num_philosophers(), a + b + c);
-            prop_assert_eq!(t.num_forks(), (a - 1) + (b - 1) + (c - 1) + 2);
+    #[test]
+    fn prop_theta_counts() {
+        for a in 1usize..6 {
+            for b in 2usize..6 {
+                for c in 1usize..6 {
+                    let t = theta_graph(a, b, c).unwrap();
+                    assert_eq!(t.num_philosophers(), a + b + c);
+                    assert_eq!(t.num_forks(), (a - 1) + (b - 1) + (c - 1) + 2);
+                }
+            }
         }
+    }
 
-        #[test]
-        fn prop_random_multigraph_arcs_are_valid(seed in 0u64..500, forks in 2usize..12, phils in 1usize..20) {
+    #[test]
+    fn prop_random_multigraph_arcs_are_valid() {
+        let mut param_rng = ChaCha8Rng::seed_from_u64(0xB111_DE25);
+        for seed in 0u64..200 {
+            let forks = param_rng.gen_range(2usize..12);
+            let phils = param_rng.gen_range(1usize..20);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let t = random_multigraph(forks, phils, &mut rng).unwrap();
             for p in t.philosopher_ids() {
                 let ends = t.forks_of(p);
-                prop_assert_ne!(ends.left, ends.right);
+                assert_ne!(ends.left, ends.right);
             }
         }
     }

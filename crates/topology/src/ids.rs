@@ -5,7 +5,6 @@
 //! distinct (a fork index can never be confused with a philosopher index)
 //! while remaining `Copy` and cheap to hash.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a fork (a node of the conflict multigraph).
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(f.index(), 3);
 /// assert_eq!(format!("{f}"), "f3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ForkId(u32);
 
 impl ForkId {
@@ -87,7 +86,7 @@ impl From<ForkId> for usize {
 /// let p = PhilosopherId::new(0);
 /// assert_eq!(format!("{p}"), "P0");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhilosopherId(u32);
 
 impl PhilosopherId {

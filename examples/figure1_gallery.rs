@@ -14,16 +14,35 @@ fn main() {
 
     for (name, topology) in builders::figure1_gallery() {
         let stats = topology_analysis::degree_stats(&topology);
-        println!("\n{name}: {} philosophers, {} forks", topology.num_philosophers(), topology.num_forks());
+        println!(
+            "\n{name}: {} philosophers, {} forks",
+            topology.num_philosophers(),
+            topology.num_forks()
+        );
         println!("  fork sharing (min..max) : {}..{}", stats.min, stats.max);
-        println!("  connected               : {}", topology_analysis::is_connected(&topology));
-        println!("  contains a cycle        : {}", topology_analysis::has_cycle(&topology));
-        println!("  Theorem 1 precondition  : {}", topology_analysis::theorem1_applies(&topology));
-        println!("  Theorem 2 precondition  : {}", topology_analysis::theorem2_applies(&topology));
+        println!(
+            "  connected               : {}",
+            topology_analysis::is_connected(&topology)
+        );
+        println!(
+            "  contains a cycle        : {}",
+            topology_analysis::has_cycle(&topology)
+        );
+        println!(
+            "  Theorem 1 precondition  : {}",
+            topology_analysis::theorem1_applies(&topology)
+        );
+        println!(
+            "  Theorem 2 precondition  : {}",
+            topology_analysis::theorem2_applies(&topology)
+        );
 
         // Graphviz rendering, for visual comparison with the paper's figure.
         let rendered = dot::to_dot(&topology, &dot::DotOptions::default());
-        println!("  graphviz ({} lines, render with `dot -Tpng`)", rendered.lines().count());
+        println!(
+            "  graphviz ({} lines, render with `dot -Tpng`)",
+            rendered.lines().count()
+        );
 
         // Progress (Theorem 3) and lockout-freedom (Theorem 4) on this system.
         for kind in [AlgorithmKind::Gdp1, AlgorithmKind::Gdp2] {

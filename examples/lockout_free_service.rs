@@ -36,8 +36,11 @@ fn main() {
     .expect("valid conflict graph");
     println!("conflict graph: {topology}");
 
-    let balances: Arc<Vec<AtomicI64>> =
-        Arc::new((0..topology.num_forks()).map(|_| AtomicI64::new(1_000)).collect());
+    let balances: Arc<Vec<AtomicI64>> = Arc::new(
+        (0..topology.num_forks())
+            .map(|_| AtomicI64::new(1_000))
+            .collect(),
+    );
     let initial_total: i64 = balances.iter().map(|b| b.load(Ordering::SeqCst)).sum();
 
     let table = DiningTable::for_topology(topology);

@@ -40,7 +40,10 @@ fn main() {
     let trials = 20;
     let steps = 50_000;
     println!("Section 3 scheduler vs the four algorithms on the Figure 1 triangle");
-    println!("({} trials x {} steps; the paper proves the LR1 no-progress", trials, steps);
+    println!(
+        "({} trials x {} steps; the paper proves the LR1 no-progress",
+        trials, steps
+    );
     println!(" computation has probability >= 1/4 under a fair scheduler)");
     println!("{}", "-".repeat(78));
     println!(
@@ -49,7 +52,13 @@ fn main() {
     );
     for kind in AlgorithmKind::paper_algorithms() {
         let (blocked, meals, bound) = run(kind, trials, steps);
-        println!("{:<10} {:>18.2} {:>18.1} {:>22.0}", kind.name(), blocked, meals, bound);
+        println!(
+            "{:<10} {:>18.2} {:>18.1} {:>22.0}",
+            kind.name(),
+            blocked,
+            meals,
+            bound
+        );
     }
     println!("{}", "-".repeat(78));
     println!("Expected shape: LR1/LR2 are blocked in well over 1/4 of the trials and");

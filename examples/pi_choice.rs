@@ -24,10 +24,7 @@ fn main() {
         // firm, or hand a job to a worker.
         let brokers: Vec<ProcessId> = (0..2)
             .map(|i| {
-                round.add_process(vec![
-                    Guard::recv(offers),
-                    Guard::send(jobs, 100 + i as u64),
-                ])
+                round.add_process(vec![Guard::recv(offers), Guard::send(jobs, 100 + i as u64)])
             })
             .collect();
         // Three firms sending offers, two workers waiting for jobs.
@@ -43,7 +40,10 @@ fn main() {
         total_per_round.push(syncs.len());
         println!("round {round_index}: {} synchronizations", syncs.len());
         for s in syncs {
-            println!("    {} --{}--> {} (value {})", s.sender, s.channel, s.receiver, s.value);
+            println!(
+                "    {} --{}--> {} (value {})",
+                s.sender, s.channel, s.receiver, s.value
+            );
         }
         // Sanity: the committed set is conflict-free and the brokers are the
         // bottleneck (each participates in at most one synchronization).

@@ -33,7 +33,10 @@ fn main() {
     println!("  total meals      : {}", outcome.total_meals);
     println!("  meals/philosopher: {:?}", outcome.meals_per_philosopher);
     println!("  first meal step  : {:?}", outcome.first_meal_step);
-    println!("  throughput       : {:.2} meals per 1000 steps", outcome.throughput_per_kstep());
+    println!(
+        "  throughput       : {:.2} meals per 1000 steps",
+        outcome.throughput_per_kstep()
+    );
 
     // 3. The same guarantees with real threads: the GDP2-based runtime.
     let table = DiningTable::for_topology(topology);

@@ -24,7 +24,10 @@ fn simulation_and_runtime_agree_on_lockout_freedom() {
             max_steps: 2_000_000,
         },
     );
-    assert!(outcome.reason.target_reached(), "simulated GDP2 must feed everyone twice");
+    assert!(
+        outcome.reason.target_reached(),
+        "simulated GDP2 must feed everyone twice"
+    );
 
     // Threaded.
     let report = run_for_meals(topology, 25, || {});

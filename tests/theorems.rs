@@ -14,7 +14,7 @@ fn section3_contrast_on_the_triangle() {
 
     let trials = 12;
     let steps = 40_000;
-    let mut blocked = vec![0u64; 4];
+    let mut blocked = [0u64; 4];
     for (i, kind) in AlgorithmKind::paper_algorithms().iter().enumerate() {
         for seed in 0..trials {
             let mut engine = Engine::new(
@@ -31,8 +31,16 @@ fn section3_contrast_on_the_triangle() {
     }
     let fraction = |count: u64| count as f64 / trials as f64;
     // LR1 and LR2 are blocked in at least the paper's 1/4 of the trials.
-    assert!(fraction(blocked[0]) >= 0.25, "LR1 blocked fraction {}", fraction(blocked[0]));
-    assert!(fraction(blocked[1]) >= 0.25, "LR2 blocked fraction {}", fraction(blocked[1]));
+    assert!(
+        fraction(blocked[0]) >= 0.25,
+        "LR1 blocked fraction {}",
+        fraction(blocked[0])
+    );
+    assert!(
+        fraction(blocked[1]) >= 0.25,
+        "LR2 blocked fraction {}",
+        fraction(blocked[1])
+    );
     // GDP1 and GDP2 are never blocked (Theorems 3 and 4).
     assert_eq!(blocked[2], 0, "GDP1 must never be blocked");
     assert_eq!(blocked[3], 0, "GDP2 must never be blocked");
@@ -66,7 +74,10 @@ fn theorem3_progress_across_the_gallery() {
 /// Theorem-2 witness topology (theta graph) and on the Figure 2 system.
 #[test]
 fn theorem4_lockout_freedom_on_witness_topologies() {
-    for spec in [TopologySpec::Figure3Theta, TopologySpec::Figure2RingWithPendant] {
+    for spec in [
+        TopologySpec::Figure3Theta,
+        TopologySpec::Figure2RingWithPendant,
+    ] {
         let report = Experiment::new(spec.clone(), AlgorithmKind::Gdp2)
             .with_trials(5)
             .with_max_steps(400_000)
@@ -86,7 +97,10 @@ fn section5_gdp1_starvation_vs_gdp2() {
     let trials = 10;
     let steps = 60_000;
     let mut starved = [0u64; 2];
-    for (i, kind) in [AlgorithmKind::Gdp1, AlgorithmKind::Gdp2].iter().enumerate() {
+    for (i, kind) in [AlgorithmKind::Gdp1, AlgorithmKind::Gdp2]
+        .iter()
+        .enumerate()
+    {
         for seed in 0..trials {
             let report = Experiment::new(TopologySpec::Figure1Triangle, *kind)
                 .with_scheduler(SchedulerSpec::Starver(0))
@@ -123,7 +137,9 @@ fn negative_theorem_preconditions() {
     assert!(topology_analysis::theorem1_applies(&figure2));
     assert!(!topology_analysis::theorem2_applies(&figure2));
     // Theta graph (Figure 3) and the whole Figure 1 gallery: both.
-    assert!(topology_analysis::theorem2_applies(&builders::figure3_theta()));
+    assert!(topology_analysis::theorem2_applies(
+        &builders::figure3_theta()
+    ));
     for (name, topology) in builders::figure1_gallery() {
         assert!(
             topology_analysis::theorem1_applies(&topology),
@@ -143,8 +159,7 @@ fn section4_symmetry_bound_holds_on_the_gallery() {
         let k = topology.num_forks() as u32;
         for m in [k, 2 * k] {
             let bound = symmetry::distinct_probability_lower_bound(k, m);
-            let measured =
-                symmetry::empirical_distinct_probability(&topology, m, 20_000, &mut rng);
+            let measured = symmetry::empirical_distinct_probability(&topology, m, 20_000, &mut rng);
             // The bound is exact when the adjacency is complete (triangle),
             // so allow for Monte-Carlo noise on top of the inequality.
             assert!(

@@ -1,0 +1,299 @@
+//! A small wall-clock benchmark harness exposing the subset of the
+//! `criterion` API used by this workspace (`bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros).  Vendored because this
+//! build environment has no access to crates.io.
+//!
+//! Measurement model: after a warm-up period, iterations are run in growing
+//! batches until the measurement time budget is spent; the reported figure is
+//! the mean wall-clock time per iteration, with min/max over batches as a
+//! dispersion hint.  This is far simpler than real criterion (no outlier
+//! analysis, no regression), but it is deterministic in structure and honest
+//! about what it measures.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration plus a sink for results.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement batches per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the time budget spent measuring each benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time run before measuring each benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under the name `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` as `<group>/<id>`.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: IdLabel,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.label());
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input as `<group>/<id>`.
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: IdLabel,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label());
+        run_benchmark(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark label: strings or [`BenchmarkId`]s.
+pub trait IdLabel {
+    /// The rendered label.
+    fn label(&self) -> String;
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an identifier rendered as `<name>/<parameter>`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`: warm-up, then `sample_size` batches sized so the whole
+    /// measurement fits the configured time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and estimate the per-iteration cost while at it.
+        let warm_up = self.config.warm_up_time;
+        let started = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while started.elapsed() < warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = started.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.config.sample_size as u64;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let batch = ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        let mut iterations = 0u64;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns * batch as f64;
+            iterations += batch;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.result = Some(Sample {
+            mean_ns: total_ns / iterations as f64,
+            min_ns,
+            max_ns,
+            iterations,
+        });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(criterion: &mut Criterion, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config: criterion,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => println!(
+            "bench {:<60} time: [{} {} {}]  ({} iterations)",
+            id,
+            format_ns(s.min_ns),
+            format_ns(s.mean_ns),
+            format_ns(s.max_ns),
+            s.iterations
+        ),
+        None => println!("bench {id:<60} (no measurement recorded)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, compatible with both criterion forms:
+/// `criterion_group!(name, target1, target2)` and
+/// `criterion_group! { name = n; config = expr; targets = t1, t2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        let mut c = fast_config();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("group");
+        group.bench_function("plain", |b| b.iter(|| black_box(3) * 2));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}
