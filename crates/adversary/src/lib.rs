@@ -27,8 +27,9 @@
 //!   fair by construction through this mechanism, and the engine
 //!   additionally certifies the realized bounded-fairness bound of each run.
 //!
-//! The corresponding experiments (E2–E4, E9) live in the `gdp-bench` crate
-//! and are summarized in `EXPERIMENTS.md`.
+//! The corresponding experiments (E2–E4, E9) live in the `gdp-bench` crate;
+//! `cargo run -p gdp-bench --bin report --release` regenerates their
+//! summary tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -77,7 +77,7 @@ impl SchedulingPolicy for StarverPolicy {
     }
 }
 
-/// The fair starvation adversary: [`StarverPolicy`] under a [`FairDriver`].
+/// The fair starvation adversary: the starver policy under a [`FairDriver`].
 #[derive(Clone, Debug)]
 pub struct TargetStarver {
     driver: FairDriver<StarverPolicy>,

@@ -59,7 +59,7 @@ pub use gdp1::{Gdp1, Gdp1State};
 pub use gdp2::{Gdp2, Gdp2State};
 pub use lr1::{Lr1, Lr1State};
 pub use lr2::{Lr2, Lr2State};
-pub use registry::{AlgorithmKind, AnyProgram, AnyState};
+pub use registry::{AlgorithmKind, AnyProgram, AnyState, ParseAlgorithmError};
 
 #[cfg(test)]
 mod common_tests;

@@ -12,7 +12,7 @@
 //!   eventually eats) and **lockout-freedom** (Theorem 4: every philosopher
 //!   eventually eats), under an arbitrary program / adversary / topology
 //!   combination;
-//! * [`explore`] — bounded exhaustive exploration of the probabilistic
+//! * [`mod@explore`] — bounded exhaustive exploration of the probabilistic
 //!   automaton of a small system (all scheduler choices, per-seed coin
 //!   flips): reachable-state counts, safety verification and dead-end
 //!   (deadlock) detection;
@@ -21,8 +21,9 @@
 //!   adjacent forks distinct, with the paper's closed-form lower bound
 //!   `m!/(mᵏ(m−k)!)` for comparison.
 //!
-//! All estimators are deterministic given their seeds, so experiment tables
-//! in `EXPERIMENTS.md` can be regenerated exactly.
+//! All estimators are deterministic given their seeds, so the experiment
+//! tables printed by the `gdp-bench` report binary can be regenerated
+//! exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,5 +36,5 @@ pub mod symmetry;
 
 pub use explore::{explore, explore_seeds, ExplorationReport};
 pub use metrics::RunMetrics;
-pub use montecarlo::{LockoutEstimate, ProgressEstimate, TrialConfig};
+pub use montecarlo::{LivenessEstimate, LockoutEstimate, ProgressEstimate, TrialConfig};
 pub use symmetry::{distinct_probability_lower_bound, empirical_distinct_probability};

@@ -38,7 +38,9 @@ pub struct TrialConfig {
     pub trials: u64,
     /// Step budget per trial.
     pub max_steps: u64,
-    /// Base seed; trial `i` uses seed `base_seed + i`.
+    /// Base seed; trial `i` uses seed `base_seed.wrapping_add(i)` (wrapping,
+    /// so seeds near `u64::MAX` — e.g. hashed per-cell sweep seeds — are
+    /// legal and behave identically in debug and release builds).
     pub base_seed: u64,
     /// Worker threads for the trial batch: `0` means "use every available
     /// core", `1` forces the serial path.  Results are identical for every
@@ -197,7 +199,7 @@ where
     F: Fn(u64) -> A + Sync,
 {
     let outcomes = collect_trials(config.trials, config.effective_threads(), |trial| {
-        let seed = config.base_seed + trial;
+        let seed = config.base_seed.wrapping_add(trial);
         let sim = config.sim.clone().with_seed(seed);
         let mut engine = Engine::new(topology.clone(), program.clone(), sim);
         let mut adversary = make_adversary(trial);
@@ -241,17 +243,11 @@ where
     }
 }
 
-/// The fixed-size summary one lockout trial reduces to.
-struct LockoutTrial {
-    all_ate: bool,
-    /// Indices of the philosophers that completed no meal.
-    starved: Vec<u32>,
-    min_meals: u64,
-    jain: f64,
-}
-
 /// Estimates the lockout-freedom probability of `program` on `topology`
 /// under the adversaries produced by `make_adversary`.
+///
+/// This is the lockout half of [`estimate_liveness`] (same seeds, same
+/// trials, same fold — one source of truth for the trial body).
 ///
 /// Trials run in parallel per [`TrialConfig::threads`]; the estimate is
 /// bitwise-identical for every thread count.
@@ -266,9 +262,57 @@ where
     A: Adversary,
     F: Fn(u64) -> A + Sync,
 {
+    estimate_liveness(topology, program, make_adversary, config).lockout
+}
+
+/// Both liveness estimates, derived from **one** batch of trials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LivenessEstimate {
+    /// The progress (Theorem 3) estimate.
+    pub progress: ProgressEstimate,
+    /// The lockout-freedom (Theorem 4) estimate.
+    pub lockout: LockoutEstimate,
+}
+
+/// The fixed-size summary one combined trial reduces to.
+struct LivenessTrial {
+    first_meal: Option<u64>,
+    total_meals: u64,
+    all_ate: bool,
+    starved: Vec<u32>,
+    min_meals: u64,
+    jain: f64,
+}
+
+/// Estimates progress **and** lockout-freedom from a single batch: each
+/// trial runs once for the full step budget, and the progress signature is
+/// read off the recorded first-meal step.
+///
+/// Because trial `i` evolves identically up to its first meal whether or not
+/// the engine stops there, every progress field except `meals_mean` is
+/// bitwise-equal to [`estimate_progress`] on the same configuration
+/// (test-enforced below).  The saving over calling both estimators is the
+/// progress batch — cheap when trials reach a meal quickly, up to a full
+/// extra budget per trial on the no-progress cells adversarial sweeps
+/// exist to study.  The one semantic difference: `progress.meals_mean`
+/// counts meals over the whole window rather than up to the first meal.
+///
+/// Trials run in parallel per [`TrialConfig::threads`]; the estimates are
+/// bitwise-identical for every thread count.
+pub fn estimate_liveness<P, A, F>(
+    topology: &Topology,
+    program: &P,
+    make_adversary: F,
+    config: &TrialConfig,
+) -> LivenessEstimate
+where
+    P: Program + Clone + Sync,
+    A: Adversary,
+    F: Fn(u64) -> A + Sync,
+{
     let n = topology.num_philosophers();
     let outcomes = collect_trials(config.trials, config.effective_threads(), |trial| {
-        let seed = config.base_seed + trial;
+        let seed = config.base_seed.wrapping_add(trial);
         let sim = config.sim.clone().with_seed(seed);
         let mut engine = Engine::new(topology.clone(), program.clone(), sim);
         let mut adversary = make_adversary(trial);
@@ -278,7 +322,9 @@ where
             .iter()
             .map(|&m| m as f64)
             .collect();
-        LockoutTrial {
+        LivenessTrial {
+            first_meal: outcome.first_meal_step,
+            total_meals: outcome.total_meals,
             all_ate: outcome.everyone_ate(),
             starved: outcome.starved().iter().map(|p| p.raw()).collect(),
             min_meals: outcome
@@ -291,11 +337,19 @@ where
         }
     });
 
+    let mut progressed = 0u64;
+    let mut first_meals = Vec::new();
+    let mut meals = Vec::with_capacity(outcomes.len());
     let mut all_ate = 0u64;
     let mut starvation = vec![0u64; n];
     let mut min_meals = Vec::with_capacity(outcomes.len());
     let mut fairness = Vec::with_capacity(outcomes.len());
     for trial in &outcomes {
+        meals.push(trial.total_meals as f64);
+        if let Some(step) = trial.first_meal {
+            progressed += 1;
+            first_meals.push(step as f64);
+        }
         if trial.all_ate {
             all_ate += 1;
         }
@@ -305,18 +359,33 @@ where
         min_meals.push(trial.min_meals as f64);
         fairness.push(trial.jain);
     }
-    LockoutEstimate {
-        trials: config.trials,
-        all_ate,
-        lockout_free_fraction: if config.trials == 0 {
+    let fraction = |count: u64| {
+        if config.trials == 0 {
             0.0
         } else {
-            all_ate as f64 / config.trials as f64
+            count as f64 / config.trials as f64
+        }
+    };
+    LivenessEstimate {
+        progress: ProgressEstimate {
+            trials: config.trials,
+            progressed,
+            progress_fraction: fraction(progressed),
+            confidence: stats::wilson_interval(progressed, config.trials),
+            first_meal_mean: stats::mean(&first_meals),
+            first_meal_p50: stats::percentile(&first_meals, 50.0),
+            first_meal_p95: stats::percentile(&first_meals, 95.0),
+            meals_mean: stats::mean(&meals),
         },
-        confidence: stats::wilson_interval(all_ate, config.trials),
-        starvation_per_philosopher: starvation,
-        min_meals_mean: stats::mean(&min_meals),
-        fairness_mean: stats::mean(&fairness),
+        lockout: LockoutEstimate {
+            trials: config.trials,
+            all_ate,
+            lockout_free_fraction: fraction(all_ate),
+            confidence: stats::wilson_interval(all_ate, config.trials),
+            starvation_per_philosopher: starvation,
+            min_meals_mean: stats::mean(&min_meals),
+            fairness_mean: stats::mean(&fairness),
+        },
     }
 }
 
@@ -448,6 +517,51 @@ mod tests {
                 "GDP1 lockout, {threads} threads"
             );
         }
+    }
+
+    /// `estimate_liveness` must agree with the two separate estimators on
+    /// the same configuration — bitwise, except for the documented
+    /// `meals_mean` semantic change.
+    #[test]
+    fn combined_liveness_estimate_matches_the_separate_estimators() {
+        let topology = classic_ring(5).unwrap();
+        let config = TrialConfig::new(8, 20_000).with_base_seed(4);
+        let combined = estimate_liveness(
+            &topology,
+            &Gdp1::new(),
+            UniformRandomAdversary::new,
+            &config,
+        );
+        let progress = estimate_progress(
+            &topology,
+            &Gdp1::new(),
+            UniformRandomAdversary::new,
+            &config,
+        );
+        let lockout = estimate_lockout_freedom(
+            &topology,
+            &Gdp1::new(),
+            UniformRandomAdversary::new,
+            &config,
+        );
+        let mut expected_progress = progress.clone();
+        expected_progress.meals_mean = combined.progress.meals_mean;
+        assert_eq!(combined.progress, expected_progress);
+        assert_eq!(combined.lockout, lockout);
+        // Full-window meal counts dominate stop-at-first-meal counts.
+        assert!(combined.progress.meals_mean >= progress.meals_mean);
+    }
+
+    #[test]
+    fn wrapping_seeds_accept_the_maximum_base_seed() {
+        let config = TrialConfig::new(3, 2_000).with_base_seed(u64::MAX);
+        let estimate = estimate_liveness(
+            &classic_ring(3).unwrap(),
+            &Gdp1::new(),
+            UniformRandomAdversary::new,
+            &config,
+        );
+        assert_eq!(estimate.progress.trials, 3);
     }
 
     #[test]

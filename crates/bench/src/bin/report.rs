@@ -7,8 +7,8 @@
 //! cargo run -p gdp-bench --bin report --release -- --skip-perf   # just the tables
 //! ```
 //!
-//! The table output is the source of the numbers recorded in
-//! `EXPERIMENTS.md`; the perf output (steps/sec, allocations/step,
+//! The table output is the canonical source of the reproduced experiment
+//! numbers; the perf output (steps/sec, allocations/step,
 //! Monte-Carlo trials/sec serial vs parallel) is the baseline future PRs
 //! must not regress — see `docs/PERFORMANCE.md`.
 
@@ -39,6 +39,10 @@ fn run_perf() {
     assert!(
         report.montecarlo.identical,
         "parallel Monte-Carlo must match serial bitwise"
+    );
+    assert!(
+        report.scenario_sweep.identical,
+        "parallel scenario sweep must match serial bitwise"
     );
     report
         .write_json("BENCH_results.json")

@@ -1,8 +1,8 @@
 //! Shared helpers for the benchmark harness.
 //!
 //! Every table- or figure-level claim of the paper has a Criterion bench
-//! under `benches/` that (a) prints the paper-style summary rows recorded in
-//! `EXPERIMENTS.md` and (b) measures the timing of the underlying workload.
+//! under `benches/` that (a) prints the paper-style summary rows and
+//! (b) measures the timing of the underlying workload.
 //! The `report` binary (`cargo run -p gdp-bench --bin report --release`)
 //! regenerates all summary tables in one go.
 
@@ -17,7 +17,7 @@ pub mod perf;
 
 /// Number of Monte-Carlo trials used by the printed summaries.  Kept modest
 /// so `cargo bench` stays interactive; the `report` binary uses the same
-/// value so its output matches `EXPERIMENTS.md`.
+/// value so bench output and report tables agree.
 pub const TRIALS: u64 = 20;
 
 /// Step budget per trial used by the printed summaries.

@@ -12,12 +12,21 @@
 //!   [`crate::alloc_counter`] when the binary installs the counting
 //!   allocator (the zero-allocation-views claim, empirically);
 //! * **trials/sec** of the Monte-Carlo layer, serial vs parallel, plus the
-//!   bitwise-equality check between the two estimates.
+//!   bitwise-equality check between the two estimates;
+//! * **cells/sec** of the scenario-sweep layer (`gdp-scenarios`) over a
+//!   mixed-family grid, again with the serial-vs-parallel identity check.
+//!
+//! Wall-clock caveat: the committed `BENCH_results.json` comes from a
+//! **single-core build container**, so its serial and parallel throughput
+//! coincide (`speedup` ≈ 1); on a multi-core host the parallel figures scale
+//! with cores.  Treat ratios, not absolutes, as the trajectory — see
+//! `docs/PERFORMANCE.md`.
 
 use crate::alloc_counter;
 use gdp_algorithms::AlgorithmKind;
 use gdp_analysis::montecarlo::{estimate_lockout_freedom, LockoutEstimate};
 use gdp_analysis::TrialConfig;
+use gdp_scenarios::{run_sweep, ScenarioSpec, SweepOptions};
 use gdp_sim::{Engine, SimConfig, UniformRandomAdversary};
 use gdp_topology::builders::classic_ring;
 use std::fmt::Write as _;
@@ -58,6 +67,24 @@ pub struct MonteCarloSample {
     pub identical: bool,
 }
 
+/// Scenario-sweep throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ScenarioSweepSample {
+    /// Cells in the measured grid.
+    pub cells: usize,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// Grid cells completed per second (parallel run).
+    pub cells_per_sec: f64,
+    /// `serial / parallel` wall-clock ratio for the whole sweep.
+    pub speedup: f64,
+    /// Whether the serial and parallel sweeps were bitwise-identical
+    /// (must be `true`).
+    pub identical: bool,
+}
+
 /// Everything `BENCH_results.json` records.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
@@ -68,6 +95,8 @@ pub struct PerfReport {
     pub hot_loop_rebuild: Vec<HotLoopSample>,
     /// The Monte-Carlo serial-vs-parallel sample.
     pub montecarlo: MonteCarloSample,
+    /// The scenario-sweep serial-vs-parallel sample.
+    pub scenario_sweep: ScenarioSweepSample,
 }
 
 /// Runs `steps` adversary-driven steps of GDP1 on a fresh classic `n`-ring
@@ -177,6 +206,46 @@ pub fn measure_montecarlo(n: usize, trials: u64, max_steps: u64) -> MonteCarloSa
     }
 }
 
+/// The families measured by [`measure_scenario_sweep`] (also recorded in
+/// the JSON so the metadata cannot drift from the measurement).
+const SWEEP_PERF_FAMILIES: &str = "ring,torus,complete,random-regular:3";
+
+/// The grid measured by [`measure_scenario_sweep`]: four families at two
+/// sizes under GDP1, the shape of the default `gdp sweep` cut down to a
+/// perf-sized budget.
+fn sweep_perf_spec() -> ScenarioSpec {
+    ScenarioSpec::new("perf")
+        .with_families_str(SWEEP_PERF_FAMILIES)
+        .expect("perf families parse")
+        .with_sizes([8, 16])
+        .with_algorithms_str("gdp1")
+        .expect("perf algorithms parse")
+        .with_trials(16)
+        .with_max_steps(20_000)
+}
+
+/// Measures serial vs parallel scenario-sweep throughput and checks the two
+/// reports are bitwise-identical (the sweep-level determinism contract).
+#[must_use]
+pub fn measure_scenario_sweep() -> ScenarioSweepSample {
+    let spec = sweep_perf_spec();
+    let quiet = SweepOptions::quiet();
+    let started = Instant::now();
+    let serial = run_sweep(&spec.clone().with_threads(1), &quiet).expect("perf sweep (serial)");
+    let serial_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let parallel = run_sweep(&spec.with_threads(0), &quiet).expect("perf sweep (parallel)");
+    let parallel_secs = started.elapsed().as_secs_f64();
+    ScenarioSweepSample {
+        cells: parallel.cells.len(),
+        trials: serial.trials,
+        max_steps: serial.max_steps,
+        cells_per_sec: parallel.cells.len() as f64 / parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        identical: serial == parallel,
+    }
+}
+
 /// Runs the full perf suite with the default sizes used by
 /// `BENCH_results.json`.
 #[must_use]
@@ -193,10 +262,12 @@ pub fn run_perf_suite() -> PerfReport {
     // Trials long enough that spawning threads is noise, many enough that
     // every core gets work.
     let montecarlo = measure_montecarlo(50, 64, 40_000);
+    let scenario_sweep = measure_scenario_sweep();
     PerfReport {
         hot_loop,
         hot_loop_rebuild,
         montecarlo,
+        scenario_sweep,
     }
 }
 
@@ -244,7 +315,7 @@ impl PerfReport {
              \"algorithm\": \"GDP1\",\n    \"trials\": {},\n    \"max_steps\": {},\n    \
              \"threads\": {},\n    \"serial_trials_per_sec\": {},\n    \
              \"parallel_trials_per_sec\": {},\n    \"speedup\": {},\n    \
-             \"bitwise_identical\": {}\n  }}\n}}\n",
+             \"bitwise_identical\": {}\n  }},\n",
             mc.n,
             mc.trials,
             mc.max_steps,
@@ -253,6 +324,21 @@ impl PerfReport {
             json_f64(mc.parallel_trials_per_sec),
             json_f64(mc.speedup),
             mc.identical,
+        );
+        let sweep = &self.scenario_sweep;
+        let _ = write!(
+            out,
+            "  \"scenario_sweep\": {{\n    \"families\": \"{}\",\n    \
+             \"algorithm\": \"GDP1\",\n    \"cells\": {},\n    \"trials\": {},\n    \
+             \"max_steps\": {},\n    \"cells_per_sec\": {},\n    \"speedup\": {},\n    \
+             \"bitwise_identical\": {}\n  }}\n}}\n",
+            SWEEP_PERF_FAMILIES,
+            sweep.cells,
+            sweep.trials,
+            sweep.max_steps,
+            json_f64(sweep.cells_per_sec),
+            json_f64(sweep.speedup),
+            sweep.identical,
         );
         out
     }
@@ -292,6 +378,17 @@ impl PerfReport {
             mc.speedup,
             mc.identical,
         );
+        let sweep = &self.scenario_sweep;
+        println!(
+            "perf: scenario_sweep {} cells ({} trials x {} steps each): \
+             {:.2} cells/s, speedup {:.2}x, identical={}",
+            sweep.cells,
+            sweep.trials,
+            sweep.max_steps,
+            sweep.cells_per_sec,
+            sweep.speedup,
+            sweep.identical,
+        );
         Ok(())
     }
 }
@@ -312,12 +409,30 @@ mod tests {
             hot_loop: vec![measure_hot_loop(5, 2_000)],
             hot_loop_rebuild: vec![measure_hot_loop_rebuild_every_step(5, 2_000)],
             montecarlo: measure_montecarlo(5, 4, 2_000),
+            scenario_sweep: ScenarioSweepSample {
+                cells: 8,
+                trials: 16,
+                max_steps: 20_000,
+                cells_per_sec: 3.5,
+                speedup: 1.0,
+                identical: true,
+            },
         };
         let json = report.to_json();
         assert!(json.contains("\"engine_hot_loop\""));
         assert!(json.contains("\"steps_per_sec\""));
+        assert!(json.contains("\"scenario_sweep\""));
+        assert!(json.contains("\"cells_per_sec\""));
         assert!(json.contains("\"bitwise_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.montecarlo.identical);
+    }
+
+    #[test]
+    fn scenario_sweep_sample_is_identical_and_counts_cells() {
+        let sample = measure_scenario_sweep();
+        assert!(sample.identical, "sweep must be thread-count independent");
+        assert_eq!(sample.cells, 8);
+        assert!(sample.cells_per_sec > 0.0);
     }
 }

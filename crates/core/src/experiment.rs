@@ -9,8 +9,9 @@ use gdp_sim::{Engine, SimConfig, StopCondition};
 /// A fully specified, repeatable experiment.
 ///
 /// Build one with [`Experiment::new`] plus the `with_*` methods, then call
-/// [`run`](Experiment::run).  Every experiment in `EXPERIMENTS.md` is an
-/// instance of this type (see `crates/bench`).
+/// [`run`](Experiment::run).  Every experiment table printed by the
+/// `gdp-bench` report binary is an instance of this type (see
+/// `crates/bench`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Experiment {
     /// The conflict topology.

@@ -13,8 +13,8 @@
 //! * [`Experiment`] bundles *topology × algorithm × scheduler × trial
 //!   budget* into a single runnable object producing an
 //!   [`ExperimentReport`] with progress and lockout-freedom estimates —
-//!   the shape in which `EXPERIMENTS.md` reports every table/figure-level
-//!   claim of the paper.
+//!   the shape in which the `gdp-bench` report binary prints every
+//!   table/figure-level claim of the paper.
 //!
 //! ## Example
 //!

@@ -24,7 +24,7 @@
 //! * a [`ChoiceRound`] builds that conflict topology and commits a
 //!   conflict-free set of synchronizations by running one thread per
 //!   potential synchronization on top of the GDP2-based
-//!   [`DiningTable`](gdp_runtime::DiningTable), so the selection is
+//!   [`gdp_runtime::DiningTable`], so the selection is
 //!   symmetric, fully distributed, deadlock-free and non-starving — the
 //!   guarantees Theorems 3 and 4 provide.
 //!

@@ -1,0 +1,400 @@
+//! Parameterized topology families: one scale parameter `n` per family.
+
+use gdp_topology::{builders, Result as TopologyResult, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// A topology family the sweep can enumerate: a map from one scale parameter
+/// `n` (and, for the random families, a seed) to a concrete validated
+/// [`Topology`].
+///
+/// Families deliberately reduce every shape to a *single* scale knob so that
+/// one `--sizes` list applies across the whole grid; the per-family meaning
+/// of `n` is documented on each variant (and listed by `gdp list`).
+///
+/// ```
+/// use gdp_scenarios::TopologyFamily;
+/// let family: TopologyFamily = "random-regular:3".parse()?;
+/// let t = family.build(9, 7)?;
+/// // n * d was odd, so the family rounded the fork count up to 10.
+/// assert_eq!(t.num_forks(), 10);
+/// assert_eq!(t.num_philosophers(), 15);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyFamily {
+    /// The classic ring: `n` philosophers, `n` forks.  The only family on
+    /// which LR1/LR2 are provably correct.
+    Ring,
+    /// A ring of `n` forks with `sharing` parallel philosophers per edge
+    /// (the Figure 1 shape): `n * sharing` philosophers.
+    SharedRing {
+        /// Parallel philosophers per ring edge (Figure 1 uses 2).
+        sharing: usize,
+    },
+    /// An open square grid on the smallest square of lattice forks with at
+    /// least `n` of them.
+    Grid,
+    /// A torus (wraparound grid) on the smallest square of at least `n`
+    /// forks, side at least 3; every fork shared by exactly 4 philosophers.
+    Torus,
+    /// The complete conflict graph on `n` forks: `n * (n-1) / 2`
+    /// philosophers.
+    Complete,
+    /// A star with `n` spoke philosophers around one hub fork.
+    Star,
+    /// Two complete graphs on `max(3, n/2)` forks each, joined by a path of
+    /// `bridge` philosophers.
+    Barbell {
+        /// Philosophers on the path joining the two cliques.
+        bridge: usize,
+    },
+    /// A generalized theta graph: `n` philosophers split as evenly as
+    /// possible over `paths` internally disjoint hub-to-hub paths.
+    Theta {
+        /// Number of internally disjoint paths between the two hubs.
+        paths: usize,
+    },
+    /// A seeded random `degree`-regular conflict graph on `n` forks
+    /// (rounded up by one when `n * degree` is odd).
+    RandomRegular {
+        /// Number of philosophers sharing every fork.
+        degree: usize,
+    },
+}
+
+/// One row of the family catalog printed by `gdp list`.
+pub struct FamilyCatalogEntry {
+    /// The spec string (optionally with a `:param` suffix).
+    pub spec: &'static str,
+    /// What the scale parameter `n` means for this family.
+    pub size_meaning: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The catalog of selectable families, in presentation order.
+pub const FAMILY_CATALOG: &[FamilyCatalogEntry] = &[
+    FamilyCatalogEntry {
+        spec: "ring",
+        size_meaning: "n philosophers = n forks",
+        description: "classic Dijkstra ring (the LR1/LR2 safe zone)",
+    },
+    FamilyCatalogEntry {
+        spec: "shared-ring[:sharing]",
+        size_meaning: "n forks, n*sharing philosophers",
+        description: "ring with parallel philosophers per edge (Figure 1)",
+    },
+    FamilyCatalogEntry {
+        spec: "grid",
+        size_meaning: "smallest square >= n forks",
+        description: "open lattice, philosophers on the edges",
+    },
+    FamilyCatalogEntry {
+        spec: "torus",
+        size_meaning: "smallest square >= n forks, side >= 3",
+        description: "wraparound lattice, every fork shared by 4",
+    },
+    FamilyCatalogEntry {
+        spec: "complete",
+        size_meaning: "n forks, n(n-1)/2 philosophers",
+        description: "complete conflict graph (Theorem 3 worst case)",
+    },
+    FamilyCatalogEntry {
+        spec: "star",
+        size_meaning: "n spoke philosophers",
+        description: "one hub fork shared by all spokes (acyclic)",
+    },
+    FamilyCatalogEntry {
+        spec: "barbell[:bridge]",
+        size_meaning: "two K_(n/2) cliques + bridge",
+        description: "dense communities coupled by a sparse path",
+    },
+    FamilyCatalogEntry {
+        spec: "theta[:paths]",
+        size_meaning: "n philosophers over `paths` hub-to-hub paths",
+        description: "generalized theta graph (Theorem 2 witness)",
+    },
+    FamilyCatalogEntry {
+        spec: "random-regular[:degree]",
+        size_meaning: "n forks, n*degree/2 philosophers",
+        description: "seeded random degree-regular conflict graph",
+    },
+];
+
+/// The smallest side `s` with `s * s >= n` (integer ceil-sqrt), computed
+/// without floating point so the mapping is platform-exact.  Ceiling rather
+/// than rounding keeps the mapping *injective enough* for sweep size lists:
+/// consecutive sweep sizes like 6 and 12 land on different squares (3x3 vs
+/// 4x4), which round-to-nearest would collapse.
+fn isqrt_ceil(n: usize) -> usize {
+    let mut s = 0usize;
+    while s * s < n {
+        s += 1;
+    }
+    s
+}
+
+impl TopologyFamily {
+    /// The smallest scale parameter at which [`build`](Self::build) is
+    /// *guaranteed* to succeed.  Families that clamp or round their
+    /// parameters (torus, grid, barbell, random-regular) may also accept
+    /// smaller values; sizes at or above `min_size` always work.
+    #[must_use]
+    pub fn min_size(self) -> usize {
+        match self {
+            TopologyFamily::Ring | TopologyFamily::SharedRing { .. } => 2,
+            TopologyFamily::Grid => 2,
+            TopologyFamily::Torus => 1, // rounds up to the 3x3 torus
+            TopologyFamily::Complete => 2,
+            TopologyFamily::Star => 1,
+            TopologyFamily::Barbell { .. } => 1, // clique size clamps to 3
+            TopologyFamily::Theta { paths } => paths + 1,
+            TopologyFamily::RandomRegular { degree } => degree + 1,
+        }
+    }
+
+    /// Builds the family member at scale `n`.  `seed` feeds the random
+    /// families (and is ignored by the deterministic ones), so a cell's
+    /// topology is a pure function of `(family, n, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying builder's validation error when `n` is
+    /// below [`min_size`](Self::min_size) or otherwise out of range.
+    pub fn build(self, n: usize, seed: u64) -> TopologyResult<Topology> {
+        match self {
+            TopologyFamily::Ring => builders::classic_ring(n),
+            TopologyFamily::SharedRing { sharing } => builders::shared_ring(n, sharing),
+            TopologyFamily::Grid => {
+                let side = isqrt_ceil(n).max(2);
+                builders::grid(side, side)
+            }
+            TopologyFamily::Torus => {
+                let side = isqrt_ceil(n).max(3);
+                builders::torus(side, side)
+            }
+            TopologyFamily::Complete => builders::complete_conflict(n),
+            TopologyFamily::Star => builders::star(n),
+            TopologyFamily::Barbell { bridge } => builders::barbell((n / 2).max(3), bridge),
+            TopologyFamily::Theta { paths } => {
+                let base = n / paths;
+                let extra = n % paths;
+                let lengths: Vec<usize> =
+                    (0..paths).map(|i| base + usize::from(i < extra)).collect();
+                builders::generalized_theta(&lengths)
+            }
+            TopologyFamily::RandomRegular { degree } => {
+                let forks = n + (n * degree) % 2;
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                builders::random_regular(forks, degree, &mut rng)
+            }
+        }
+    }
+
+    /// The family's canonical name, including non-default parameters
+    /// (`"random-regular:4"`), suitable for re-parsing with [`FromStr`].
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            TopologyFamily::Ring => "ring".to_string(),
+            TopologyFamily::SharedRing { sharing } => format!("shared-ring:{sharing}"),
+            TopologyFamily::Grid => "grid".to_string(),
+            TopologyFamily::Torus => "torus".to_string(),
+            TopologyFamily::Complete => "complete".to_string(),
+            TopologyFamily::Star => "star".to_string(),
+            TopologyFamily::Barbell { bridge } => format!("barbell:{bridge}"),
+            TopologyFamily::Theta { paths } => format!("theta:{paths}"),
+            TopologyFamily::RandomRegular { degree } => format!("random-regular:{degree}"),
+        }
+    }
+
+    /// Whether the family's topology depends on the cell seed.
+    #[must_use]
+    pub fn is_random(self) -> bool {
+        matches!(self, TopologyFamily::RandomRegular { .. })
+    }
+}
+
+impl fmt::Display for TopologyFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Error returned when parsing an unknown or malformed family spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyParseError {
+    input: String,
+    reason: String,
+}
+
+impl fmt::Display for FamilyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid topology family {:?}: {}",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FamilyParseError {}
+
+impl FromStr for TopologyFamily {
+    type Err = FamilyParseError;
+
+    /// Parses `"name"` or `"name:param"` (see [`FAMILY_CATALOG`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &str| FamilyParseError {
+            input: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let (name, param) = match s.split_once(':') {
+            Some((name, param)) => {
+                let value: usize = param
+                    .parse()
+                    .map_err(|_| err("parameter must be a positive integer"))?;
+                if value == 0 {
+                    return Err(err("parameter must be positive"));
+                }
+                (name, Some(value))
+            }
+            None => (s, None),
+        };
+        let family = match name.to_ascii_lowercase().as_str() {
+            "ring" | "classic-ring" => TopologyFamily::Ring,
+            "shared-ring" => TopologyFamily::SharedRing {
+                sharing: param.unwrap_or(2),
+            },
+            "grid" => TopologyFamily::Grid,
+            "torus" => TopologyFamily::Torus,
+            "complete" | "clique" => TopologyFamily::Complete,
+            "star" => TopologyFamily::Star,
+            "barbell" => TopologyFamily::Barbell {
+                bridge: param.unwrap_or(2),
+            },
+            "theta" => {
+                let paths = param.unwrap_or(3);
+                if paths < 2 {
+                    return Err(err("a theta graph needs at least 2 paths"));
+                }
+                TopologyFamily::Theta { paths }
+            }
+            "random-regular" | "regular" => TopologyFamily::RandomRegular {
+                degree: param.unwrap_or(3),
+            },
+            _ => return Err(err("unknown family name; see `gdp list`")),
+        };
+        match family {
+            TopologyFamily::Ring
+            | TopologyFamily::Grid
+            | TopologyFamily::Torus
+            | TopologyFamily::Complete
+            | TopologyFamily::Star
+                if param.is_some() =>
+            {
+                Err(err("this family takes no parameter"))
+            }
+            _ => Ok(family),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_topology::analysis;
+
+    #[test]
+    fn isqrt_ceil_picks_the_smallest_covering_square() {
+        assert_eq!(isqrt_ceil(0), 0);
+        assert_eq!(isqrt_ceil(1), 1);
+        assert_eq!(isqrt_ceil(9), 3);
+        assert_eq!(isqrt_ceil(10), 4);
+        assert_eq!(isqrt_ceil(16), 4);
+        assert_eq!(isqrt_ceil(17), 5);
+        // The default sweep sizes 6 and 12 map to distinct tori (3x3 vs 4x4).
+        assert_eq!(isqrt_ceil(6), 3);
+        assert_eq!(isqrt_ceil(12), 4);
+    }
+
+    #[test]
+    fn every_catalog_family_parses_and_builds_at_min_size_and_above() {
+        let families = [
+            "ring",
+            "shared-ring:2",
+            "grid",
+            "torus",
+            "complete",
+            "star",
+            "barbell:2",
+            "theta:3",
+            "random-regular:3",
+        ];
+        for spec in families {
+            let family: TopologyFamily = spec.parse().unwrap();
+            for n in family.min_size()..family.min_size() + 8 {
+                let t = family
+                    .build(n, 1)
+                    .unwrap_or_else(|e| panic!("{spec} at n={n}: {e}"));
+                assert!(t.num_philosophers() >= 1, "{spec} n={n}");
+                assert!(analysis::is_connected(&t), "{spec} n={n} must be connected");
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip_through_parsing() {
+        for spec in [
+            TopologyFamily::Ring,
+            TopologyFamily::SharedRing { sharing: 3 },
+            TopologyFamily::Grid,
+            TopologyFamily::Torus,
+            TopologyFamily::Complete,
+            TopologyFamily::Star,
+            TopologyFamily::Barbell { bridge: 4 },
+            TopologyFamily::Theta { paths: 5 },
+            TopologyFamily::RandomRegular { degree: 4 },
+        ] {
+            let reparsed: TopologyFamily = spec.name().parse().unwrap();
+            assert_eq!(reparsed, spec, "{} should round-trip", spec.name());
+        }
+    }
+
+    #[test]
+    fn random_families_are_seed_deterministic() {
+        let family = TopologyFamily::RandomRegular { degree: 3 };
+        let a = family.build(10, 7).unwrap();
+        let b = family.build(10, 7).unwrap();
+        let c = family.build(10, 8).unwrap();
+        assert_eq!(a.arcs(), b.arcs());
+        assert_ne!(a.arcs(), c.arcs());
+        assert!(family.is_random());
+        assert!(!TopologyFamily::Ring.is_random());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!("nope".parse::<TopologyFamily>().is_err());
+        assert!("ring:5".parse::<TopologyFamily>().is_err());
+        assert!("complete:7".parse::<TopologyFamily>().is_err());
+        assert!("star:9".parse::<TopologyFamily>().is_err());
+        assert!("barbell:0".parse::<TopologyFamily>().is_err());
+        assert!("theta:1".parse::<TopologyFamily>().is_err());
+        assert!("theta:x".parse::<TopologyFamily>().is_err());
+    }
+
+    #[test]
+    fn catalog_specs_parse() {
+        for entry in FAMILY_CATALOG {
+            let bare = entry.spec.split('[').next().unwrap();
+            assert!(
+                bare.parse::<TopologyFamily>().is_ok(),
+                "catalog entry {bare} must parse"
+            );
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Report serialization: hand-written JSON and CSV (this workspace is fully
+//! offline and carries no serialization dependency; see `gdp-bench::perf`
+//! for the same approach applied to `BENCH_results.json`).
+
+use crate::runner::CellResult;
+use crate::spec::ScenarioSpec;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The collected results of one sweep, plus the spec context needed to
+/// reproduce it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// The spec's one-line grid summary.
+    pub spec_summary: String,
+    /// The adversary name.
+    pub adversary: String,
+    /// The seed policy string.
+    pub seed_policy: String,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// Per-cell results, in expansion order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Formats an `f64` for the JSON/CSV artifacts: finite values with six
+/// decimal places (enough to round-trip every rate and mean the estimators
+/// produce from small-integer ratios), `null`/empty-safe otherwise.
+fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes a string as a JSON string literal.  Rust's `{:?}` is *almost*
+/// JSON but escapes control characters Rust-style (`\u{1}`) instead of
+/// JSON-style (`\u0001`), so user-supplied text (e.g. the sweep name) is
+/// escaped by hand.
+fn json_str(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The CSV header row written by [`SweepReport::to_csv`].
+#[must_use]
+pub fn csv_header() -> &'static str {
+    "cell,family,size,philosophers,forks,algorithm,adversary,trials,max_steps,seed,\
+     deadlock_rate,lockout_rate,mean_hunger,min_meals_mean,fairness_mean,steps_per_sec"
+}
+
+impl SweepReport {
+    /// Bundles `results` with the reproduction context of `spec`.
+    #[must_use]
+    pub fn new(spec: &ScenarioSpec, cells: Vec<CellResult>) -> Self {
+        SweepReport {
+            name: spec.name.clone(),
+            spec_summary: spec.summary(),
+            adversary: spec.adversary.name(),
+            seed_policy: spec.seed_policy.name(),
+            trials: spec.trials,
+            max_steps: spec.max_steps,
+            cells,
+        }
+    }
+
+    /// Renders the report as a JSON document.
+    ///
+    /// With timing off (the default) the output is a pure function of the
+    /// spec, so two runs — at any thread counts — produce identical bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"sweep\": {},", json_str(&self.name));
+        let _ = writeln!(out, "  \"spec\": {},", json_str(&self.spec_summary));
+        let _ = writeln!(out, "  \"adversary\": {},", json_str(&self.adversary));
+        let _ = writeln!(out, "  \"seed_policy\": {},", json_str(&self.seed_policy));
+        let _ = writeln!(out, "  \"trials\": {},", self.trials);
+        let _ = writeln!(out, "  \"max_steps\": {},", self.max_steps);
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let steps_per_sec = match c.steps_per_sec {
+                Some(sps) => num(sps),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"cell\": {}, \"family\": {}, \"size\": {}, \
+                 \"philosophers\": {}, \"forks\": {}, \"algorithm\": {}, \
+                 \"adversary\": {}, \"trials\": {}, \"max_steps\": {}, \"seed\": {}, \
+                 \"deadlock_rate\": {}, \"lockout_rate\": {}, \"mean_hunger\": {}, \
+                 \"min_meals_mean\": {}, \"fairness_mean\": {}, \"steps_per_sec\": {}}}{}",
+                json_str(&c.cell),
+                json_str(&c.family),
+                c.size,
+                c.philosophers,
+                c.forks,
+                json_str(&c.algorithm),
+                json_str(&c.adversary),
+                c.trials,
+                c.max_steps,
+                c.seed,
+                num(c.deadlock_rate),
+                num(c.lockout_rate),
+                num(c.mean_hunger),
+                num(c.min_meals_mean),
+                num(c.fairness_mean),
+                steps_per_sec,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the report as CSV with the [`csv_header`] columns, one row
+    /// per cell.  `steps_per_sec` is empty when timing was not recorded.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(csv_header());
+        out.push('\n');
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                c.cell,
+                c.family,
+                c.size,
+                c.philosophers,
+                c.forks,
+                c.algorithm,
+                c.adversary,
+                c.trials,
+                c.max_steps,
+                c.seed,
+                num(c.deadlock_rate),
+                num(c.lockout_rate),
+                num(c.mean_hunger),
+                num(c.min_meals_mean),
+                num(c.fairness_mean),
+                c.steps_per_sec.map(num).unwrap_or_default(),
+            );
+        }
+        out
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes [`Self::to_csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep, SweepOptions};
+    use crate::spec::SeedPolicy;
+
+    fn small_report() -> SweepReport {
+        let spec = ScenarioSpec::new("fmt")
+            .with_families_str("ring")
+            .unwrap()
+            .with_sizes([3, 4])
+            .with_algorithms_str("gdp1")
+            .unwrap()
+            .with_trials(2)
+            .with_max_steps(4_000)
+            .with_seed_policy(SeedPolicy::Shared(5));
+        run_sweep(&spec, &SweepOptions::quiet()).unwrap()
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_every_cell() {
+        let report = small_report();
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"cell\":").count(), report.cells.len());
+        assert!(json.contains("\"sweep\": \"fmt\""));
+        assert!(json.contains("\"deadlock_rate\": 0.000000"));
+        // Timing was off: every throughput field is null.
+        assert_eq!(
+            json.matches("\"steps_per_sec\": null").count(),
+            report.cells.len()
+        );
+    }
+
+    #[test]
+    fn json_strings_escape_json_style_not_rust_style() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("a\nb\t"), "\"a\\nb\\t\"");
+        // Control characters must use four-digit JSON escapes, not Rust's
+        // `\u{1}` form (which no JSON parser accepts).
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_cell() {
+        let report = small_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + report.cells.len());
+        assert_eq!(lines[0], csv_header());
+        assert!(lines[1].starts_with("ring/n3/GDP1,ring,3,3,3,GDP1,"));
+        // Every row has the full column count.
+        let columns = csv_header().split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "row: {line}");
+        }
+    }
+
+    #[test]
+    fn files_round_trip_to_disk() {
+        let report = small_report();
+        let dir = std::env::temp_dir();
+        let json_path = dir.join("gdp_scenarios_report_test.json");
+        let csv_path = dir.join("gdp_scenarios_report_test.csv");
+        report.write_json(&json_path).unwrap();
+        report.write_csv(&csv_path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&json_path).unwrap(),
+            report.to_json()
+        );
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), report.to_csv());
+        let _ = std::fs::remove_file(json_path);
+        let _ = std::fs::remove_file(csv_path);
+    }
+}

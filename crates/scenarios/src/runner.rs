@@ -1,0 +1,322 @@
+//! The batch runner: drives every cell of an expanded grid through the
+//! Monte-Carlo estimators and reduces it to a [`CellResult`].
+
+use crate::report::SweepReport;
+use crate::spec::{ScenarioCell, ScenarioSpec};
+use gdp_analysis::montecarlo::estimate_liveness;
+use gdp_analysis::TrialConfig;
+use gdp_sim::SimConfig;
+use gdp_topology::TopologyError;
+use std::fmt;
+use std::time::Instant;
+
+/// Everything measured for one cell of the grid.
+///
+/// All fields except [`steps_per_sec`](Self::steps_per_sec) are derived
+/// purely from seeds, so they are identical for every thread count; the
+/// throughput field is wall-clock and only recorded when
+/// [`SweepOptions::record_timing`] is set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Stable cell key, `"<family>/n<size>/<ALGORITHM>"`.
+    pub cell: String,
+    /// Family name (re-parseable).
+    pub family: String,
+    /// The scale parameter the cell was built from.
+    pub size: usize,
+    /// Philosophers in the realized topology.
+    pub philosophers: usize,
+    /// Forks in the realized topology.
+    pub forks: usize,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Trials run.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// The resolved cell seed.
+    pub seed: u64,
+    /// Fraction of trials in which **no** philosopher ate within the budget
+    /// (the finite-horizon deadlock/no-progress signature).
+    pub deadlock_rate: f64,
+    /// Fraction of trials in which at least one philosopher starved (the
+    /// finite-horizon lockout signature).
+    pub lockout_rate: f64,
+    /// Mean first-meal step over the progressing trials (how long hunger
+    /// lasts before the system first serves a meal); `0` when no trial
+    /// progressed.
+    pub mean_hunger: f64,
+    /// Mean over trials of the minimum meal count across philosophers.
+    pub min_meals_mean: f64,
+    /// Mean Jain fairness index of the per-philosopher meal counts.
+    pub fairness_mean: f64,
+    /// Scheduler steps per wall-clock second over the cell's trial batch
+    /// (`trials * max_steps` steps of fixed work); `None` unless timing was
+    /// recorded.
+    pub steps_per_sec: Option<f64>,
+}
+
+impl CellResult {
+    /// One aligned human-readable row (the `gdp sweep` console format).
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} n={:<3} k={:<3} {:<6} deadlock={:>5.2} lockout={:>5.2} hunger={:>8.1} jain={:>5.3}{}",
+            self.cell,
+            self.philosophers,
+            self.forks,
+            self.algorithm,
+            self.deadlock_rate,
+            self.lockout_rate,
+            self.mean_hunger,
+            self.fairness_mean,
+            match self.steps_per_sec {
+                Some(sps) => format!(" {:>10.0} steps/s", sps),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Options controlling a sweep run.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Record wall-clock throughput per cell.  Timing makes the JSON/CSV
+    /// artifacts non-reproducible across machines and runs, so it is off by
+    /// default and the determinism tests keep it off.
+    pub record_timing: bool,
+    /// Print each cell's row to stdout as it completes.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// No timing, no console output: the reproducible-artifact configuration.
+    #[must_use]
+    pub fn quiet() -> Self {
+        SweepOptions::default()
+    }
+
+    /// Timing and console output on: the interactive CLI configuration.
+    #[must_use]
+    pub fn interactive() -> Self {
+        SweepOptions {
+            record_timing: true,
+            progress: true,
+        }
+    }
+}
+
+/// Error produced by a sweep run.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A cell's topology parameters were invalid for its family.
+    Topology {
+        /// The offending cell key.
+        cell: String,
+        /// The underlying builder error.
+        source: TopologyError,
+    },
+    /// The spec expands to an empty grid.
+    EmptyGrid,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Topology { cell, source } => {
+                write!(f, "cell {cell}: {source}")
+            }
+            SweepError::EmptyGrid => write!(f, "the scenario grid is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Runs one cell: progress and lockout estimation over the cell's trial
+/// budget.
+fn run_cell(
+    spec: &ScenarioSpec,
+    cell: &ScenarioCell,
+    options: &SweepOptions,
+) -> Result<CellResult, SweepError> {
+    let topology =
+        cell.family
+            .build(cell.size, cell.seed)
+            .map_err(|source| SweepError::Topology {
+                cell: cell.key.clone(),
+                source,
+            })?;
+    let program = cell.algorithm.program();
+    let config = TrialConfig {
+        trials: spec.trials,
+        max_steps: spec.max_steps,
+        base_seed: cell.seed,
+        threads: spec.threads,
+        sim: SimConfig::default(),
+    };
+    let adversary_spec = spec.adversary;
+    let make_adversary = |trial: u64| adversary_spec.build(cell.seed, trial);
+
+    // One combined batch yields both liveness estimates: every trial runs
+    // the full budget, so it is a fixed amount of work and the honest basis
+    // for a throughput figure.
+    let started = Instant::now();
+    let estimate = estimate_liveness(&topology, &program, make_adversary, &config);
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let (progress, lockout) = (estimate.progress, estimate.lockout);
+
+    let steps_per_sec = options
+        .record_timing
+        .then(|| (spec.trials * spec.max_steps) as f64 / elapsed_secs);
+
+    Ok(CellResult {
+        cell: cell.key.clone(),
+        family: cell.family.name(),
+        size: cell.size,
+        philosophers: topology.num_philosophers(),
+        forks: topology.num_forks(),
+        algorithm: cell.algorithm.name().to_string(),
+        adversary: spec.adversary.name(),
+        trials: spec.trials,
+        max_steps: spec.max_steps,
+        seed: cell.seed,
+        deadlock_rate: 1.0 - progress.progress_fraction,
+        lockout_rate: 1.0 - lockout.lockout_free_fraction,
+        mean_hunger: progress.first_meal_mean,
+        min_meals_mean: lockout.min_meals_mean,
+        fairness_mean: lockout.fairness_mean,
+        steps_per_sec,
+    })
+}
+
+/// Runs the whole sweep, invoking `on_cell` as each cell completes (the
+/// streaming hook used by the CLI), and returns the collected report.
+///
+/// Cells run sequentially in expansion order; each cell's trials are fanned
+/// out over [`ScenarioSpec::threads`] workers with the bitwise-deterministic
+/// trial runner, so the report content is independent of the thread count.
+///
+/// # Errors
+///
+/// Fails fast on the first cell whose topology parameters are invalid, or
+/// when the grid is empty.
+pub fn run_sweep_with<F>(
+    spec: &ScenarioSpec,
+    options: &SweepOptions,
+    mut on_cell: F,
+) -> Result<SweepReport, SweepError>
+where
+    F: FnMut(&CellResult),
+{
+    let cells = spec.expand();
+    if cells.is_empty() {
+        return Err(SweepError::EmptyGrid);
+    }
+    let mut results = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let result = run_cell(spec, cell, options)?;
+        if options.progress {
+            println!("{}", result.row());
+        }
+        on_cell(&result);
+        results.push(result);
+    }
+    Ok(SweepReport::new(spec, results))
+}
+
+/// [`run_sweep_with`] without a streaming hook.
+///
+/// # Errors
+///
+/// See [`run_sweep_with`].
+pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> Result<SweepReport, SweepError> {
+    run_sweep_with(spec, options, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AdversarySpec, SeedPolicy};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new("tiny")
+            .with_families_str("ring,star")
+            .unwrap()
+            .with_sizes([4])
+            .with_algorithms_str("gdp1")
+            .unwrap()
+            .with_trials(3)
+            .with_max_steps(8_000)
+            .with_seed_policy(SeedPolicy::PerCell(1))
+    }
+
+    #[test]
+    fn sweep_runs_and_reports_every_cell() {
+        let report = run_sweep(&tiny_spec(), &SweepOptions::quiet()).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 3);
+            assert_eq!(cell.deadlock_rate, 0.0, "GDP1 must progress: {}", cell.cell);
+            assert!(
+                cell.steps_per_sec.is_none(),
+                "quiet sweeps record no timing"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_hook_sees_cells_in_expansion_order() {
+        let mut seen = Vec::new();
+        run_sweep_with(&tiny_spec(), &SweepOptions::quiet(), |c| {
+            seen.push(c.cell.clone());
+        })
+        .unwrap();
+        assert_eq!(seen, vec!["ring/n4/GDP1", "star/n4/GDP1"]);
+    }
+
+    #[test]
+    fn sweeps_are_bitwise_identical_across_thread_counts() {
+        let base = tiny_spec().with_adversary(AdversarySpec::UniformRandom);
+        let serial = run_sweep(&base.clone().with_threads(1), &SweepOptions::quiet()).unwrap();
+        for threads in [2usize, 4, 16] {
+            let parallel =
+                run_sweep(&base.clone().with_threads(threads), &SweepOptions::quiet()).unwrap();
+            assert_eq!(
+                serial.cells, parallel.cells,
+                "sweep must be identical with {threads} threads"
+            );
+            assert_eq!(serial.to_json(), parallel.to_json());
+            assert_eq!(serial.to_csv(), parallel.to_csv());
+        }
+    }
+
+    #[test]
+    fn timing_is_recorded_only_on_request() {
+        let spec = tiny_spec();
+        let timed = run_sweep(
+            &spec,
+            &SweepOptions {
+                record_timing: true,
+                progress: false,
+            },
+        )
+        .unwrap();
+        assert!(timed.cells.iter().all(|c| c.steps_per_sec.unwrap() > 0.0));
+        assert!(timed.cells[0].row().contains("steps/s"));
+    }
+
+    #[test]
+    fn invalid_cells_fail_fast_with_the_cell_key() {
+        let spec = tiny_spec().with_sizes([1]); // ring of 1 is invalid
+        let err = run_sweep(&spec, &SweepOptions::quiet()).unwrap_err();
+        assert!(err.to_string().contains("ring/n1/GDP1"), "{err}");
+        let empty = tiny_spec().with_sizes([]);
+        assert!(matches!(
+            run_sweep(&empty, &SweepOptions::quiet()),
+            Err(SweepError::EmptyGrid)
+        ));
+    }
+}

@@ -1,0 +1,440 @@
+//! The declarative sweep specification and its grid expansion.
+
+use crate::family::TopologyFamily;
+use gdp_adversary::{BlockingAdversary, BlockingPolicy, StubbornnessSchedule};
+use gdp_algorithms::AlgorithmKind;
+use gdp_sim::{fingerprint64, Adversary, RoundRobinAdversary, UniformRandomAdversary};
+use std::fmt;
+use std::str::FromStr;
+
+/// The scheduler every cell of a sweep runs under.
+///
+/// This mirrors (and extends) `gdp_core::SchedulerSpec` with the patient
+/// blocking variant the off-ring failure experiments need: a blocking
+/// adversary whose stubbornness bound exceeds the step budget reproduces the
+/// paper's "late round" schedulers that are never forced off their preferred
+/// move within the observation window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdversarySpec {
+    /// Fair round-robin scheduling.
+    RoundRobin,
+    /// Uniformly random fair scheduling, re-seeded per trial.
+    UniformRandom,
+    /// The generic blocking adversary of `gdp-adversary` with its default
+    /// growing stubbornness schedule (fairness bites within the window).
+    Blocking,
+    /// The blocking adversary with a constant stubbornness bound; pick a
+    /// bound larger than `max_steps` for the paper's patient late-round
+    /// schedulers.
+    BlockingPatient {
+        /// Constant deferral bound in scheduler steps.
+        stubbornness: u64,
+    },
+}
+
+impl AdversarySpec {
+    /// Instantiates the adversary for trial `trial` of a cell seeded with
+    /// `cell_seed`.  The construction depends only on those two values, so
+    /// sweeps stay deterministic for every thread count.
+    #[must_use]
+    pub fn build(self, cell_seed: u64, trial: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversarySpec::RoundRobin => Box::new(RoundRobinAdversary::new()),
+            AdversarySpec::UniformRandom => {
+                Box::new(UniformRandomAdversary::new(cell_seed ^ trial ^ 0x5eed))
+            }
+            AdversarySpec::Blocking => Box::new(BlockingAdversary::global()),
+            AdversarySpec::BlockingPatient { stubbornness } => {
+                Box::new(BlockingAdversary::with_schedule(
+                    BlockingPolicy::global(),
+                    StubbornnessSchedule::constant(stubbornness),
+                ))
+            }
+        }
+    }
+
+    /// The canonical spec string (re-parseable with [`FromStr`]).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            AdversarySpec::RoundRobin => "round-robin".to_string(),
+            AdversarySpec::UniformRandom => "uniform-random".to_string(),
+            AdversarySpec::Blocking => "blocking".to_string(),
+            AdversarySpec::BlockingPatient { stubbornness } => format!("blocking:{stubbornness}"),
+        }
+    }
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for AdversarySpec {
+    type Err = SpecParseError;
+
+    /// Parses `"round-robin"`, `"uniform-random"`, `"blocking"` or
+    /// `"blocking:<bound>"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "round-robin" | "rr" => Ok(AdversarySpec::RoundRobin),
+            "uniform-random" | "uniform" | "random" => Ok(AdversarySpec::UniformRandom),
+            "blocking" => Ok(AdversarySpec::Blocking),
+            other => match other.strip_prefix("blocking:") {
+                Some(bound) => bound
+                    .parse()
+                    .map(|stubbornness| AdversarySpec::BlockingPatient { stubbornness })
+                    .map_err(|_| SpecParseError::new(s, "blocking bound must be an integer")),
+                None => Err(SpecParseError::new(
+                    s,
+                    "expected round-robin, uniform-random, blocking or blocking:<bound>",
+                )),
+            },
+        }
+    }
+}
+
+/// How cell seeds are derived from the spec's base seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SeedPolicy {
+    /// Every cell uses the base seed directly: cells with the same trial
+    /// index share philosopher randomness, isolating topology/algorithm as
+    /// the only varying factors (a paired comparison).
+    Shared(u64),
+    /// Each cell derives its own seed by hashing the cell key into the base
+    /// seed, decorrelating cells while remaining independent of execution
+    /// order (the default).
+    PerCell(u64),
+}
+
+impl SeedPolicy {
+    /// The base seed.
+    #[must_use]
+    pub fn base(self) -> u64 {
+        match self {
+            SeedPolicy::Shared(base) | SeedPolicy::PerCell(base) => base,
+        }
+    }
+
+    /// Resolves the seed for the cell with key `key`.
+    #[must_use]
+    pub fn cell_seed(self, key: &str) -> u64 {
+        match self {
+            SeedPolicy::Shared(base) => base,
+            SeedPolicy::PerCell(base) => base ^ fingerprint64(key),
+        }
+    }
+
+    /// The canonical spec string, e.g. `"per-cell:42"`.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            SeedPolicy::Shared(base) => format!("shared:{base}"),
+            SeedPolicy::PerCell(base) => format!("per-cell:{base}"),
+        }
+    }
+}
+
+/// Error returned when a spec fragment does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    input: String,
+    reason: String,
+}
+
+impl SpecParseError {
+    pub(crate) fn new(input: &str, reason: &str) -> Self {
+        SpecParseError {
+            input: input.to_string(),
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spec fragment {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+/// A fully specified scenario sweep: the Cartesian grid
+/// *families × sizes × algorithms*, one adversary, and a trial budget.
+///
+/// Build one with [`ScenarioSpec::new`] plus the `with_*` methods, then
+/// expand it with [`expand`](ScenarioSpec::expand) or run it with
+/// [`run_sweep`](crate::run_sweep).
+///
+/// ```
+/// use gdp_scenarios::ScenarioSpec;
+/// let spec = ScenarioSpec::new("demo")
+///     .with_families_str("ring,torus,complete,star").unwrap()
+///     .with_sizes([6, 9, 12])
+///     .with_algorithms_str("lr1,gdp1").unwrap();
+/// // 4 families x 3 sizes x 2 algorithms = 24 cells.
+/// assert_eq!(spec.expand().len(), 24);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Sweep name (used in report headers and file comments).
+    pub name: String,
+    /// Topology families to enumerate.
+    pub families: Vec<TopologyFamily>,
+    /// Scale parameters; each family interprets `n` per its catalog entry.
+    pub sizes: Vec<usize>,
+    /// Algorithms every philosopher may run.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// The scheduler all cells run under.
+    pub adversary: AdversarySpec,
+    /// Independent trials per cell.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// How cell seeds derive from the base seed.
+    pub seed_policy: SeedPolicy,
+    /// Monte-Carlo worker threads per cell (`0` = all cores, `1` = serial).
+    /// Results are bitwise-identical for every value.
+    pub threads: usize,
+}
+
+impl ScenarioSpec {
+    /// A named spec with the default grid: six paper-contrast families
+    /// (`ring`, `torus`, `complete`, `star`, `barbell`, `random-regular:3`)
+    /// at sizes 6 and 12 under LR1 and GDP1 (24 cells), 20 trials ×
+    /// 40 000 steps, uniform-random scheduling, per-cell seeds from base 0,
+    /// all cores.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            families: vec![
+                TopologyFamily::Ring,
+                TopologyFamily::Torus,
+                TopologyFamily::Complete,
+                TopologyFamily::Star,
+                TopologyFamily::Barbell { bridge: 2 },
+                TopologyFamily::RandomRegular { degree: 3 },
+            ],
+            sizes: vec![6, 12],
+            algorithms: vec![AlgorithmKind::Lr1, AlgorithmKind::Gdp1],
+            adversary: AdversarySpec::UniformRandom,
+            trials: 20,
+            max_steps: 40_000,
+            seed_policy: SeedPolicy::PerCell(0),
+            threads: 0,
+        }
+    }
+
+    /// Replaces the family list.
+    #[must_use]
+    pub fn with_families(mut self, families: impl IntoIterator<Item = TopologyFamily>) -> Self {
+        self.families = families.into_iter().collect();
+        self
+    }
+
+    /// Replaces the family list from a comma-separated spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first invalid fragment.
+    pub fn with_families_str(mut self, families: &str) -> Result<Self, crate::FamilyParseError> {
+        self.families = families
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        Ok(self)
+    }
+
+    /// Replaces the size list.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the algorithm list.
+    #[must_use]
+    pub fn with_algorithms(mut self, algorithms: impl IntoIterator<Item = AlgorithmKind>) -> Self {
+        self.algorithms = algorithms.into_iter().collect();
+        self
+    }
+
+    /// Replaces the algorithm list from a comma-separated string
+    /// (`"lr1,gdp1"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of the first invalid fragment.
+    pub fn with_algorithms_str(
+        mut self,
+        algorithms: &str,
+    ) -> Result<Self, gdp_algorithms::ParseAlgorithmError> {
+        self.algorithms = algorithms
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        Ok(self)
+    }
+
+    /// Selects the adversary.
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the trial count per cell.
+    #[must_use]
+    pub fn with_trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the seed policy.
+    #[must_use]
+    pub fn with_seed_policy(mut self, policy: SeedPolicy) -> Self {
+        self.seed_policy = policy;
+        self
+    }
+
+    /// Sets the Monte-Carlo worker thread count (`0` = all cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Expands the grid into cells, in the deterministic order
+    /// family-major, then size, then algorithm.  Seeds are resolved here, so
+    /// the expansion fixes everything a cell needs.
+    #[must_use]
+    pub fn expand(&self) -> Vec<ScenarioCell> {
+        let mut cells =
+            Vec::with_capacity(self.families.len() * self.sizes.len() * self.algorithms.len());
+        for &family in &self.families {
+            for &size in &self.sizes {
+                for &algorithm in &self.algorithms {
+                    let key = format!("{}/n{}/{}", family.name(), size, algorithm.name());
+                    let seed = self.seed_policy.cell_seed(&key);
+                    cells.push(ScenarioCell {
+                        key,
+                        family,
+                        size,
+                        algorithm,
+                        seed,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// One-line human summary of the grid shape.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} families x {} sizes x {} algorithms = {} cells, {} trials x {} steps, adversary {}, seeds {}",
+            self.name,
+            self.families.len(),
+            self.sizes.len(),
+            self.algorithms.len(),
+            self.families.len() * self.sizes.len() * self.algorithms.len(),
+            self.trials,
+            self.max_steps,
+            self.adversary.name(),
+            self.seed_policy.name(),
+        )
+    }
+}
+
+/// One cell of the expanded grid: everything needed to run it, with the
+/// seed already resolved from the [`SeedPolicy`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScenarioCell {
+    /// Stable cell key, `"<family>/n<size>/<ALGORITHM>"`.
+    pub key: String,
+    /// The topology family.
+    pub family: TopologyFamily,
+    /// The scale parameter.
+    pub size: usize,
+    /// The algorithm.
+    pub algorithm: AlgorithmKind,
+    /// The resolved base seed for this cell's trials (and its topology, for
+    /// random families).
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_full_cartesian_grid_in_stable_order() {
+        let spec = ScenarioSpec::new("t")
+            .with_families_str("ring,star")
+            .unwrap()
+            .with_sizes([4, 5])
+            .with_algorithms_str("lr1,gdp1")
+            .unwrap();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].key, "ring/n4/LR1");
+        assert_eq!(cells[1].key, "ring/n4/GDP1");
+        assert_eq!(cells[2].key, "ring/n5/LR1");
+        assert_eq!(cells[4].key, "star/n4/LR1");
+        // Expansion is pure: repeated calls agree.
+        assert_eq!(cells, spec.expand());
+    }
+
+    #[test]
+    fn default_grid_covers_at_least_24_cells_and_4_families() {
+        let spec = ScenarioSpec::new("default");
+        assert!(spec.families.len() >= 4);
+        assert!(spec.expand().len() >= 24);
+        assert!(spec.summary().contains("cells"));
+    }
+
+    #[test]
+    fn per_cell_seeds_differ_but_are_stable() {
+        let policy = SeedPolicy::PerCell(7);
+        let a = policy.cell_seed("ring/n4/LR1");
+        let b = policy.cell_seed("ring/n4/GDP1");
+        assert_ne!(a, b);
+        assert_eq!(a, policy.cell_seed("ring/n4/LR1"));
+        assert_eq!(SeedPolicy::Shared(7).cell_seed("anything"), 7);
+        assert_eq!(policy.base(), 7);
+    }
+
+    #[test]
+    fn adversary_specs_parse_build_and_round_trip() {
+        for (input, expected) in [
+            ("round-robin", AdversarySpec::RoundRobin),
+            ("uniform", AdversarySpec::UniformRandom),
+            ("blocking", AdversarySpec::Blocking),
+            (
+                "blocking:50000",
+                AdversarySpec::BlockingPatient {
+                    stubbornness: 50_000,
+                },
+            ),
+        ] {
+            let parsed: AdversarySpec = input.parse().unwrap();
+            assert_eq!(parsed, expected);
+            assert_eq!(parsed.name().parse::<AdversarySpec>().unwrap(), parsed);
+            assert!(!parsed.build(1, 0).name().is_empty());
+        }
+        assert!("nope".parse::<AdversarySpec>().is_err());
+        assert!("blocking:x".parse::<AdversarySpec>().is_err());
+    }
+}

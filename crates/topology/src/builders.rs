@@ -11,7 +11,10 @@
 //! * auxiliary families (star, path, complete conflict graph) used in the
 //!   test-suite and benchmarks;
 //! * **random multigraph** generators for the probabilistic sweeps of
-//!   experiments E5/E6.
+//!   experiments E5/E6;
+//! * the parameterized **scenario families** enumerated by `gdp-scenarios`
+//!   and the `gdp sweep` command: grids, tori, barbells, generalized theta
+//!   graphs and seeded random `d`-regular conflict graphs.
 //!
 //! All generators return [`Result<Topology>`](crate::Result) and document the
 //! parameter ranges they accept.
@@ -233,21 +236,57 @@ pub fn figure2_hexagon_with_pendant() -> Topology {
 /// (three parallel arcs form a legal multigraph but not the theta graph of
 /// Figure 3; use [`Topology::from_arcs`] directly for that shape).
 pub fn theta_graph(len_a: usize, len_b: usize, len_c: usize) -> Result<Topology> {
-    if len_a == 0 || len_b == 0 || len_c == 0 {
+    generalized_theta(&[len_a, len_b, len_c])
+}
+
+/// The **generalized theta graph** Θ(l₁, …, lₘ): two hub forks joined by
+/// `paths.len()` internally disjoint paths with the given philosopher counts.
+///
+/// With three paths this is the classic [`theta_graph`] of Theorem 2; with
+/// more it is the natural "multi-path" witness family the scenario sweeps
+/// enumerate (every pair of paths forms a ring, so the Theorem 2 obstruction
+/// appears `m·(m−1)/2` times over).
+///
+/// Fork 0 and fork 1 are the hubs; interior forks are numbered consecutively
+/// path by path, and the philosophers are numbered along each path in order.
+///
+/// ```
+/// use gdp_topology::builders::generalized_theta;
+/// // Four paths of 2 philosophers each: 8 philosophers, 2 + 4 forks.
+/// let t = generalized_theta(&[2, 2, 2, 2])?;
+/// assert_eq!(t.num_philosophers(), 8);
+/// assert_eq!(t.num_forks(), 6);
+/// # Ok::<(), gdp_topology::TopologyError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if fewer than two paths are given, if any path is empty,
+/// or if every path has length 1 (that shape is a bundle of parallel arcs,
+/// legal as a multigraph but not a theta graph; build it with
+/// [`Topology::from_arcs`] directly).
+pub fn generalized_theta(paths: &[usize]) -> Result<Topology> {
+    if paths.len() < 2 {
+        return Err(invalid(format!(
+            "a generalized theta graph needs at least 2 paths, got {}",
+            paths.len()
+        )));
+    }
+    if paths.contains(&0) {
         return Err(invalid(
             "theta graph paths must each contain at least one philosopher",
         ));
     }
-    if len_a == 1 && len_b == 1 && len_c == 1 {
+    if paths.iter().all(|&len| len == 1) {
         return Err(invalid(
-            "a theta graph needs at least one path of length >= 2; three parallel arcs requested",
+            "a theta graph needs at least one path of length >= 2; parallel arcs requested",
         ));
     }
     let hub_a = 0u32;
     let hub_b = 1u32;
     let mut next_fork = 2u32;
     let mut arcs = Vec::new();
-    for len in [len_a, len_b, len_c] {
+    for &len in paths {
         let mut prev = hub_a;
         for step in 0..len {
             let next = if step + 1 == len {
@@ -324,6 +363,223 @@ pub fn complete_conflict(k: usize) -> Result<Topology> {
         }
     }
     Topology::from_arcs(k, arcs)
+}
+
+/// An open `rows × cols` **grid**: forks at the lattice points, one
+/// philosopher per lattice edge.
+///
+/// Fork `(r, c)` has identifier `r * cols + c`; the horizontal philosophers
+/// come first (row by row), then the vertical ones.  A `1 × k` grid is the
+/// open [`path`] of `k` forks.
+///
+/// ```
+/// use gdp_topology::builders::grid;
+/// let t = grid(3, 4)?;
+/// assert_eq!(t.num_forks(), 12);
+/// assert_eq!(t.num_philosophers(), 3 * 3 + 2 * 4); // 17 lattice edges
+/// # Ok::<(), gdp_topology::TopologyError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if either dimension is zero or the grid has fewer than
+/// two forks.
+pub fn grid(rows: usize, cols: usize) -> Result<Topology> {
+    if rows == 0 || cols == 0 || rows * cols < 2 {
+        return Err(invalid(format!(
+            "a grid needs at least 1x2 lattice points, got {rows}x{cols}"
+        )));
+    }
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut arcs = Vec::with_capacity(rows * (cols - 1) + (rows - 1) * cols);
+    for r in 0..rows {
+        for c in 0..cols.saturating_sub(1) {
+            arcs.push((at(r, c), at(r, c + 1)));
+        }
+    }
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols {
+            arcs.push((at(r, c), at(r + 1, c)));
+        }
+    }
+    Topology::from_arcs(rows * cols, arcs)
+}
+
+/// A `rows × cols` **torus** (grid with wraparound): every fork is shared by
+/// exactly four philosophers.
+///
+/// The torus is the canonical vertex-transitive non-ring family: it is
+/// 4-regular and loaded with cycles, so it sits squarely outside the classic
+/// ring on which LR1/LR2 are correct, while staying perfectly symmetric —
+/// exactly the contrast class the scenario sweeps need.
+///
+/// Fork layout matches [`grid`]; each row and each column closes into a ring.
+///
+/// ```
+/// use gdp_topology::builders::torus;
+/// let t = torus(3, 3)?;
+/// assert_eq!(t.num_forks(), 9);
+/// assert_eq!(t.num_philosophers(), 18);
+/// assert!(t.fork_ids().all(|f| t.fork_degree(f) == 4));
+/// # Ok::<(), gdp_topology::TopologyError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if either dimension is below 3 (a 2-long dimension would
+/// duplicate its wrap arc into a parallel pair, a different family).
+pub fn torus(rows: usize, cols: usize) -> Result<Topology> {
+    if rows < 3 || cols < 3 {
+        return Err(invalid(format!(
+            "a torus needs both dimensions >= 3, got {rows}x{cols}"
+        )));
+    }
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut arcs = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            arcs.push((at(r, c), at(r, (c + 1) % cols)));
+            arcs.push((at(r, c), at((r + 1) % rows, c)));
+        }
+    }
+    Topology::from_arcs(rows * cols, arcs)
+}
+
+/// A **barbell**: two complete conflict graphs `K_clique` whose first nodes
+/// are joined by a path of `bridge` philosophers.
+///
+/// Barbells combine the densest local contention (the cliques) with the
+/// sparsest possible coupling (the bridge), which makes them a useful stress
+/// shape for fairness across "communities" of philosophers.
+///
+/// Forks `0..clique` form the left clique, forks `clique..2*clique` the
+/// right one; the bridge runs from fork 0 to fork `clique` through
+/// `bridge - 1` fresh interior forks numbered from `2 * clique`.
+///
+/// ```
+/// use gdp_topology::builders::barbell;
+/// let t = barbell(4, 2)?;
+/// assert_eq!(t.num_forks(), 2 * 4 + 1);        // one interior bridge fork
+/// assert_eq!(t.num_philosophers(), 2 * 6 + 2); // two K4s + the bridge
+/// # Ok::<(), gdp_topology::TopologyError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if `clique < 3` (smaller cliques are paths or rings, not
+/// barbells) or `bridge == 0` (the cliques must be coupled).
+pub fn barbell(clique: usize, bridge: usize) -> Result<Topology> {
+    if clique < 3 {
+        return Err(invalid(format!(
+            "a barbell needs cliques of at least 3 forks, got {clique}"
+        )));
+    }
+    if bridge == 0 {
+        return Err(invalid(
+            "a barbell needs a bridge of at least 1 philosopher",
+        ));
+    }
+    let mut arcs = Vec::with_capacity(clique * (clique - 1) + bridge);
+    for offset in [0, clique] {
+        for i in 0..clique {
+            for j in (i + 1)..clique {
+                arcs.push(((offset + i) as u32, (offset + j) as u32));
+            }
+        }
+    }
+    let mut next_fork = 2 * clique as u32;
+    let mut prev = 0u32;
+    for step in 0..bridge {
+        let next = if step + 1 == bridge {
+            clique as u32
+        } else {
+            let f = next_fork;
+            next_fork += 1;
+            f
+        };
+        arcs.push((prev, next));
+        prev = next;
+    }
+    Topology::from_arcs(next_fork as usize, arcs)
+}
+
+/// A seeded random **`degree`-regular conflict graph** on `num_forks` forks:
+/// every fork is shared by exactly `degree` philosophers
+/// (`num_forks * degree / 2` philosophers in total).
+///
+/// Uses the configuration (stub-pairing) model: each fork contributes
+/// `degree` stubs, the stubs are shuffled and paired.  Pairings with
+/// self-loops are rejected and redrawn (bounded retries, then a deterministic
+/// stub swap), so the result is always a valid multigraph — parallel arcs may
+/// occur, exactly as Definition 1 of the paper permits.  The construction is
+/// fully determined by `rng`, so seeded sweeps are reproducible.
+///
+/// ```
+/// use gdp_topology::builders::random_regular;
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+/// let t = random_regular(8, 3, &mut rng)?;
+/// assert_eq!(t.num_philosophers(), 12);
+/// assert!(t.fork_ids().all(|f| t.fork_degree(f) == 3));
+/// # Ok::<(), gdp_topology::TopologyError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if `num_forks < 2`, `degree == 0`, `degree >= num_forks`,
+/// or `num_forks * degree` is odd (no such graph exists).
+pub fn random_regular<R: Rng + ?Sized>(
+    num_forks: usize,
+    degree: usize,
+    rng: &mut R,
+) -> Result<Topology> {
+    if num_forks < 2 {
+        return Err(invalid(format!(
+            "a random regular graph needs at least 2 forks, got {num_forks}"
+        )));
+    }
+    if degree == 0 {
+        return Err(invalid("fork degree must be at least 1"));
+    }
+    if degree >= num_forks {
+        return Err(invalid(format!(
+            "fork degree {degree} needs more than {num_forks} forks to avoid forced self-loops"
+        )));
+    }
+    if !(num_forks * degree).is_multiple_of(2) {
+        return Err(invalid(format!(
+            "no {degree}-regular graph on {num_forks} forks exists (odd stub count)"
+        )));
+    }
+    let mut stubs: Vec<u32> = (0..num_forks as u32)
+        .flat_map(|f| std::iter::repeat_n(f, degree))
+        .collect();
+    // Reject-and-redraw until the pairing has no self-loop; the acceptance
+    // probability is bounded away from zero, so a handful of attempts almost
+    // always suffices.  Parallel arcs are fine (Definition 1 multigraphs).
+    const ATTEMPTS: usize = 64;
+    for _ in 0..ATTEMPTS {
+        stubs.shuffle(rng);
+        if stubs.chunks_exact(2).all(|pair| pair[0] != pair[1]) {
+            break;
+        }
+    }
+    // Deterministic repair for the (vanishingly unlikely) case that every
+    // attempt kept a self-loop: cross-swap the offending pair with any pair
+    // avoiding its fork.  Such a pair exists because degree < num_forks.
+    for i in (0..stubs.len()).step_by(2) {
+        if stubs[i] != stubs[i + 1] {
+            continue;
+        }
+        let loop_fork = stubs[i];
+        let partner = (0..stubs.len())
+            .step_by(2)
+            .find(|&j| stubs[j] != loop_fork && stubs[j + 1] != loop_fork)
+            .expect("degree < num_forks guarantees a loop-free partner pair");
+        stubs.swap(i + 1, partner + 1);
+    }
+    let arcs = stubs.chunks_exact(2).map(|pair| (pair[0], pair[1]));
+    Topology::from_arcs(num_forks, arcs)
 }
 
 /// A uniformly random multigraph with `num_forks` forks and
@@ -505,6 +761,110 @@ mod tests {
         assert_eq!(t.num_forks(), 5);
         assert_eq!(t.max_fork_sharing(), 4);
         assert!(complete_conflict(1).is_err());
+    }
+
+    #[test]
+    fn generalized_theta_matches_classic_theta_and_extends_it() {
+        // Three paths: identical layout to the Theorem 2 builder.
+        let classic = theta_graph(3, 3, 2).unwrap();
+        let general = generalized_theta(&[3, 3, 2]).unwrap();
+        assert_eq!(classic.arcs(), general.arcs());
+
+        // Five paths: hubs have degree 5, everything else degree 2.
+        let t = generalized_theta(&[2, 2, 3, 1, 4]).unwrap();
+        assert_eq!(t.num_philosophers(), 12);
+        assert_eq!(t.fork_degree(ForkId::new(0)), 5);
+        assert_eq!(t.fork_degree(ForkId::new(1)), 5);
+        for f in t.fork_ids().skip(2) {
+            assert_eq!(t.fork_degree(f), 2);
+        }
+        assert!(analysis::is_connected(&t));
+
+        assert!(generalized_theta(&[3]).is_err());
+        assert!(generalized_theta(&[2, 0]).is_err());
+        assert!(generalized_theta(&[1, 1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn grid_counts_and_degrees() {
+        let t = grid(3, 4).unwrap();
+        assert_eq!(t.num_forks(), 12);
+        assert_eq!(t.num_philosophers(), 17);
+        assert!(analysis::is_connected(&t));
+        // Corner forks have degree 2, edge forks 3, interior forks 4.
+        assert_eq!(t.fork_degree(ForkId::new(0)), 2);
+        assert_eq!(t.fork_degree(ForkId::new(1)), 3);
+        assert_eq!(t.fork_degree(ForkId::new(5)), 4);
+        // A 1 x k grid is the open path.
+        let line = grid(1, 5).unwrap();
+        assert_eq!(line.arcs(), path(5).unwrap().arcs());
+        assert!(grid(0, 4).is_err());
+        assert!(grid(1, 1).is_err());
+    }
+
+    #[test]
+    fn torus_is_four_regular_and_connected() {
+        for (rows, cols) in [(3, 3), (3, 5), (4, 4)] {
+            let t = torus(rows, cols).unwrap();
+            assert_eq!(t.num_forks(), rows * cols);
+            assert_eq!(t.num_philosophers(), 2 * rows * cols);
+            assert!(t.fork_ids().all(|f| t.fork_degree(f) == 4));
+            assert!(analysis::is_connected(&t), "torus {rows}x{cols}");
+            // Tori are cyclic but never classic rings: the LR algorithms'
+            // safe zone excludes them.
+            assert!(analysis::has_cycle(&t));
+            assert!(!t.is_classic_ring());
+        }
+        assert!(torus(2, 5).is_err());
+        assert!(torus(3, 2).is_err());
+    }
+
+    #[test]
+    fn barbell_counts_and_structure() {
+        let t = barbell(4, 2).unwrap();
+        assert_eq!(t.num_forks(), 9);
+        assert_eq!(t.num_philosophers(), 14);
+        assert!(analysis::is_connected(&t));
+        // The clique entry forks carry the clique arcs plus the bridge.
+        assert_eq!(t.fork_degree(ForkId::new(0)), 4);
+        assert_eq!(t.fork_degree(ForkId::new(4)), 4);
+        // A length-1 bridge adds no interior fork.
+        let tight = barbell(3, 1).unwrap();
+        assert_eq!(tight.num_forks(), 6);
+        assert_eq!(tight.num_philosophers(), 7);
+        assert!(barbell(2, 1).is_err());
+        assert!(barbell(3, 0).is_err());
+    }
+
+    #[test]
+    fn random_regular_is_exactly_regular_and_seeded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for (forks, degree) in [(6, 2), (8, 3), (9, 4), (20, 3)] {
+            let t = random_regular(forks, degree, &mut rng).unwrap();
+            assert_eq!(t.num_forks(), forks);
+            assert_eq!(t.num_philosophers(), forks * degree / 2);
+            assert!(
+                t.fork_ids().all(|f| t.fork_degree(f) == degree),
+                "{degree}-regular on {forks} forks"
+            );
+            // No self-loops: every philosopher joins two distinct forks
+            // (Topology::from_arcs would have rejected them anyway).
+            for p in t.philosopher_ids() {
+                let ends = t.forks_of(p);
+                assert_ne!(ends.left, ends.right);
+            }
+        }
+        // Identical seeds give identical graphs; different seeds differ.
+        let a = random_regular(10, 3, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let b = random_regular(10, 3, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let c = random_regular(10, 3, &mut ChaCha8Rng::seed_from_u64(6)).unwrap();
+        assert_eq!(a.arcs(), b.arcs());
+        assert_ne!(a.arcs(), c.arcs());
+
+        assert!(random_regular(1, 1, &mut rng).is_err());
+        assert!(random_regular(6, 0, &mut rng).is_err());
+        assert!(random_regular(4, 4, &mut rng).is_err());
+        assert!(random_regular(5, 3, &mut rng).is_err());
     }
 
     #[test]

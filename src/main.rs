@@ -1,0 +1,312 @@
+//! `gdp` — the command-line workbench for the generalized dining
+//! philosophers workspace.
+//!
+//! Three subcommands make the whole repo drivable without writing Rust:
+//!
+//! * `gdp list` — the catalog of topology families, algorithms and
+//!   adversaries a sweep can name;
+//! * `gdp run` — one detailed simulation of a single *family × size ×
+//!   algorithm × adversary* cell;
+//! * `gdp sweep` — a full scenario grid through the parallel Monte-Carlo
+//!   machinery, streamed to the console and written to JSON + CSV.
+//!
+//! Argument parsing is hand-rolled: the build container is offline, so the
+//! workspace carries no CLI dependency.  See `docs/SCENARIOS.md` for the
+//! spec format and `README.md` for a quickstart.
+
+use gdp::prelude::*;
+use gdp_scenarios::{
+    run_sweep_with, AdversarySpec, ScenarioSpec, SeedPolicy, SweepOptions, TopologyFamily,
+    FAMILY_CATALOG,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gdp — generalized dining philosophers workbench (Herescu & Palamidessi, PODC 2001)
+
+USAGE:
+    gdp list
+        Print the topology families, algorithms and adversaries.
+
+    gdp run [OPTIONS]
+        Run one simulation and print its metrics.
+          --topology <family>    topology family spec        [default: ring]
+          --size <n>             family scale parameter      [default: 6]
+          --algorithm <name>     lr1|lr2|gdp1|gdp2|ordered   [default: gdp1]
+          --adversary <spec>     scheduler spec              [default: uniform-random]
+          --steps <n>            step budget                 [default: 40000]
+          --seed <n>             random seed                 [default: 0]
+
+    gdp sweep [OPTIONS]
+        Run a scenario grid (families x sizes x algorithms) and write JSON + CSV.
+          --families <a,b,..>    family specs     [default: ring,torus,complete,star,barbell,random-regular:3]
+          --sizes <n,m,..>       scale parameters [default: 6,12]
+          --algorithms <a,b,..>  algorithms       [default: lr1,gdp1]
+          --adversary <spec>     scheduler spec   [default: uniform-random]
+          --trials <n>           trials per cell  [default: 20]
+          --steps <n>            steps per trial  [default: 40000]
+          --seed <n>             base seed        [default: 0]
+          --seed-policy <p>      per-cell|shared  [default: per-cell]
+          --threads <n>          0 = all cores    [default: 0]
+          --json <path>          JSON output      [default: gdp_sweep.json]
+          --csv <path>           CSV output       [default: gdp_sweep.csv]
+          --name <name>          sweep name       [default: sweep]
+          --timing               embed wall-clock steps/sec in the artifacts
+          --quiet                no per-cell console rows
+
+Adversary specs: round-robin | uniform-random | blocking | blocking:<bound>.
+Results are bitwise-identical for every --threads value (PR-1 determinism
+contract); by default the JSON/CSV artifacts are also byte-reproducible
+across runs — pass --timing to trade that for embedded throughput figures.
+";
+
+/// A tiny hand-rolled flag parser: `--flag value` pairs plus boolean flags.
+struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    fn new(argv: Vec<String>) -> Self {
+        Args { argv }
+    }
+
+    /// Consumes `--flag value` and returns the value.
+    fn value_of(&mut self, flag: &str) -> Result<Option<String>, String> {
+        match self.argv.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => {
+                if i + 1 >= self.argv.len() || self.argv[i + 1].starts_with("--") {
+                    return Err(format!("flag {flag} needs a value"));
+                }
+                let value = self.argv.remove(i + 1);
+                self.argv.remove(i);
+                Ok(Some(value))
+            }
+        }
+    }
+
+    /// Consumes a boolean `--flag`.
+    fn has(&mut self, flag: &str) -> bool {
+        match self.argv.iter().position(|a| a == flag) {
+            None => false,
+            Some(i) => {
+                self.argv.remove(i);
+                true
+            }
+        }
+    }
+
+    /// Errors on any unconsumed argument.
+    fn finish(self) -> Result<(), String> {
+        if let Some(stray) = self.argv.first() {
+            return Err(format!("unrecognized argument {stray:?}"));
+        }
+        Ok(())
+    }
+}
+
+fn parse<T: std::str::FromStr>(what: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("invalid {what} {value:?}: {e}"))
+}
+
+fn parse_list<T: std::str::FromStr>(what: &str, value: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let items: Vec<T> = value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(what, s))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(format!("the {what} list is empty"));
+    }
+    Ok(items)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("TOPOLOGY FAMILIES (--families / --topology; size n per family):");
+    for entry in FAMILY_CATALOG {
+        println!(
+            "  {:<26} {:<38} {}",
+            entry.spec, entry.size_meaning, entry.description
+        );
+    }
+    println!();
+    println!("ALGORITHMS (--algorithms / --algorithm):");
+    for kind in AlgorithmKind::all() {
+        println!("  {:<26} {}", kind.name(), kind.description());
+    }
+    println!();
+    println!("ADVERSARIES (--adversary):");
+    println!("  round-robin                fair cyclic scheduling");
+    println!("  uniform-random             fair random scheduling, re-seeded per trial");
+    println!(
+        "  blocking                   blocking adversary, growing stubbornness (fairness bites)"
+    );
+    println!("  blocking:<bound>           blocking adversary, constant stubbornness bound");
+    Ok(())
+}
+
+fn cmd_run(mut args: Args) -> Result<(), String> {
+    let family: TopologyFamily = parse(
+        "topology family",
+        &args
+            .value_of("--topology")?
+            .unwrap_or_else(|| "ring".into()),
+    )?;
+    let size: usize = parse(
+        "size",
+        &args.value_of("--size")?.unwrap_or_else(|| "6".into()),
+    )?;
+    let algorithm: AlgorithmKind = parse(
+        "algorithm",
+        &args
+            .value_of("--algorithm")?
+            .unwrap_or_else(|| "gdp1".into()),
+    )?;
+    let adversary: AdversarySpec = parse(
+        "adversary",
+        &args
+            .value_of("--adversary")?
+            .unwrap_or_else(|| "uniform-random".into()),
+    )?;
+    let steps: u64 = parse(
+        "step budget",
+        &args.value_of("--steps")?.unwrap_or_else(|| "40000".into()),
+    )?;
+    let seed: u64 = parse(
+        "seed",
+        &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
+    )?;
+    args.finish()?;
+
+    let topology = family
+        .build(size, seed)
+        .map_err(|e| format!("cannot build {} at n={size}: {e}", family.name()))?;
+    println!(
+        "topology {} (n={size}): {}",
+        family.name(),
+        topology.summary()
+    );
+    let mut engine = Engine::new(
+        topology,
+        algorithm.program(),
+        SimConfig::default().with_seed(seed),
+    );
+    let mut adv = adversary.build(seed, 0);
+    let outcome = engine.run(&mut adv, StopCondition::MaxSteps(steps));
+    let metrics = RunMetrics::from_outcome(&outcome);
+    println!(
+        "run      {} under {} for {steps} steps (seed {seed})",
+        algorithm.name(),
+        adversary.name()
+    );
+    println!("metrics  {}", metrics.summary_line());
+    for (i, meals) in outcome.meals_per_philosopher.iter().enumerate() {
+        println!("         P{i}: {meals} meals");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(mut args: Args) -> Result<(), String> {
+    let mut spec = ScenarioSpec::new(
+        args.value_of("--name")?
+            .unwrap_or_else(|| "sweep".to_string()),
+    );
+    if let Some(families) = args.value_of("--families")? {
+        spec.families = parse_list("topology family", &families)?;
+    }
+    if let Some(sizes) = args.value_of("--sizes")? {
+        spec.sizes = parse_list("size", &sizes)?;
+    }
+    if let Some(algorithms) = args.value_of("--algorithms")? {
+        spec.algorithms = parse_list("algorithm", &algorithms)?;
+    }
+    if let Some(adversary) = args.value_of("--adversary")? {
+        spec.adversary = parse("adversary", &adversary)?;
+    }
+    if let Some(trials) = args.value_of("--trials")? {
+        spec.trials = parse("trial count", &trials)?;
+    }
+    if let Some(steps) = args.value_of("--steps")? {
+        spec.max_steps = parse("step budget", &steps)?;
+    }
+    if let Some(threads) = args.value_of("--threads")? {
+        spec.threads = parse("thread count", &threads)?;
+    }
+    let base_seed: u64 = parse(
+        "seed",
+        &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
+    )?;
+    spec.seed_policy = match args
+        .value_of("--seed-policy")?
+        .unwrap_or_else(|| "per-cell".into())
+        .as_str()
+    {
+        "per-cell" => SeedPolicy::PerCell(base_seed),
+        "shared" => SeedPolicy::Shared(base_seed),
+        other => {
+            return Err(format!(
+                "invalid seed policy {other:?}: expected per-cell or shared"
+            ))
+        }
+    };
+    let json_path = args
+        .value_of("--json")?
+        .unwrap_or_else(|| "gdp_sweep.json".into());
+    let csv_path = args
+        .value_of("--csv")?
+        .unwrap_or_else(|| "gdp_sweep.csv".into());
+    let options = SweepOptions {
+        record_timing: args.has("--timing"),
+        progress: !args.has("--quiet"),
+    };
+    args.finish()?;
+
+    println!("{}", spec.summary());
+    let report =
+        run_sweep_with(&spec, &options, |_| {}).map_err(|e| format!("sweep failed: {e}"))?;
+    report
+        .write_json(&json_path)
+        .map_err(|e| format!("writing {json_path}: {e}"))?;
+    report
+        .write_csv(&csv_path)
+        .map_err(|e| format!("writing {csv_path}: {e}"))?;
+    println!(
+        "wrote {json_path} and {csv_path} ({} cells)",
+        report.cells.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let command = argv.remove(0);
+    let args = Args::new(argv);
+    let result = match command.as_str() {
+        "list" => {
+            let r = cmd_list();
+            args.finish().and(r)
+        }
+        "run" => cmd_run(args),
+        "sweep" => cmd_sweep(args),
+        other => Err(format!("unknown command {other:?}; try `gdp --help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -79,7 +79,8 @@ fn guarded_choice_commits_are_exclusive_and_productive() {
 }
 
 /// Deterministic replay through the whole stack: the same experiment run
-/// twice yields identical reports (a requirement for EXPERIMENTS.md).
+/// twice yields identical reports (a requirement for reproducible
+/// experiment tables).
 #[test]
 fn experiments_replay_deterministically() {
     let build = || {

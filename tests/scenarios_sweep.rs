@@ -1,0 +1,117 @@
+//! Integration test for the scenario-sweep subsystem: a small
+//! ring / torus / random-regular × LR1 / GDP1 grid reproduces the paper's
+//! qualitative split, and sweeps are bitwise-identical for every thread
+//! count.
+//!
+//! The split, in finite-horizon form:
+//!
+//! * under the generalized blocking scheduler of `gdp-adversary` with a
+//!   constant stubbornness bound well below the window (so the scheduler is
+//!   genuinely fair *inside* the window), LR1 stays lockout-free on the
+//!   classic ring — the topology Lehmann & Rabin prove it correct on — but
+//!   starves philosophers on the off-ring families (Section 3 / Theorem 1
+//!   generalized);
+//! * GDP1 makes progress in every cell under both the blocking and the
+//!   uniform-random scheduler (Theorem 3), and under fair random scheduling
+//!   it is empirically lockout-free on every family (the property GDP2
+//!   upgrades to a guarantee).
+
+use gdp_scenarios::{run_sweep, AdversarySpec, CellResult, ScenarioSpec, SeedPolicy, SweepOptions};
+
+/// The qualitative-split grid: 3 families x 1 size x 2 algorithms.
+fn split_spec() -> ScenarioSpec {
+    ScenarioSpec::new("qualitative-split")
+        .with_families_str("ring,torus,random-regular:3")
+        .expect("family specs parse")
+        .with_sizes([9])
+        .with_algorithms_str("lr1,gdp1")
+        .expect("algorithm specs parse")
+        .with_adversary(AdversarySpec::BlockingPatient {
+            stubbornness: 1_800,
+        })
+        .with_trials(8)
+        .with_max_steps(40_000)
+        .with_seed_policy(SeedPolicy::PerCell(0))
+}
+
+fn cell<'a>(cells: &'a [CellResult], key: &str) -> &'a CellResult {
+    cells
+        .iter()
+        .find(|c| c.cell == key)
+        .unwrap_or_else(|| panic!("missing cell {key}"))
+}
+
+#[test]
+fn blocking_sweep_reproduces_the_lr1_off_ring_failure() {
+    let report = run_sweep(&split_spec(), &SweepOptions::quiet()).expect("sweep runs");
+    assert_eq!(report.cells.len(), 6);
+
+    // Every cell progresses: the scheduler's fairness bound is 1 800 steps
+    // on a 40 000-step window, so nobody can be deferred to a deadlock.
+    for c in &report.cells {
+        assert_eq!(c.deadlock_rate, 0.0, "no deadlock expected in {}", c.cell);
+    }
+
+    // LR1 on the classic ring: lockout-free, with a healthy meal floor.
+    let lr1_ring = cell(&report.cells, "ring/n9/LR1");
+    assert_eq!(
+        lr1_ring.lockout_rate, 0.0,
+        "LR1 must stay lockout-free on the ring"
+    );
+    assert!(lr1_ring.min_meals_mean >= 1.0);
+
+    // LR1 off-ring: the same scheduler starves somebody in a sizable
+    // fraction of trials (the measured rates are 0.375 on the torus and
+    // 0.75 on the random 3-regular graph; 0.25 leaves slack).
+    for key in ["torus/n9/LR1", "random-regular:3/n9/LR1"] {
+        let c = cell(&report.cells, key);
+        assert!(
+            c.lockout_rate >= 0.25,
+            "{key}: expected off-ring lockout, got rate {}",
+            c.lockout_rate
+        );
+        assert!(
+            c.lockout_rate > lr1_ring.lockout_rate,
+            "{key} must be strictly worse than the ring"
+        );
+    }
+}
+
+#[test]
+fn fair_sweep_keeps_gdp1_lockout_free_on_every_family() {
+    let spec = split_spec()
+        .with_adversary(AdversarySpec::UniformRandom)
+        .with_trials(10)
+        .with_max_steps(40_000);
+    let report = run_sweep(&spec, &SweepOptions::quiet()).expect("sweep runs");
+    for c in &report.cells {
+        assert_eq!(c.deadlock_rate, 0.0, "{} must progress", c.cell);
+        if c.algorithm == "GDP1" {
+            assert_eq!(
+                c.lockout_rate, 0.0,
+                "GDP1 must be lockout-free under fair random scheduling in {}",
+                c.cell
+            );
+            assert!(c.min_meals_mean >= 1.0, "{}", c.cell);
+        }
+    }
+}
+
+#[test]
+fn sweeps_are_bitwise_identical_for_any_thread_count() {
+    // The same grid under the fair random scheduler, serial vs parallel:
+    // per-cell results, JSON and CSV artifacts must match byte for byte
+    // (the PR-1 determinism contract extended to the scenario layer).
+    let spec = split_spec()
+        .with_adversary(AdversarySpec::UniformRandom)
+        .with_trials(6)
+        .with_max_steps(20_000);
+    let serial = run_sweep(&spec.clone().with_threads(1), &SweepOptions::quiet()).unwrap();
+    for threads in [2usize, 8] {
+        let parallel =
+            run_sweep(&spec.clone().with_threads(threads), &SweepOptions::quiet()).unwrap();
+        assert_eq!(serial.cells, parallel.cells, "{threads} threads");
+        assert_eq!(serial.to_json(), parallel.to_json(), "{threads} threads");
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "{threads} threads");
+    }
+}
