@@ -23,9 +23,12 @@
 //! * [`FairnessGuard`] / [`FairDriver`] — the "increasing stubbornness"
 //!   technique of the paper: any scheduling policy is turned into a fair
 //!   scheduler by bounding how long a philosopher may be deferred, with the
-//!   bound growing from round to round.  All adversaries in this crate are
-//!   fair by construction through this mechanism, and the engine
+//!   bound growing from round to round.  The crafted adversaries in this
+//!   crate are fair by construction through this mechanism, and the engine
 //!   additionally certifies the realized bounded-fairness bound of each run.
+//! * [`ReplayAdversary`] — plays back a recorded schedule, e.g. the optimal
+//!   starving strategy extracted by the exact checker (`gdp-mcheck`), so
+//!   that *proved* counterexamples become watchable runs.
 //!
 //! The corresponding experiments (E2–E4, E9) live in the `gdp-bench` crate;
 //! `cargo run -p gdp-bench --bin report --release` regenerates their
@@ -36,10 +39,12 @@
 
 mod blocking;
 mod fairness;
+mod replay;
 mod starver;
 mod triangle;
 
 pub use blocking::{BlockingAdversary, BlockingPolicy};
 pub use fairness::{FairDriver, FairnessGuard, SchedulingPolicy, StubbornnessSchedule};
+pub use replay::ReplayAdversary;
 pub use starver::TargetStarver;
 pub use triangle::TriangleWaveAdversary;

@@ -142,6 +142,89 @@ impl Program for OrderedForks {
     }
 }
 
+/// The textbook **broken** algorithm: deterministically take the left
+/// fork, then the right fork, holding on failure.
+///
+/// Symmetric and fully distributed — and exactly why those two properties
+/// are hard: on every ring the schedule in which each philosopher grabs
+/// its left fork reaches the classic deadlock where everybody starves.
+/// Promoted from a test-local program to a first-class baseline so the
+/// `gdp` CLI and the exact checker (`gdp-mcheck`) can demonstrate a *real*
+/// deadlock end to end (`gdp check --algorithm naive` reports it, `gdp
+/// run` detects the stuck state and exits nonzero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaiveLeftRight {
+    _private: (),
+}
+
+impl NaiveLeftRight {
+    /// Creates the naive left-then-right baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        NaiveLeftRight::default()
+    }
+}
+
+impl Program for NaiveLeftRight {
+    type State = BaselineState;
+
+    fn name(&self) -> &'static str {
+        "naive-left-right"
+    }
+
+    fn initial_state(&self) -> BaselineState {
+        BaselineState::Thinking
+    }
+
+    fn observation(&self, state: &BaselineState, ends: ForkEnds) -> ProgramObservation {
+        let (phase, committed, label) = match *state {
+            BaselineState::Thinking => (Phase::Thinking, None, "naive.think"),
+            BaselineState::TakeFirst => (Phase::Hungry, Some(ends.left), "naive.left"),
+            BaselineState::TakeSecond => (Phase::Hungry, Some(ends.right), "naive.right"),
+            BaselineState::Eating => (Phase::Eating, None, "naive.eat"),
+        };
+        ProgramObservation {
+            phase,
+            committed,
+            label,
+        }
+    }
+
+    fn step(&self, state: &mut BaselineState, ctx: &mut StepCtx<'_>) -> Action {
+        match *state {
+            BaselineState::Thinking => {
+                if ctx.becomes_hungry() {
+                    *state = BaselineState::TakeFirst;
+                    Action::BecomeHungry
+                } else {
+                    Action::KeepThinking
+                }
+            }
+            BaselineState::TakeFirst => {
+                let left = ctx.left();
+                if ctx.take_if_free(left) {
+                    *state = BaselineState::TakeSecond;
+                }
+                Action::TestAndSet { fork: left }
+            }
+            BaselineState::TakeSecond => {
+                let right = ctx.right();
+                if ctx.take_if_free(right) {
+                    *state = BaselineState::Eating;
+                }
+                // Hold-and-wait on the left fork: the deadlock ingredient.
+                Action::TestAndSet { fork: right }
+            }
+            BaselineState::Eating => {
+                ctx.release(ctx.left());
+                ctx.release(ctx.right());
+                *state = BaselineState::Thinking;
+                Action::FinishEating
+            }
+        }
+    }
+}
+
 /// The two-colouring baseline: even-numbered ("yellow") philosophers take
 /// their left fork first, odd-numbered ("blue") philosophers take their
 /// right fork first, with hold-and-wait.

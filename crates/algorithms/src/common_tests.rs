@@ -183,7 +183,7 @@ fn prop_no_safety_violation_on_random_topologies() {
         let seed = param_rng.gen_range(0u64..10_000);
         let forks = param_rng.gen_range(3usize..8);
         let extra = param_rng.gen_range(0usize..6);
-        let kind = AlgorithmKind::all()[case as usize % 5];
+        let kind = AlgorithmKind::all()[case as usize % AlgorithmKind::all().len()];
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let topology = random_connected(forks, extra, &mut rng).unwrap();
         run_with_invariants(kind, topology, seed, 4_000);

@@ -7,7 +7,7 @@
 //! [`AnyProgram`] / [`AnyState`] provide a single concrete [`Program`]
 //! implementation that dispatches to the selected one.
 
-use crate::baselines::{BaselineState, OrderedForks};
+use crate::baselines::{BaselineState, NaiveLeftRight, OrderedForks};
 use crate::{Gdp1, Gdp1State, Gdp2, Gdp2State, Lr1, Lr1State, Lr2, Lr2State};
 use gdp_sim::{Action, Program, ProgramObservation, StepCtx};
 use gdp_topology::ForkEnds;
@@ -27,12 +27,30 @@ pub enum AlgorithmKind {
     Gdp2,
     /// The asymmetric ordered-forks baseline from the introduction.
     OrderedForks,
+    /// The broken take-left-then-right baseline (deadlocks on rings) —
+    /// the negative control for deadlock detection and exact checking.
+    Naive,
 }
 
 impl AlgorithmKind {
     /// All selectable algorithms, in presentation order.
     #[must_use]
-    pub const fn all() -> [AlgorithmKind; 5] {
+    pub const fn all() -> [AlgorithmKind; 6] {
+        [
+            AlgorithmKind::Lr1,
+            AlgorithmKind::Lr2,
+            AlgorithmKind::Gdp1,
+            AlgorithmKind::Gdp2,
+            AlgorithmKind::OrderedForks,
+            AlgorithmKind::Naive,
+        ]
+    }
+
+    /// The algorithms that make progress on every classic ring — everything
+    /// except the deliberately broken naive baseline.  Progress-asserting
+    /// sweeps iterate this list.
+    #[must_use]
+    pub const fn deadlock_free() -> [AlgorithmKind; 5] {
         [
             AlgorithmKind::Lr1,
             AlgorithmKind::Lr2,
@@ -63,6 +81,7 @@ impl AlgorithmKind {
             AlgorithmKind::Gdp1 => "GDP1",
             AlgorithmKind::Gdp2 => "GDP2",
             AlgorithmKind::OrderedForks => "ordered-forks",
+            AlgorithmKind::Naive => "naive-left-right",
         }
     }
 
@@ -85,6 +104,7 @@ impl AlgorithmKind {
             AlgorithmKind::OrderedForks => {
                 "Dijkstra ordered forks: asymmetric deterministic baseline"
             }
+            AlgorithmKind::Naive => "naive take-left-then-right: symmetric but deadlocks on rings",
         }
     }
 
@@ -92,6 +112,17 @@ impl AlgorithmKind {
     /// the paper's four).
     #[must_use]
     pub const fn is_symmetric(self) -> bool {
+        !matches!(self, AlgorithmKind::OrderedForks)
+    }
+
+    /// Whether the program's behaviour is invariant under a consistent
+    /// relabelling of forks and philosophers that preserves every
+    /// philosopher's left/right orientation — the soundness precondition of
+    /// `gdp-mcheck`'s symmetry quotient.  The ordered-forks baseline fails
+    /// it (it branches on the global fork order); everything else here is
+    /// side-based.
+    #[must_use]
+    pub const fn is_relabelling_invariant(self) -> bool {
         !matches!(self, AlgorithmKind::OrderedForks)
     }
 
@@ -136,6 +167,7 @@ impl FromStr for AlgorithmKind {
             "gdp1" => Ok(AlgorithmKind::Gdp1),
             "gdp2" => Ok(AlgorithmKind::Gdp2),
             "ordered-forks" | "ordered" | "hierarchical" => Ok(AlgorithmKind::OrderedForks),
+            "naive" | "naive-left-right" => Ok(AlgorithmKind::Naive),
             _ => Err(ParseAlgorithmError {
                 input: s.to_string(),
             }),
@@ -152,6 +184,7 @@ pub struct AnyProgram {
     gdp1: Gdp1,
     gdp2: Gdp2,
     ordered: OrderedForks,
+    naive: NaiveLeftRight,
 }
 
 impl AnyProgram {
@@ -165,6 +198,7 @@ impl AnyProgram {
             gdp1: Gdp1::new(),
             gdp2: Gdp2::new(),
             ordered: OrderedForks::new(),
+            naive: NaiveLeftRight::new(),
         }
     }
 
@@ -189,6 +223,8 @@ pub enum AnyState {
     Gdp2(Gdp2State),
     /// Ordered-forks baseline state.
     OrderedForks(BaselineState),
+    /// Naive left-right baseline state.
+    Naive(BaselineState),
 }
 
 impl Program for AnyProgram {
@@ -205,6 +241,7 @@ impl Program for AnyProgram {
             AlgorithmKind::Gdp1 => AnyState::Gdp1(self.gdp1.initial_state()),
             AlgorithmKind::Gdp2 => AnyState::Gdp2(self.gdp2.initial_state()),
             AlgorithmKind::OrderedForks => AnyState::OrderedForks(self.ordered.initial_state()),
+            AlgorithmKind::Naive => AnyState::Naive(self.naive.initial_state()),
         }
     }
 
@@ -215,6 +252,7 @@ impl Program for AnyProgram {
             AnyState::Gdp1(s) => self.gdp1.observation(s, ends),
             AnyState::Gdp2(s) => self.gdp2.observation(s, ends),
             AnyState::OrderedForks(s) => self.ordered.observation(s, ends),
+            AnyState::Naive(s) => self.naive.observation(s, ends),
         }
     }
 
@@ -225,6 +263,7 @@ impl Program for AnyProgram {
             AnyState::Gdp1(s) => self.gdp1.step(s, ctx),
             AnyState::Gdp2(s) => self.gdp2.step(s, ctx),
             AnyState::OrderedForks(s) => self.ordered.step(s, ctx),
+            AnyState::Naive(s) => self.naive.step(s, ctx),
         }
     }
 }
@@ -237,8 +276,10 @@ mod tests {
 
     #[test]
     fn names_descriptions_and_symmetry_flags() {
-        assert_eq!(AlgorithmKind::all().len(), 5);
+        assert_eq!(AlgorithmKind::all().len(), 6);
         assert_eq!(AlgorithmKind::paper_algorithms().len(), 4);
+        assert_eq!(AlgorithmKind::deadlock_free().len(), 5);
+        assert!(!AlgorithmKind::deadlock_free().contains(&AlgorithmKind::Naive));
         for kind in AlgorithmKind::all() {
             assert!(!kind.name().is_empty());
             assert!(!kind.description().is_empty());
@@ -246,6 +287,9 @@ mod tests {
         }
         assert!(AlgorithmKind::Gdp1.is_symmetric());
         assert!(!AlgorithmKind::OrderedForks.is_symmetric());
+        assert!(AlgorithmKind::Naive.is_symmetric());
+        assert!(AlgorithmKind::Gdp1.is_relabelling_invariant());
+        assert!(!AlgorithmKind::OrderedForks.is_relabelling_invariant());
     }
 
     #[test]
@@ -258,6 +302,10 @@ mod tests {
         assert_eq!(
             "hierarchical".parse::<AlgorithmKind>().unwrap(),
             AlgorithmKind::OrderedForks
+        );
+        assert_eq!(
+            "naive".parse::<AlgorithmKind>().unwrap(),
+            AlgorithmKind::Naive
         );
         let err = "nope".parse::<AlgorithmKind>().unwrap_err();
         assert!(err.to_string().contains("nope"));
@@ -284,8 +332,8 @@ mod tests {
     }
 
     #[test]
-    fn every_algorithm_runs_and_progresses_on_the_classic_ring() {
-        for kind in AlgorithmKind::all() {
+    fn every_deadlock_free_algorithm_progresses_on_the_classic_ring() {
+        for kind in AlgorithmKind::deadlock_free() {
             let mut e = Engine::new(
                 classic_ring(6).unwrap(),
                 kind.program(),

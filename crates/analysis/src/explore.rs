@@ -3,63 +3,71 @@
 //! The paper's correctness arguments are phrased over the *probabilistic
 //! automaton* of the system: nondeterminism (the adversary's choice of which
 //! philosopher moves) combined with probabilistic branching (the
-//! philosophers' random draws).  For small systems that automaton is finite
-//! and can be explored exhaustively, treating **both** the adversary choice
-//! and every possible outcome of a random draw as branches.
+//! philosophers' random draws).  [`explore`] walks the fragment of that
+//! automaton obtained by fixing one seed — all *scheduling* nondeterminism,
+//! one realization of the coin flips — and reports reachable-state counts,
+//! safety verification and dead-end (deadlock) detection; [`explore_seeds`]
+//! additionally samples the probabilistic branching.  For the *exact*
+//! automaton — every adversary, every draw, with probabilities — use the
+//! `gdp-mcheck` crate, whose seeded explorer also powers this module.
 //!
-//! [`explore`] performs a bounded breadth-first search over that automaton
-//! and reports:
-//!
-//! * the number of distinct reachable states (up to the bound);
-//! * whether a **deadlock** state is reachable — a state in which *no*
-//!   scheduling choice and *no* random outcome can ever lead to a meal
-//!   (formally: no eating state is reachable from it).  For randomized
-//!   algorithms such as LR1/GDP1 no deadlock exists (some sequence of
-//!   choices and lucky draws always reaches a meal — that is exactly why
-//!   only *probabilistic* adversarial arguments can defeat them), whereas
-//!   the naive deterministic "take left then right" program does deadlock;
-//! * whether every reachable state satisfies the safety invariants
-//!   (mutual exclusion, eating implies holding both forks).
-//!
-//! Exploration cost grows quickly with the number of philosophers, so this
-//! is a verification aid for the small witness topologies of the paper, not
-//! a general model checker.
+//! Since the engine gained first-class snapshots
+//! ([`EngineState`](gdp_sim::EngineState)), exploration restores a parent
+//! snapshot and executes **one** step per expansion.  The original
+//! implementation re-simulated the entire decision prefix for every
+//! expansion (`O(depth)` steps each); it is kept here as
+//! [`explore_via_replay`], both as the regression oracle — the snapshot
+//! walk must reproduce its reports exactly — and as the baseline of the
+//! `mcheck_state_space` perf sample in `gdp-bench` (≥10× on the 4-ring).
 
-use gdp_sim::{Engine, Phase, Program, SimConfig};
+use gdp_sim::{Engine, Program, SimConfig};
 use gdp_topology::{PhilosopherId, Topology};
 use std::collections::{HashMap, HashSet, VecDeque};
 
-/// Result of an exhaustive exploration.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ExplorationReport {
-    /// Number of distinct states visited (including the initial state).
-    pub states_visited: usize,
-    /// Whether the exploration was truncated by the state budget.
-    pub truncated: bool,
-    /// Number of visited states from which no meal is reachable within the
-    /// explored fragment (0 means the explored fragment is deadlock-free).
-    pub dead_states: usize,
-    /// Whether every visited state satisfied the safety invariants.
-    pub safety_holds: bool,
-    /// Number of visited states in which some philosopher is eating.
-    pub eating_states: usize,
+pub use gdp_mcheck::seeded::ExplorationReport;
+
+/// Exhaustively explores the reachable states of `program` on `topology`,
+/// branching over every adversary choice at every state, up to `max_states`
+/// distinct states and `max_depth` steps from the initial state.
+///
+/// Randomness is fixed by `seed`: the exploration covers all *scheduling*
+/// nondeterminism for one realization of the coin flips.  Calling it with
+/// several seeds (see [`explore_seeds`]) additionally samples the
+/// probabilistic branching.
+///
+/// This is a thin delegate to
+/// [`gdp_mcheck::seeded::explore_realization`]; the report type and its
+/// semantics are unchanged from the replay era (regression-pinned below).
+#[must_use]
+pub fn explore<P: Program + Clone>(
+    topology: &Topology,
+    program: &P,
+    seed: u64,
+    max_states: usize,
+    max_depth: usize,
+) -> ExplorationReport {
+    gdp_mcheck::seeded::explore_realization(topology, program, seed, max_states, max_depth)
 }
 
-impl ExplorationReport {
-    /// Returns `true` if no reachable state (within the explored fragment)
-    /// is a dead end.
-    #[must_use]
-    pub fn deadlock_free(&self) -> bool {
-        self.dead_states == 0
-    }
+/// Runs [`explore`] for each seed and merges the findings: safety must hold
+/// for every seed, and a deadlock reported for *any* seed counts.
+#[must_use]
+pub fn explore_seeds<P: Program + Clone>(
+    topology: &Topology,
+    program: &P,
+    seeds: &[u64],
+    max_states: usize,
+    max_depth: usize,
+) -> ExplorationReport {
+    gdp_mcheck::seeded::merge_reports(
+        seeds
+            .iter()
+            .map(|&seed| explore(topology, program, seed, max_states, max_depth)),
+    )
 }
 
 /// Replays `decisions` (a sequence of philosopher indices) from the initial
 /// state on a fresh engine with the given seed and returns that engine.
-///
-/// Exploration identifies a state by the decision sequence that reaches it
-/// plus the engine's state fingerprint; replay keeps the exploration honest
-/// without requiring the engine to expose clonable internals.
 fn replay<P: Program + Clone>(
     topology: &Topology,
     program: &P,
@@ -77,41 +85,48 @@ fn replay<P: Program + Clone>(
     engine
 }
 
-fn check_safety<P: Program>(engine: &Engine<P>) -> bool {
-    engine.with_view(|view| {
-        for fork in view.topology().fork_ids() {
-            if let Some(holder) = view.holder_of(fork) {
-                if !view.topology().forks_of(holder).contains(fork) {
-                    return false;
-                }
-            }
-        }
-        for p in view.philosophers() {
-            if p.holding.len() > 2 {
-                return false;
-            }
-            if p.phase == Phase::Eating && p.holding.len() != 2 {
-                return false;
-            }
-        }
-        true
-    })
-}
-
-fn someone_eating<P: Program>(engine: &Engine<P>) -> bool {
-    engine.with_view(|view| view.someone_eating())
-}
-
-/// Exhaustively explores the reachable states of `program` on `topology`,
-/// branching over every adversary choice at every state, up to `max_states`
-/// distinct states and `max_depth` steps from the initial state.
+/// Returns `true` if the engine's *current* state satisfies the safety
+/// invariants: every held fork is held by an adjacent philosopher and
+/// eating implies holding both forks.
 ///
-/// Randomness is fixed by `seed`: the exploration covers all *scheduling*
-/// nondeterminism for one realization of the coin flips.  Calling it with
-/// several seeds (see [`explore_seeds`]) additionally samples the
-/// probabilistic branching.
+/// One source of truth across the workspace: this is a re-export-style
+/// delegate to [`gdp_mcheck::state_is_safe`], the predicate the exact
+/// checker counts as `safety_violations` — so the Monte-Carlo
+/// `unsafe_trials` signal and exploration's `safety_holds` can never
+/// drift from what the checker certifies.
 #[must_use]
-pub fn explore<P: Program + Clone>(
+pub fn state_is_safe<P: Program>(engine: &Engine<P>) -> bool {
+    gdp_mcheck::state_is_safe(engine)
+}
+
+/// The SipHash-based state digest the pre-snapshot stack used (PR 1/2's
+/// `fingerprint64` was built on `std`'s `DefaultHasher`): part of the
+/// faithful replay-era baseline preserved by [`explore_via_replay`].
+fn legacy_fingerprint<P: Program>(engine: &Engine<P>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    engine.with_view(|view| (view.forks()).hash(&mut hasher));
+    // The engine no longer exposes its private-state vector for ad-hoc
+    // hashing; fold the per-philosopher fingerprint contribution through
+    // the current `state_fingerprint` (identical dedup power, and the
+    // regression test pins report equality, not digest equality).
+    engine.state_fingerprint().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The pre-snapshot implementation of [`explore`]: every expansion replays
+/// the full decision prefix on a fresh engine, and every digest and lookup
+/// runs on the replay era's SipHash (`DefaultHasher`) fingerprints and
+/// std-hashed maps.
+///
+/// Kept as the **reference implementation** — same traversal order, same
+/// dedup semantics, same report — so that the snapshot-based walk can be
+/// regression-tested against it, and as the baseline of the
+/// snapshot-vs-replay throughput sample in the `gdp-bench` perf suite.  Do
+/// not use it for real exploration: each expansion costs `O(depth)` engine
+/// steps instead of one restore.
+#[must_use]
+pub fn explore_via_replay<P: Program + Clone>(
     topology: &Topology,
     program: &P,
     seed: u64,
@@ -130,7 +145,7 @@ pub fn explore<P: Program + Clone>(
     let mut eating_states = 0usize;
 
     let initial = replay(topology, program, seed, &[]);
-    let initial_fp = initial.state_fingerprint();
+    let initial_fp = legacy_fingerprint(&initial);
     seen.insert(initial_fp, Vec::new());
     queue.push_back(Vec::new());
 
@@ -139,16 +154,16 @@ pub fn explore<P: Program + Clone>(
             truncated = true;
             continue;
         }
-        let here_fp = replay(topology, program, seed, &decisions).state_fingerprint();
+        let here_fp = legacy_fingerprint(&replay(topology, program, seed, &decisions));
         for p in 0..n {
             let mut next = decisions.clone();
             next.push(p);
             let engine = replay(topology, program, seed, &next);
-            let fp = engine.state_fingerprint();
-            if !check_safety(&engine) {
+            let fp = legacy_fingerprint(&engine);
+            if !state_is_safe(&engine) {
                 safety_holds = false;
             }
-            let eating = someone_eating(&engine);
+            let eating = engine.with_view(|view| view.someone_eating());
             parents.entry(fp).or_default().push(here_fp);
             if eating {
                 can_eat.insert(fp);
@@ -190,115 +205,19 @@ pub fn explore<P: Program + Clone>(
     }
 }
 
-/// Runs [`explore`] for each seed and merges the findings: safety must hold
-/// for every seed, and a deadlock reported for *any* seed counts.
-#[must_use]
-pub fn explore_seeds<P: Program + Clone>(
-    topology: &Topology,
-    program: &P,
-    seeds: &[u64],
-    max_states: usize,
-    max_depth: usize,
-) -> ExplorationReport {
-    let mut merged = ExplorationReport {
-        states_visited: 0,
-        truncated: false,
-        dead_states: 0,
-        safety_holds: true,
-        eating_states: 0,
-    };
-    for &seed in seeds {
-        let report = explore(topology, program, seed, max_states, max_depth);
-        merged.states_visited += report.states_visited;
-        merged.truncated |= report.truncated;
-        merged.dead_states += report.dead_states;
-        merged.safety_holds &= report.safety_holds;
-        merged.eating_states += report.eating_states;
-    }
-    merged
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdp_algorithms::baselines::OrderedForks;
+    use gdp_algorithms::baselines::{NaiveLeftRight, OrderedForks};
     use gdp_algorithms::{Gdp1, Lr1};
-    use gdp_sim::{Action, ProgramObservation, StepCtx};
-    use gdp_topology::builders::classic_ring;
-    use gdp_topology::{ForkEnds, Topology};
-
-    /// The classic broken algorithm: deterministically take the left fork,
-    /// then the right fork, holding on failure.  Deadlocks on every ring.
-    #[derive(Clone, Copy, Debug, Default)]
-    struct NaiveLeftRight;
-
-    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-    enum NaiveState {
-        Thinking,
-        WantLeft,
-        WantRight,
-        Eating,
-    }
-
-    impl Program for NaiveLeftRight {
-        type State = NaiveState;
-        fn name(&self) -> &'static str {
-            "naive-left-right"
-        }
-        fn initial_state(&self) -> NaiveState {
-            NaiveState::Thinking
-        }
-        fn observation(&self, state: &NaiveState, _ends: ForkEnds) -> ProgramObservation {
-            let phase = match state {
-                NaiveState::Thinking => Phase::Thinking,
-                NaiveState::Eating => Phase::Eating,
-                _ => Phase::Hungry,
-            };
-            ProgramObservation {
-                phase,
-                committed: None,
-                label: "naive",
-            }
-        }
-        fn step(&self, state: &mut NaiveState, ctx: &mut StepCtx<'_>) -> Action {
-            match state {
-                NaiveState::Thinking => {
-                    if ctx.becomes_hungry() {
-                        *state = NaiveState::WantLeft;
-                        Action::BecomeHungry
-                    } else {
-                        Action::KeepThinking
-                    }
-                }
-                NaiveState::WantLeft => {
-                    let left = ctx.left();
-                    if ctx.take_if_free(left) {
-                        *state = NaiveState::WantRight;
-                    }
-                    Action::TestAndSet { fork: left }
-                }
-                NaiveState::WantRight => {
-                    let right = ctx.right();
-                    if ctx.take_if_free(right) {
-                        *state = NaiveState::Eating;
-                    }
-                    Action::TestAndSet { fork: right }
-                }
-                NaiveState::Eating => {
-                    ctx.release(ctx.left());
-                    ctx.release(ctx.right());
-                    *state = NaiveState::Thinking;
-                    Action::FinishEating
-                }
-            }
-        }
-    }
+    use gdp_topology::builders::{classic_ring, figure1_triangle};
+    use gdp_topology::Topology;
 
     #[test]
     fn naive_left_right_deadlocks_on_the_ring() {
         // The textbook deadlock: every philosopher holds its left fork.
         let ring = classic_ring(3).unwrap();
-        let report = explore(&ring, &NaiveLeftRight, 0, 20_000, 200);
+        let report = explore(&ring, &NaiveLeftRight::new(), 0, 20_000, 200);
         assert!(report.safety_holds);
         assert!(!report.truncated, "{report:?}");
         assert!(
@@ -345,5 +264,32 @@ mod tests {
         let report = explore(&ring, &Lr1::new(), 0, 50, 6);
         assert!(report.truncated);
         assert!(report.states_visited <= 50);
+    }
+
+    /// The regression pin of the snapshot/restore migration: on the ring
+    /// n = 3 and the Figure 1 triangle witness, the snapshot-based explorer
+    /// must produce **identical** reports to the replay-based reference
+    /// implementation — state counts, dead states, truncation, safety and
+    /// eating-state counts, across seeds, budgets and programs.
+    #[test]
+    fn snapshot_explorer_matches_replay_reference_reports() {
+        let ring3 = classic_ring(3).unwrap();
+        let triangle = figure1_triangle();
+        for seed in [0u64, 1, 7] {
+            for (max_states, max_depth) in [(600, 12), (20_000, 60)] {
+                for topology in [&ring3, &triangle] {
+                    assert_eq!(
+                        explore(topology, &Lr1::new(), seed, max_states, max_depth),
+                        explore_via_replay(topology, &Lr1::new(), seed, max_states, max_depth),
+                        "LR1 seed {seed} budget {max_states}/{max_depth} on {topology}"
+                    );
+                }
+                assert_eq!(
+                    explore(&ring3, &NaiveLeftRight::new(), seed, max_states, max_depth),
+                    explore_via_replay(&ring3, &NaiveLeftRight::new(), seed, max_states, max_depth),
+                    "naive seed {seed} budget {max_states}/{max_depth}"
+                );
+            }
+        }
     }
 }

@@ -27,6 +27,7 @@
 //! fixed, the resulting estimates are bitwise-identical to a serial run
 //! regardless of the thread count (test-enforced below).
 
+use crate::explore::state_is_safe;
 use crate::stats;
 use gdp_sim::{Adversary, Engine, Program, SimConfig, StopCondition};
 use gdp_topology::Topology;
@@ -272,6 +273,33 @@ pub struct LivenessEstimate {
     pub progress: ProgressEstimate,
     /// The lockout-freedom (Theorem 4) estimate.
     pub lockout: LockoutEstimate,
+    /// Hard violations observed across the batch.
+    pub violations: ViolationSummary,
+}
+
+/// Hard violations observed over a trial batch — the signals behind the
+/// nonzero exit codes of `gdp run` and `gdp sweep`.
+///
+/// Unlike the *rates* (a no-progress window under an adversarial scheduler
+/// is expected behaviour for LR1), these are unambiguous defects: a final
+/// state that is a **true deadlock** (no scheduling choice and no random
+/// outcome can ever change it — [`Engine::is_stuck`]), or a final state
+/// violating the safety invariants.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViolationSummary {
+    /// Trials whose final state was a true deadlock.
+    pub stuck_trials: u64,
+    /// Trials whose final state violated mutual exclusion or
+    /// eating-implies-both-forks.
+    pub unsafe_trials: u64,
+}
+
+impl ViolationSummary {
+    /// Whether any violation was observed.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.stuck_trials > 0 || self.unsafe_trials > 0
+    }
 }
 
 /// The fixed-size summary one combined trial reduces to.
@@ -282,6 +310,8 @@ struct LivenessTrial {
     starved: Vec<u32>,
     min_meals: u64,
     jain: f64,
+    stuck: bool,
+    safe: bool,
 }
 
 /// Estimates progress **and** lockout-freedom from a single batch: each
@@ -322,6 +352,8 @@ where
             .iter()
             .map(|&m| m as f64)
             .collect();
+        let safe = state_is_safe(&engine);
+        let stuck = engine.is_stuck();
         LivenessTrial {
             first_meal: outcome.first_meal_step,
             total_meals: outcome.total_meals,
@@ -334,6 +366,8 @@ where
                 .min()
                 .unwrap_or(0),
             jain: stats::jain_index(&meals),
+            stuck,
+            safe,
         }
     });
 
@@ -344,7 +378,14 @@ where
     let mut starvation = vec![0u64; n];
     let mut min_meals = Vec::with_capacity(outcomes.len());
     let mut fairness = Vec::with_capacity(outcomes.len());
+    let mut violations = ViolationSummary::default();
     for trial in &outcomes {
+        if trial.stuck {
+            violations.stuck_trials += 1;
+        }
+        if !trial.safe {
+            violations.unsafe_trials += 1;
+        }
         meals.push(trial.total_meals as f64);
         if let Some(step) = trial.first_meal {
             progressed += 1;
@@ -386,6 +427,7 @@ where
             min_meals_mean: stats::mean(&min_meals),
             fairness_mean: stats::mean(&fairness),
         },
+        violations,
     }
 }
 
@@ -550,6 +592,33 @@ mod tests {
         assert_eq!(combined.lockout, lockout);
         // Full-window meal counts dominate stop-at-first-meal counts.
         assert!(combined.progress.meals_mean >= progress.meals_mean);
+    }
+
+    #[test]
+    fn violations_flag_true_deadlocks_but_not_adversarial_no_progress() {
+        use gdp_algorithms::baselines::NaiveLeftRight;
+        // The naive baseline deadlocks on every ring under round-robin:
+        // every trial's final state is truly stuck.
+        let config = TrialConfig::new(4, 2_000).with_base_seed(0);
+        let naive = estimate_liveness(
+            &classic_ring(3).unwrap(),
+            &NaiveLeftRight::new(),
+            |_| RoundRobinAdversary::new(),
+            &config,
+        );
+        assert_eq!(naive.violations.stuck_trials, 4);
+        assert_eq!(naive.violations.unsafe_trials, 0);
+        assert!(naive.violations.any());
+
+        // GDP1 never deadlocks and never breaks safety.
+        let gdp1 = estimate_liveness(
+            &classic_ring(3).unwrap(),
+            &Gdp1::new(),
+            UniformRandomAdversary::new,
+            &config,
+        );
+        assert_eq!(gdp1.violations, ViolationSummary::default());
+        assert!(!gdp1.violations.any());
     }
 
     #[test]

@@ -18,21 +18,21 @@ pub use gdp_topology::{
 };
 
 pub use gdp_sim::{
-    Action, Adversary, Engine, ForkCell, HungerModel, Phase, PhilosopherView, Program,
-    ProgramObservation, RoundRobinAdversary, RunOutcome, SimConfig, StepCtx, StepRecord,
-    StopCondition, StopReason, SystemView, Trace, UniformRandomAdversary,
+    Action, Adversary, DrawTape, Engine, EngineState, ForkCell, HungerModel, Phase,
+    PhilosopherView, Program, ProgramObservation, RoundRobinAdversary, RunOutcome, SimConfig,
+    StepCtx, StepRecord, StopCondition, StopReason, SystemView, Trace, UniformRandomAdversary,
 };
 
 pub use gdp_algorithms::{baselines, AlgorithmKind, AnyProgram, AnyState, Gdp1, Gdp2, Lr1, Lr2};
 
 pub use gdp_adversary::{
-    BlockingAdversary, BlockingPolicy, FairDriver, FairnessGuard, SchedulingPolicy,
-    StubbornnessSchedule, TargetStarver, TriangleWaveAdversary,
+    BlockingAdversary, BlockingPolicy, FairDriver, FairnessGuard, ReplayAdversary,
+    SchedulingPolicy, StubbornnessSchedule, TargetStarver, TriangleWaveAdversary,
 };
 
 pub use gdp_analysis::{
-    metrics, montecarlo, stats, symmetry, LockoutEstimate, ProgressEstimate, RunMetrics,
-    TrialConfig,
+    metrics, montecarlo, state_is_safe, stats, symmetry, LockoutEstimate, ProgressEstimate,
+    RunMetrics, TrialConfig,
 };
 
 pub use gdp_runtime::{run_for_meals, DiningTable, RunReport, Seat, SharedFork, TableStats};

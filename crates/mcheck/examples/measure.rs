@@ -1,0 +1,40 @@
+//! State-space sizing for ring checks: how big is the exact automaton of
+//! an algorithm on the classic `n`-ring, and does it certify?
+//!
+//! ```bash
+//! cargo run --release -p gdp-mcheck --example measure -- 5 sym gdp1
+//! cargo run --release -p gdp-mcheck --example measure -- 4 nosym lr1
+//! ```
+//!
+//! Useful for picking `--max-states` budgets before running `gdp check`
+//! on a new configuration.
+
+use gdp_mcheck::{build_mdp, solve, BuildOptions, CheckTarget, SolveOptions};
+use gdp_topology::builders::classic_ring;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let sym = args.get(2).map(|s| s == "sym").unwrap_or(true);
+    let algo = args.get(3).cloned().unwrap_or_else(|| "gdp1".into());
+    let ring = classic_ring(n).expect("valid ring size");
+    let options = BuildOptions::default()
+        .with_symmetry(sym)
+        .with_max_states(20_000_000);
+    let kind: gdp_algorithms::AlgorithmKind = algo.parse().expect("known algorithm");
+    let build_started = std::time::Instant::now();
+    let mdp = build_mdp(&ring, &kind.program(), CheckTarget::Progress, &options);
+    let build_secs = build_started.elapsed().as_secs_f64();
+    let solve_started = std::time::Instant::now();
+    let solution = solve(&mdp, &SolveOptions::default());
+    println!(
+        "ring n={n} sym={sym} {algo}: states={} transitions={} truncated={} \
+         build={build_secs:.2}s solve={:.2}s p={} certified={}",
+        mdp.num_states,
+        mdp.num_transitions(),
+        mdp.truncated,
+        solve_started.elapsed().as_secs_f64(),
+        solution.probability,
+        solution.certified
+    );
+}

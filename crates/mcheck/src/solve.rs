@@ -1,0 +1,737 @@
+//! Exact solving of the constructed MDP: qualitative certification first,
+//! value iteration for the quantitative remainder.
+//!
+//! The checked quantity is the **worst-case reachability probability over
+//! fair adversaries**
+//!
+//! > `V(s) = inf over fair adversaries of Pr[ target reached from s ]`,
+//!
+//! the paper's progress / individual-liveness statements ("with probability
+//! 1 under every fair adversary") being exactly `V(initial) = 1`.  Fairness
+//! — every philosopher is scheduled infinitely often — is essential: an
+//! *unrestricted* adversary defeats every algorithm trivially by
+//! busy-looping one blocked philosopher forever.
+//!
+//! **Qualitative phase: fair end components.**  Under any strategy, an
+//! infinite play almost surely settles into an *end component* — a set of
+//! (state, choice) pairs closed under the probabilistic transitions and
+//! strongly connected.  A fair adversary can therefore avoid the target
+//! with positive probability **iff** the non-target fragment contains a
+//! *fair* end component: one that, for every philosopher `i`, contains a
+//! state where scheduling `i` keeps every random outcome inside.  (A true
+//! deadlock is the degenerate case: a single state where every
+//! philosopher's step self-loops.)  The solver computes the maximal
+//! end-component decomposition of the non-target fragment with the
+//! standard SCC-refinement algorithm, keeps the fair ones — the **fair
+//! cores** — and concludes:
+//!
+//! * no fair core (and the model untruncated) certifies `V(initial) = 1`
+//!   **exactly** — no fixed-point iteration, no rounding;
+//! * if the initial state *surely* reaches a fair core (an all-outcomes
+//!   attractor), `V(initial) = 0` exactly: starve first, be fair inside
+//!   the core forever;
+//! * otherwise `V(initial) = 1 − (max probability of reaching a fair core
+//!   while avoiding the target)`, computed by value iteration from below.
+//!
+//! Truncated models are handled conservatively, in both directions: the
+//! discovered-but-unexpanded frontier is adversary-friendly for the
+//! *quantitative* bound (the reported probability is a lower bound on the
+//! true one) yet never the basis of an *exact* claim — "probability 0"
+//! certificates rest only on fair cores proved inside the expanded
+//! fragment, so a truncated check can refute (a deadlock or starvation
+//! component found in the fragment is real) but never certify.
+//!
+//! **Expected steps.**  The worst-case expected steps-to-target over fair
+//! adversaries is degenerate (an adversary may stall on harmless busy-wait
+//! self-loops arbitrarily long, so the supremum is infinite whenever any
+//! exist); the meaningful exact quantity — and the one Monte-Carlo sweeps
+//! estimate as `mean_hunger` — is the expectation under the **uniform
+//! random scheduler**, which [`solve`] optionally computes by iterating the
+//! induced Markov chain.
+//!
+//! Every pass iterates states in index order with fixed epsilon and
+//! deterministic float arithmetic, so solutions — like the models they are
+//! computed from — are bitwise-identical across runs and thread counts.
+
+use crate::model::{Mdp, UNEXPLORED};
+
+/// Options controlling the solver.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Also compute the exact expected steps-to-target under the uniform
+    /// random scheduler when the probability is certified to be 1 (an
+    /// extra value iteration).
+    pub expected_steps: bool,
+    /// Convergence threshold for the probability iteration.
+    pub epsilon: f64,
+    /// Iteration cap (a backstop; convergence is geometric).
+    pub max_iterations: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            expected_steps: false,
+            epsilon: 1e-13,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// The solved check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// Worst-case probability (over fair adversaries) of reaching the
+    /// target from the initial state.  Exact when
+    /// [`certified`](Self::certified); otherwise iterated to
+    /// [`SolveOptions::epsilon`] (a lower bound if the model was
+    /// truncated).
+    pub probability: f64,
+    /// `true` when the probability is qualitatively exact (1 via absence
+    /// of fair cores, 0 via a sure path into one).
+    pub certified: bool,
+    /// Number of states inside *genuine* fair avoid cores — fair end
+    /// components proved within the expanded fragment.  (The unknown
+    /// frontier of a truncated build blocks certification and bounds the
+    /// quantitative value, but is never counted here.)
+    pub fair_core_states: usize,
+    /// Whether the initial state surely reaches a fair core.
+    pub initial_sure_avoids: bool,
+    /// Probability value-iteration rounds performed (0 when certified).
+    pub iterations: u64,
+    /// Exact expected steps to the first target state under the uniform
+    /// random scheduler; `Some` only when requested and the probability is
+    /// certified 1.
+    pub expected_steps: Option<f64>,
+    /// Rounds of the expected-steps iteration.
+    pub expected_steps_iterations: u64,
+    /// A worst-case adversary: for each state, the philosopher to schedule
+    /// (in the frame of the state's stored representative).  Inside a fair
+    /// core this is a choice whose outcomes all stay inside; en route it
+    /// maximises the probability of reaching a core.
+    pub strategy: Vec<u32>,
+    /// Per-state fair-core membership.
+    pub in_fair_core: Vec<bool>,
+    /// Per-state avoid potential guiding counterexample replay
+    /// (`crate::strategy`): the exact max-avoid value in the quantitative
+    /// case, the indicator of the sure-avoid region (core ∪ attractor)
+    /// in the certified-0 case, all zeros when the property is certified.
+    /// Frame-independent — values attach to canonical states, so a live
+    /// engine can be steered without knowing which relabelling the model
+    /// stored.
+    pub avoid_value: Vec<f64>,
+}
+
+impl Solution {
+    /// `true` if the worst-case probability is exactly 1 (the paper's
+    /// "with probability 1 under every fair adversary").
+    #[must_use]
+    pub fn holds_with_probability_one(&self) -> bool {
+        self.certified && self.probability == 1.0
+    }
+}
+
+/// Iterative Tarjan SCC over the sub-graph spanned by the enabled choices.
+/// Returns `component[s]` (`u32::MAX` for states outside the sub-graph).
+fn strongly_connected_components(
+    mdp: &Mdp,
+    live: &[bool],
+    choice_enabled: &[bool],
+) -> (Vec<u32>, u32) {
+    const UNSEEN: u32 = u32::MAX;
+    let n_states = mdp.num_states;
+    let n_choices = mdp.num_choices;
+    let mut index = vec![UNSEEN; n_states];
+    let mut lowlink = vec![0u32; n_states];
+    let mut component = vec![UNSEEN; n_states];
+    let mut on_stack = vec![false; n_states];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_component = 0u32;
+
+    // Explicit DFS frames: (state, current choice, current outcome offset).
+    enum Frame {
+        Enter(u32),
+        Resume(u32, u32),
+    }
+    let mut work: Vec<Frame> = Vec::new();
+
+    for root in 0..n_states as u32 {
+        if !live[root as usize] || index[root as usize] != UNSEEN {
+            continue;
+        }
+        work.push(Frame::Enter(root));
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(s) => {
+                    index[s as usize] = next_index;
+                    lowlink[s as usize] = next_index;
+                    next_index += 1;
+                    stack.push(s);
+                    on_stack[s as usize] = true;
+                    work.push(Frame::Resume(s, 0));
+                }
+                Frame::Resume(s, mut edge) => {
+                    // Iterate the flattened enabled successor list from
+                    // offset `edge`.
+                    let mut descended = false;
+                    let mut seen = 0u32;
+                    'scan: for c in 0..n_choices {
+                        if !choice_enabled[s as usize * n_choices + c] {
+                            continue;
+                        }
+                        for (succ, _) in mdp.outcomes(s, c) {
+                            if seen < edge {
+                                seen += 1;
+                                continue;
+                            }
+                            seen += 1;
+                            edge += 1;
+                            let t = succ as usize;
+                            if index[t] == UNSEEN {
+                                work.push(Frame::Resume(s, edge));
+                                work.push(Frame::Enter(succ));
+                                descended = true;
+                                break 'scan;
+                            }
+                            if on_stack[t] {
+                                lowlink[s as usize] = lowlink[s as usize].min(index[t]);
+                            }
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[s as usize] == index[s as usize] {
+                        loop {
+                            let t = stack.pop().expect("tarjan stack underflow");
+                            on_stack[t as usize] = false;
+                            component[t as usize] = next_component;
+                            if t == s {
+                                break;
+                            }
+                        }
+                        next_component += 1;
+                    }
+                    // Propagate the lowlink to the parent frame.
+                    if let Some(Frame::Resume(parent, _)) = work.last() {
+                        let parent = *parent as usize;
+                        lowlink[parent] = lowlink[parent].min(lowlink[s as usize]);
+                    }
+                }
+            }
+        }
+    }
+    (component, next_component)
+}
+
+/// The fair-core analysis: maximal end components of the non-target
+/// fragment, kept when they schedule every philosopher.
+struct FairCores {
+    /// States of *genuine* fair end components, proved inside the expanded
+    /// fragment — refutations built on these are valid even when the model
+    /// is truncated.
+    genuine: Vec<bool>,
+    genuine_states: usize,
+    /// Genuine cores plus the unknown (unexpanded) frontier of a truncated
+    /// build: the conservative set that blocks certification and bounds
+    /// the quantitative value.
+    conservative: Vec<bool>,
+    /// For genuine core states: a choice whose outcomes all stay inside.
+    stay_choice: Vec<u32>,
+}
+
+fn fair_cores(mdp: &Mdp) -> FairCores {
+    let n_states = mdp.num_states;
+    let n_choices = mdp.num_choices;
+
+    // Live fragment: expanded non-target states.
+    let mut live: Vec<bool> = (0..n_states)
+        .map(|s| mdp.expanded[s] && !mdp.target[s])
+        .collect();
+    // A choice is enabled while all its outcomes stay in the live fragment.
+    let mut enabled = vec![false; n_states * n_choices];
+    for s in 0..n_states {
+        if !live[s] {
+            continue;
+        }
+        for c in 0..n_choices {
+            enabled[s * n_choices + c] = mdp.outcomes(s as u32, c).all(|(succ, _)| {
+                succ != UNEXPLORED && live.get(succ as usize).copied().unwrap_or(false)
+            });
+        }
+    }
+
+    // Standard MEC refinement: SCCs of the enabled sub-graph; disable
+    // choices that leave their component; drop states with no enabled
+    // choice; repeat until stable.
+    loop {
+        let (component, _) = strongly_connected_components(mdp, &live, &enabled);
+        let mut changed = false;
+        for s in 0..n_states {
+            if !live[s] {
+                continue;
+            }
+            for c in 0..n_choices {
+                let row = s * n_choices + c;
+                if !enabled[row] {
+                    continue;
+                }
+                let leaves = mdp
+                    .outcomes(s as u32, c)
+                    .any(|(succ, _)| component[succ as usize] != component[s]);
+                if leaves {
+                    enabled[row] = false;
+                    changed = true;
+                }
+            }
+            if (0..n_choices).all(|c| !enabled[s * n_choices + c]) {
+                live[s] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // A state that died invalidates choices pointing at it.
+        for s in 0..n_states {
+            if !live[s] {
+                continue;
+            }
+            for c in 0..n_choices {
+                let row = s * n_choices + c;
+                if enabled[row]
+                    && mdp
+                        .outcomes(s as u32, c)
+                        .any(|(succ, _)| !live[succ as usize])
+                {
+                    enabled[row] = false;
+                }
+            }
+        }
+    }
+
+    // Fairness filter: an end component is a fair core iff for every
+    // philosopher i some member state has choice i enabled (all outcomes
+    // inside the component).
+    let (component, num_components) = strongly_connected_components(mdp, &live, &enabled);
+    let mut covered = vec![0u64; num_components as usize];
+    assert!(
+        n_choices <= 64,
+        "fairness bitmask supports up to 64 philosophers"
+    );
+    for s in 0..n_states {
+        if !live[s] {
+            continue;
+        }
+        for c in 0..n_choices {
+            if enabled[s * n_choices + c] {
+                covered[component[s] as usize] |= 1 << c;
+            }
+        }
+    }
+    let full = if n_choices == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_choices) - 1
+    };
+
+    let mut genuine = vec![false; n_states];
+    let mut conservative = vec![false; n_states];
+    let mut stay_choice = vec![0u32; n_states];
+    let mut genuine_states = 0usize;
+    for s in 0..n_states {
+        if live[s] && covered[component[s] as usize] == full {
+            genuine[s] = true;
+            conservative[s] = true;
+            genuine_states += 1;
+            stay_choice[s] = (0..n_choices)
+                .find(|&c| enabled[s * n_choices + c])
+                .expect("live core states keep an enabled choice")
+                as u32;
+        } else if !mdp.expanded[s] && !mdp.target[s] {
+            // Unknown frontier of a truncated build: conservatively
+            // adversary-friendly, but never the basis of an "exact" claim.
+            conservative[s] = true;
+        }
+    }
+    FairCores {
+        genuine,
+        genuine_states,
+        conservative,
+        stay_choice,
+    }
+}
+
+/// All-outcomes attractor of `core`: the states from which the adversary
+/// can *surely* (against every random outcome) drive the system into the
+/// core.  Returns membership plus a witness choice.
+fn sure_attractor(mdp: &Mdp, core: &[bool]) -> (Vec<bool>, Vec<u32>) {
+    let n_states = mdp.num_states;
+    let n_choices = mdp.num_choices;
+    let mut inside: Vec<bool> = core.to_vec();
+    let mut witness = vec![0u32; n_states];
+    // Simple round-based saturation: the attractor of these models is
+    // shallow (bounded by the BFS diameter).
+    loop {
+        let mut changed = false;
+        for s in 0..n_states {
+            if inside[s] || mdp.target[s] || !mdp.expanded[s] {
+                continue;
+            }
+            for c in 0..n_choices {
+                let mut any = false;
+                let all_in = mdp.outcomes(s as u32, c).all(|(succ, _)| {
+                    any = true;
+                    succ != UNEXPLORED && inside[succ as usize]
+                });
+                if any && all_in {
+                    inside[s] = true;
+                    witness[s] = c as u32;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (inside, witness)
+}
+
+/// Solves `mdp` for the worst-case (fair-adversary) reachability
+/// probability, and optionally the uniform-scheduler expected steps.  See
+/// the [module docs](self).
+#[must_use]
+pub fn solve(mdp: &Mdp, options: &SolveOptions) -> Solution {
+    let n_states = mdp.num_states;
+    let n_choices = mdp.num_choices;
+    let cores = fair_cores(mdp);
+
+    let mut strategy: Vec<u32> = vec![0; n_states];
+    for (s, slot) in strategy.iter_mut().enumerate() {
+        if cores.genuine[s] {
+            *slot = cores.stay_choice[s];
+        }
+    }
+
+    if cores.genuine_states == 0 && !mdp.truncated {
+        let (expected_steps, expected_steps_iterations) = if options.expected_steps {
+            let (value, iters) = uniform_expected_steps(mdp, options);
+            (Some(value), iters)
+        } else {
+            (None, 0)
+        };
+        return Solution {
+            probability: 1.0,
+            certified: true,
+            fair_core_states: 0,
+            initial_sure_avoids: false,
+            iterations: 0,
+            expected_steps,
+            expected_steps_iterations,
+            strategy,
+            avoid_value: vec![0.0; n_states],
+            in_fair_core: cores.genuine,
+        };
+    }
+
+    // "Exactly 0" may only rest on *genuine* cores: surely reaching the
+    // unknown frontier of a truncated build proves nothing.
+    let (sure, witness) = sure_attractor(mdp, &cores.genuine);
+    for s in 0..n_states {
+        if sure[s] && !cores.genuine[s] {
+            strategy[s] = witness[s];
+        }
+    }
+    if cores.genuine_states > 0 && sure[mdp.initial as usize] {
+        let avoid_value = sure.iter().map(|&s| f64::from(u8::from(s))).collect();
+        return Solution {
+            probability: 0.0,
+            certified: true,
+            fair_core_states: cores.genuine_states,
+            initial_sure_avoids: true,
+            iterations: 0,
+            expected_steps: None,
+            expected_steps_iterations: 0,
+            strategy,
+            avoid_value,
+            in_fair_core: cores.genuine,
+        };
+    }
+
+    // Quantitative remainder: the adversary maximises the probability of
+    // reaching a fair core — conservatively including the unknown frontier
+    // of a truncated build — while avoiding the target; the fair
+    // worst-case target probability is the complement (a lower bound when
+    // truncated).
+    let mut avoid: Vec<f64> = (0..n_states)
+        .map(|s| if cores.conservative[s] { 1.0 } else { 0.0 })
+        .collect();
+    let mut next = avoid.clone();
+    let mut iterations = 0u64;
+    loop {
+        let mut delta: f64 = 0.0;
+        for s in 0..n_states {
+            if cores.conservative[s] || mdp.target[s] || !mdp.expanded[s] {
+                continue;
+            }
+            let mut best = f64::NEG_INFINITY;
+            let mut best_choice = 0u32;
+            for c in 0..n_choices {
+                let mut value = 0.0;
+                for (succ, p) in mdp.outcomes(s as u32, c) {
+                    // UNEXPLORED is adversary-friendly (truncated models
+                    // only report lower bounds on the target probability).
+                    value += p * if succ == UNEXPLORED {
+                        1.0
+                    } else {
+                        avoid[succ as usize]
+                    };
+                }
+                if value > best {
+                    best = value;
+                    best_choice = c as u32;
+                }
+            }
+            strategy[s] = best_choice;
+            delta = delta.max(best - avoid[s]);
+            next[s] = best;
+        }
+        std::mem::swap(&mut avoid, &mut next);
+        iterations += 1;
+        if delta <= options.epsilon || iterations >= options.max_iterations {
+            break;
+        }
+    }
+
+    // Pin the sure-avoid region at exactly 1 (value iteration from below
+    // only approaches it in the limit) so replay can rely on the value-1
+    // region being closed.
+    for s in 0..n_states {
+        if sure[s] {
+            avoid[s] = 1.0;
+        }
+    }
+    Solution {
+        probability: 1.0 - avoid[mdp.initial as usize],
+        certified: false,
+        fair_core_states: cores.genuine_states,
+        initial_sure_avoids: false,
+        iterations,
+        expected_steps: None,
+        expected_steps_iterations: 0,
+        strategy,
+        avoid_value: avoid,
+        in_fair_core: cores.genuine,
+    }
+}
+
+/// Expected steps to the first target state under the uniform random
+/// scheduler (each philosopher scheduled with probability `1/n` each
+/// step), iterated on the induced Markov chain.  Only called on certified
+/// models, where the expectation is finite.
+fn uniform_expected_steps(mdp: &Mdp, options: &SolveOptions) -> (f64, u64) {
+    let n_states = mdp.num_states;
+    let n_choices = mdp.num_choices;
+    let uniform = 1.0 / n_choices as f64;
+    let mut values = vec![0.0f64; n_states];
+    let mut next = values.clone();
+    let mut iterations = 0u64;
+    // Steps are order-1 integers; a coarser epsilon keeps the iteration
+    // count modest while leaving the formatted value stable.
+    let epsilon = options.epsilon.max(1e-10);
+    loop {
+        let mut delta: f64 = 0.0;
+        for s in 0..n_states {
+            if mdp.target[s] {
+                continue;
+            }
+            let mut value = 1.0;
+            for c in 0..n_choices {
+                let mut choice_value = 0.0;
+                for (succ, p) in mdp.outcomes(s as u32, c) {
+                    choice_value += p * values[succ as usize];
+                }
+                value += uniform * choice_value;
+            }
+            delta = delta.max(value - values[s]);
+            next[s] = value;
+        }
+        std::mem::swap(&mut values, &mut next);
+        iterations += 1;
+        if delta <= epsilon || iterations >= options.max_iterations {
+            break;
+        }
+    }
+    (values[mdp.initial as usize], iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{build_mdp, BuildOptions, CheckTarget};
+    use gdp_algorithms::baselines::OrderedForks;
+    use gdp_algorithms::{Gdp1, Lr1};
+    use gdp_sim::Program;
+    use gdp_topology::builders::classic_ring;
+    use gdp_topology::{PhilosopherId, Topology};
+
+    fn build<P>(topology: &Topology, program: &P, target: CheckTarget, symmetry: bool) -> Mdp
+    where
+        P: Program + Clone + Send + Sync,
+        P::State: Send + Sync,
+    {
+        build_mdp(
+            topology,
+            program,
+            target,
+            &BuildOptions::default()
+                .with_symmetry(symmetry)
+                .with_threads(1)
+                .with_max_states(300_000),
+        )
+    }
+
+    #[test]
+    fn lr1_progress_is_certified_one_on_the_two_ring() {
+        let two_ring = Topology::from_arcs(2, [(0, 1), (1, 0)]).unwrap();
+        let mdp = build(&two_ring, &Lr1::new(), CheckTarget::Progress, false);
+        let solution = solve(&mdp, &SolveOptions::default());
+        assert!(solution.holds_with_probability_one(), "{solution:?}");
+        assert_eq!(solution.fair_core_states, 0);
+    }
+
+    #[test]
+    fn gdp1_progress_is_certified_one_on_the_three_ring() {
+        let ring = classic_ring(3).unwrap();
+        let mdp = build(&ring, &Gdp1::new(), CheckTarget::Progress, true);
+        let solution = solve(&mdp, &SolveOptions::default());
+        assert!(solution.holds_with_probability_one(), "{solution:?}");
+    }
+
+    #[test]
+    fn lr1_is_not_lockout_free_even_on_the_three_ring() {
+        // A fair adversary starves a chosen LR1 philosopher with
+        // probability 1 (the generalisation the blocking adversary only
+        // approximates by sampling).
+        let ring = classic_ring(3).unwrap();
+        let mdp = build(
+            &ring,
+            &Lr1::new(),
+            CheckTarget::PhilosopherEats(PhilosopherId::new(0)),
+            false,
+        );
+        let solution = solve(&mdp, &SolveOptions::default());
+        assert!(solution.fair_core_states > 0, "{solution:?}");
+        assert!(
+            solution.initial_sure_avoids,
+            "starvation should start from the very first step: {solution:?}"
+        );
+        assert_eq!(solution.probability, 0.0);
+        assert!(solution.certified);
+    }
+
+    #[test]
+    fn expected_steps_are_finite_and_positive_when_requested() {
+        let two_ring = Topology::from_arcs(2, [(0, 1), (1, 0)]).unwrap();
+        let mdp = build(&two_ring, &Lr1::new(), CheckTarget::Progress, false);
+        let solution = solve(
+            &mdp,
+            &SolveOptions {
+                expected_steps: true,
+                ..SolveOptions::default()
+            },
+        );
+        let steps = solution.expected_steps.unwrap();
+        // A philosopher needs at least hungry → draw → take → take → eat.
+        assert!(steps > 3.0, "expected steps {steps}");
+        assert!(steps.is_finite());
+        assert!(solution.expected_steps_iterations > 0);
+    }
+
+    #[test]
+    fn ordered_forks_progress_is_certified_on_the_three_ring() {
+        // Deterministic and deadlock-free: no fair core can exist.
+        // (No symmetry: ordered-forks branches on global fork identifiers.)
+        let ring = classic_ring(3).unwrap();
+        let mdp = build(&ring, &OrderedForks::new(), CheckTarget::Progress, false);
+        assert_eq!(mdp.deadlock_states(), 0);
+        let solution = solve(&mdp, &SolveOptions::default());
+        assert!(solution.holds_with_probability_one(), "{solution:?}");
+    }
+
+    #[test]
+    fn truncated_models_never_certify_success() {
+        let ring = classic_ring(4).unwrap();
+        let mdp = build_mdp(
+            &ring,
+            &Gdp1::new(),
+            CheckTarget::Progress,
+            &BuildOptions::default()
+                .with_symmetry(false)
+                .with_threads(1)
+                .with_max_states(50),
+        );
+        assert!(mdp.truncated);
+        let solution = solve(&mdp, &SolveOptions::default());
+        assert!(!solution.holds_with_probability_one());
+    }
+
+    /// Regression (found in review): a truncated GDP1 build must not
+    /// fabricate a *certified* refutation just because the initial state
+    /// surely reaches the unknown frontier — "probability 0" may only rest
+    /// on fair cores proved inside the expanded fragment.
+    #[test]
+    fn truncated_models_never_fabricate_certified_refutations() {
+        let ring = classic_ring(3).unwrap();
+        for budget in [20usize, 100, 500] {
+            let mdp = build_mdp(
+                &ring,
+                &Gdp1::new(),
+                CheckTarget::Progress,
+                &BuildOptions::default()
+                    .with_threads(1)
+                    .with_max_states(budget),
+            );
+            assert!(mdp.truncated, "budget {budget}");
+            let solution = solve(&mdp, &SolveOptions::default());
+            assert!(
+                !solution.certified,
+                "no exact claim may rest on the unknown frontier (budget {budget}): {solution:?}"
+            );
+            assert_eq!(solution.fair_core_states, 0, "budget {budget}");
+            assert!(!solution.initial_sure_avoids, "budget {budget}");
+        }
+    }
+
+    /// The other direction stays intact: a *genuine* starvation component
+    /// discovered inside a truncated fragment is still a certified
+    /// refutation.
+    #[test]
+    fn genuine_findings_inside_truncated_fragments_still_refute() {
+        // The full LR1 3-ring lockout space has 342 states; a budget of
+        // 200 truncates it after the starvation core (the region where
+        // P0's neighbours can cycle forever) is inside the expanded
+        // fragment.
+        let ring = classic_ring(3).unwrap();
+        let mdp = build_mdp(
+            &ring,
+            &Lr1::new(),
+            CheckTarget::PhilosopherEats(PhilosopherId::new(0)),
+            &BuildOptions::default()
+                .with_symmetry(false)
+                .with_threads(1)
+                .with_max_states(200),
+        );
+        assert!(mdp.truncated);
+        let solution = solve(&mdp, &SolveOptions::default());
+        assert!(
+            solution.fair_core_states > 0,
+            "the starvation component is a genuine core: {solution:?}"
+        );
+        assert!(solution.certified && solution.probability == 0.0);
+        assert!(solution.initial_sure_avoids);
+    }
+}

@@ -1,0 +1,412 @@
+//! Exact checking wired into the scenario-spec machinery.
+//!
+//! [`CheckSpec`] names a cell the way a sweep does — *topology family ×
+//! size × algorithm* — plus an objective, and [`run_check`] resolves it
+//! through `gdp-mcheck`: build the exact MDP, solve it, extract a
+//! counterexample schedule when the property fails, and return
+//! byte-reproducible [`Certificate`]s.  This is the engine behind
+//! `gdp check`, and [`exact_cell_verdict`] is the trimmed-down variant the
+//! sweep runner calls to put exact verdicts *next to* the Monte-Carlo
+//! estimates in sweep reports.
+//!
+//! This module is deliberately non-generic: `gdp-mcheck`'s builders are
+//! monomorphised here (over `gdp_algorithms::AnyProgram`) so every caller —
+//! including the unoptimised CLI binary in dev builds — runs the optimised
+//! instantiation.
+
+use crate::family::TopologyFamily;
+use gdp_algorithms::AlgorithmKind;
+pub use gdp_mcheck::certificate::Verdict as CheckVerdict;
+use gdp_mcheck::certificate::Verdict;
+use gdp_mcheck::strategy::{counterexample_dot, extract_counterexample, CounterexampleSchedule};
+use gdp_mcheck::{build_mdp, solve, BuildOptions, Certificate, CheckTarget, SolveOptions};
+use gdp_topology::{symmetry, PhilosopherId, Topology};
+use std::fmt::Write as _;
+
+/// The objective of a check, as named on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckTargetSpec {
+    /// Worst-case progress: some philosopher eats (`--target progress`).
+    Progress,
+    /// Worst-case individual liveness of one philosopher
+    /// (`--target philosopher:<i>`).
+    Philosopher(u32),
+    /// Lockout-freedom: individual liveness of every philosopher, checked
+    /// once per symmetry orbit (`--target lockout`).
+    Lockout,
+}
+
+impl std::str::FromStr for CheckTargetSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "progress" => Ok(CheckTargetSpec::Progress),
+            "lockout" => Ok(CheckTargetSpec::Lockout),
+            other => match other.strip_prefix("philosopher:") {
+                Some(index) => index
+                    .parse()
+                    .map(CheckTargetSpec::Philosopher)
+                    .map_err(|_| format!("invalid philosopher index in target {s:?}")),
+                None => Err(format!(
+                    "invalid target {s:?}: expected progress, lockout or philosopher:<i>"
+                )),
+            },
+        }
+    }
+}
+
+/// A fully specified exact check: one sweep-style cell plus an objective.
+#[derive(Clone, Debug)]
+pub struct CheckSpec {
+    /// Topology family (same catalog as `gdp sweep`).
+    pub family: TopologyFamily,
+    /// Family scale parameter.
+    pub size: usize,
+    /// The algorithm to check.
+    pub algorithm: AlgorithmKind,
+    /// The objective.
+    pub target: CheckTargetSpec,
+    /// State budget before the model is truncated (inconclusive verdict).
+    pub max_states: usize,
+    /// Worker threads for frontier expansion (`0` = all cores); the
+    /// certificate is byte-identical for every value.
+    pub threads: usize,
+    /// Symmetry quotient: `None` resolves automatically from
+    /// [`AlgorithmKind::is_relabelling_invariant`].
+    pub symmetry: Option<bool>,
+    /// Also compute the exact expected steps-to-first-meal under the
+    /// uniform random scheduler.
+    pub expected_steps: bool,
+    /// Seed used to *build* random topology families (never for the check
+    /// itself — every draw is enumerated, not sampled).
+    pub topology_seed: u64,
+}
+
+impl CheckSpec {
+    /// A progress check of `algorithm` on `family` at `size` with the
+    /// default budget.
+    #[must_use]
+    pub fn new(family: TopologyFamily, size: usize, algorithm: AlgorithmKind) -> Self {
+        CheckSpec {
+            family,
+            size,
+            algorithm,
+            target: CheckTargetSpec::Progress,
+            max_states: 6_000_000,
+            threads: 0,
+            symmetry: None,
+            expected_steps: false,
+            topology_seed: 0,
+        }
+    }
+
+    fn effective_symmetry(&self) -> bool {
+        self.symmetry
+            .unwrap_or_else(|| self.algorithm.is_relabelling_invariant())
+    }
+}
+
+/// The result of [`run_check`]: one certificate per checked objective,
+/// plus the extracted counterexample when one exists.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The checked cell key, `"<family>/n<size>/<ALGORITHM>"`.
+    pub cell: String,
+    /// One certificate per checked target, in a deterministic order.
+    pub certificates: Vec<Certificate>,
+    /// The extracted worst-case schedule defeating the first violated
+    /// target, if any.
+    pub counterexample: Option<CounterexampleSchedule>,
+    /// Graphviz rendering of the counterexample lasso.
+    pub counterexample_dot: Option<String>,
+}
+
+impl CheckReport {
+    /// The worst verdict across all certificates (`Violated` dominates,
+    /// then `Inconclusive`, then `Certified`).
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        let mut verdict = Verdict::Certified;
+        for certificate in &self.certificates {
+            match certificate.verdict() {
+                Verdict::Violated => return Verdict::Violated,
+                Verdict::Inconclusive => verdict = Verdict::Inconclusive,
+                Verdict::Certified => {}
+            }
+        }
+        verdict
+    }
+
+    /// Renders every certificate as one stable text block (the `gdp check`
+    /// stdout format: byte-identical across runs and thread counts).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cell:              {}", self.cell);
+        for certificate in &self.certificates {
+            out.push_str(&certificate.render());
+        }
+        let _ = writeln!(out, "overall verdict:   {}", self.verdict().name());
+        out
+    }
+}
+
+/// Resolves and runs an exact check.
+///
+/// # Errors
+///
+/// Returns a message when the topology parameters are invalid or a
+/// `philosopher:<i>` target is out of range.
+pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, String> {
+    let topology = spec
+        .family
+        .build(spec.size, spec.topology_seed)
+        .map_err(|e| {
+            format!(
+                "cannot build {} at n={}: {e}",
+                spec.family.name(),
+                spec.size
+            )
+        })?;
+    let cell = format!(
+        "{}/n{}/{}",
+        spec.family.name(),
+        spec.size,
+        spec.algorithm.name()
+    );
+    let targets: Vec<CheckTarget> = match spec.target {
+        CheckTargetSpec::Progress => vec![CheckTarget::Progress],
+        CheckTargetSpec::Philosopher(index) => {
+            if index as usize >= topology.num_philosophers() {
+                return Err(format!(
+                    "philosopher {index} is out of range for {} (n={})",
+                    cell,
+                    topology.num_philosophers()
+                ));
+            }
+            vec![CheckTarget::PhilosopherEats(PhilosopherId::new(index))]
+        }
+        CheckTargetSpec::Lockout => lockout_representatives(&topology, spec.effective_symmetry())
+            .into_iter()
+            .map(CheckTarget::PhilosopherEats)
+            .collect(),
+    };
+
+    let build_options = BuildOptions::default()
+        .with_max_states(spec.max_states)
+        .with_symmetry(spec.effective_symmetry())
+        .with_threads(spec.threads);
+    let solve_options = SolveOptions {
+        expected_steps: spec.expected_steps,
+        ..SolveOptions::default()
+    };
+
+    let program = spec.algorithm.program();
+    let mut certificates = Vec::with_capacity(targets.len());
+    let mut counterexample = None;
+    let mut counterexample_dot_out = None;
+    for target in targets {
+        let mdp = build_mdp(&topology, &program, target, &build_options);
+        let solution = solve(&mdp, &solve_options);
+        let schedule = if counterexample.is_none() && !solution.holds_with_probability_one() {
+            extract_counterexample(
+                &topology,
+                &program,
+                &build_options.sim,
+                &mdp,
+                &solution,
+                &[0, 1, 2, 3, 4, 5, 6, 7],
+                counterexample_length(&topology),
+            )
+        } else {
+            None
+        };
+        certificates.push(Certificate::new(
+            &topology,
+            spec.algorithm.name(),
+            target,
+            &build_options.sim,
+            &mdp,
+            &solution,
+            schedule.as_ref(),
+        ));
+        if let Some(schedule) = schedule {
+            counterexample_dot_out = Some(counterexample_dot(
+                &topology,
+                &program,
+                &build_options.sim,
+                &schedule,
+            ));
+            counterexample = Some(schedule);
+        }
+    }
+    Ok(CheckReport {
+        cell,
+        certificates,
+        counterexample,
+        counterexample_dot: counterexample_dot_out,
+    })
+}
+
+/// A long-enough starvation demonstration: every philosopher gets many
+/// scheduling opportunities.
+fn counterexample_length(topology: &Topology) -> usize {
+    (topology.num_philosophers() * 120).max(360)
+}
+
+/// One philosopher per symmetry orbit (all of them when symmetry is off):
+/// individual liveness is isomorphic across an orbit, so checking a
+/// representative suffices.
+fn lockout_representatives(topology: &Topology, use_symmetry: bool) -> Vec<PhilosopherId> {
+    let n = topology.num_philosophers();
+    if !use_symmetry {
+        return topology.philosopher_ids().collect();
+    }
+    let autos = symmetry::automorphisms(topology, 64);
+    let mut orbit = vec![u32::MAX; n];
+    for p in 0..n {
+        if orbit[p] != u32::MAX {
+            continue;
+        }
+        for auto in &autos {
+            let image = auto.phil_map[p].index();
+            if orbit[image] == u32::MAX {
+                orbit[image] = p as u32;
+            }
+        }
+    }
+    (0..n)
+        .filter(|&p| orbit[p] == p as u32)
+        .map(|p| PhilosopherId::new(p as u32))
+        .collect()
+}
+
+/// The exact verdict attached to one sweep cell (the `--check` columns of
+/// `gdp sweep`): a worst-case progress check with the given state budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExactCellVerdict {
+    /// `certified`, `violated` or `inconclusive`.
+    pub verdict: String,
+    /// Worst-case (fair-adversary) progress probability; exact when the
+    /// verdict is not `inconclusive`.
+    pub progress_probability: f64,
+    /// Canonical states explored.
+    pub states: usize,
+}
+
+/// Runs the trimmed-down exact progress check a sweep attaches to a cell.
+///
+/// # Errors
+///
+/// Returns a message when the topology cannot be built.
+pub fn exact_cell_verdict(
+    family: TopologyFamily,
+    size: usize,
+    algorithm: AlgorithmKind,
+    topology_seed: u64,
+    max_states: usize,
+    threads: usize,
+) -> Result<ExactCellVerdict, String> {
+    let spec = CheckSpec {
+        max_states,
+        threads,
+        topology_seed,
+        ..CheckSpec::new(family, size, algorithm)
+    };
+    let report = run_check(&spec)?;
+    let certificate = &report.certificates[0];
+    Ok(ExactCellVerdict {
+        verdict: report.verdict().name().to_string(),
+        progress_probability: certificate.probability,
+        states: certificate.states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gdp1_ring4_progress_check_certifies_exactly_one() {
+        let spec = CheckSpec::new(TopologyFamily::Ring, 4, AlgorithmKind::Gdp1);
+        let report = run_check(&spec).unwrap();
+        assert_eq!(report.verdict(), Verdict::Certified);
+        assert_eq!(report.certificates[0].probability, 1.0);
+        assert!(report.counterexample.is_none());
+        assert!(report.render().contains("overall verdict:   certified"));
+    }
+
+    #[test]
+    fn naive_ring3_progress_check_finds_the_deadlock_with_a_schedule() {
+        let spec = CheckSpec::new(TopologyFamily::Ring, 3, AlgorithmKind::Naive);
+        let report = run_check(&spec).unwrap();
+        assert_eq!(report.verdict(), Verdict::Violated);
+        let certificate = &report.certificates[0];
+        assert!(certificate.deadlock_states > 0);
+        assert_eq!(certificate.probability, 0.0);
+        let schedule = report.counterexample.as_ref().expect("deadlock schedule");
+        assert!(!schedule.steps.is_empty());
+        assert!(report
+            .counterexample_dot
+            .as_ref()
+            .unwrap()
+            .starts_with("digraph"));
+    }
+
+    #[test]
+    fn lr1_ring3_lockout_check_finds_sure_starvation_per_orbit() {
+        let spec = CheckSpec {
+            target: CheckTargetSpec::Lockout,
+            ..CheckSpec::new(TopologyFamily::Ring, 3, AlgorithmKind::Lr1)
+        };
+        let report = run_check(&spec).unwrap();
+        // All three philosophers are one rotation orbit: one certificate.
+        assert_eq!(report.certificates.len(), 1);
+        assert_eq!(report.verdict(), Verdict::Violated);
+        assert_eq!(report.certificates[0].probability, 0.0);
+        assert!(report.counterexample.is_some());
+    }
+
+    #[test]
+    fn check_reports_are_reproducible_across_thread_counts() {
+        let base = CheckSpec::new(TopologyFamily::Ring, 3, AlgorithmKind::Gdp1);
+        let serial = run_check(&CheckSpec {
+            threads: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let parallel = run_check(&CheckSpec { threads: 4, ..base }).unwrap();
+        assert_eq!(serial.render(), parallel.render());
+    }
+
+    #[test]
+    fn exact_cell_verdicts_report_budget_exhaustion_as_inconclusive() {
+        let tiny =
+            exact_cell_verdict(TopologyFamily::Ring, 5, AlgorithmKind::Gdp1, 0, 100, 1).unwrap();
+        assert_eq!(tiny.verdict, "inconclusive");
+        assert_eq!(tiny.states, 100);
+        let real =
+            exact_cell_verdict(TopologyFamily::Ring, 3, AlgorithmKind::Lr1, 0, 100_000, 1).unwrap();
+        assert_eq!(real.verdict, "certified");
+        assert_eq!(real.progress_probability, 1.0);
+    }
+
+    #[test]
+    fn target_specs_parse() {
+        assert_eq!(
+            "progress".parse::<CheckTargetSpec>().unwrap(),
+            CheckTargetSpec::Progress
+        );
+        assert_eq!(
+            "lockout".parse::<CheckTargetSpec>().unwrap(),
+            CheckTargetSpec::Lockout
+        );
+        assert_eq!(
+            "philosopher:2".parse::<CheckTargetSpec>().unwrap(),
+            CheckTargetSpec::Philosopher(2)
+        );
+        assert!("philosopher:x".parse::<CheckTargetSpec>().is_err());
+        assert!("nope".parse::<CheckTargetSpec>().is_err());
+    }
+}

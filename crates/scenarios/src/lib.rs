@@ -48,11 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod family;
 mod report;
 mod runner;
 mod spec;
 
+pub use check::{
+    exact_cell_verdict, run_check, CheckReport, CheckSpec, CheckTargetSpec, CheckVerdict,
+    ExactCellVerdict,
+};
 pub use family::{FamilyParseError, TopologyFamily, FAMILY_CATALOG};
 pub use report::{csv_header, SweepReport};
 pub use runner::{run_sweep, run_sweep_with, CellResult, SweepError, SweepOptions};

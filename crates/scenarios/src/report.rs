@@ -27,6 +27,15 @@ pub struct SweepReport {
     pub cells: Vec<CellResult>,
 }
 
+impl SweepReport {
+    /// Whether any cell observed a hard violation (true deadlock or safety
+    /// breach) in any trial — the signal behind `gdp sweep`'s nonzero exit.
+    #[must_use]
+    pub fn violation_detected(&self) -> bool {
+        self.cells.iter().any(CellResult::violation_detected)
+    }
+}
+
 /// Formats an `f64` for the JSON/CSV artifacts: finite values with six
 /// decimal places (enough to round-trip every rate and mean the estimators
 /// produce from small-integer ratios), `null`/empty-safe otherwise.
@@ -66,7 +75,8 @@ fn json_str(value: &str) -> String {
 #[must_use]
 pub fn csv_header() -> &'static str {
     "cell,family,size,philosophers,forks,algorithm,adversary,trials,max_steps,seed,\
-     deadlock_rate,lockout_rate,mean_hunger,min_meals_mean,fairness_mean,steps_per_sec"
+     deadlock_rate,lockout_rate,mean_hunger,min_meals_mean,fairness_mean,\
+     stuck_trials,unsafe_trials,exact_verdict,exact_progress_prob,exact_states,steps_per_sec"
 }
 
 impl SweepReport {
@@ -104,13 +114,24 @@ impl SweepReport {
                 Some(sps) => num(sps),
                 None => "null".to_string(),
             };
+            let (exact_verdict, exact_prob, exact_states) = match &c.exact {
+                Some(exact) => (
+                    json_str(&exact.verdict),
+                    num(exact.progress_probability),
+                    exact.states.to_string(),
+                ),
+                None => ("null".to_string(), "null".to_string(), "null".to_string()),
+            };
             let _ = writeln!(
                 out,
                 "    {{\"cell\": {}, \"family\": {}, \"size\": {}, \
                  \"philosophers\": {}, \"forks\": {}, \"algorithm\": {}, \
                  \"adversary\": {}, \"trials\": {}, \"max_steps\": {}, \"seed\": {}, \
                  \"deadlock_rate\": {}, \"lockout_rate\": {}, \"mean_hunger\": {}, \
-                 \"min_meals_mean\": {}, \"fairness_mean\": {}, \"steps_per_sec\": {}}}{}",
+                 \"min_meals_mean\": {}, \"fairness_mean\": {}, \
+                 \"stuck_trials\": {}, \"unsafe_trials\": {}, \
+                 \"exact_verdict\": {}, \"exact_progress_prob\": {}, \
+                 \"exact_states\": {}, \"steps_per_sec\": {}}}{}",
                 json_str(&c.cell),
                 json_str(&c.family),
                 c.size,
@@ -126,6 +147,11 @@ impl SweepReport {
                 num(c.mean_hunger),
                 num(c.min_meals_mean),
                 num(c.fairness_mean),
+                c.stuck_trials,
+                c.unsafe_trials,
+                exact_verdict,
+                exact_prob,
+                exact_states,
                 steps_per_sec,
                 if i + 1 < self.cells.len() { "," } else { "" },
             );
@@ -141,9 +167,17 @@ impl SweepReport {
         let mut out = String::from(csv_header());
         out.push('\n');
         for c in &self.cells {
+            let (exact_verdict, exact_prob, exact_states) = match &c.exact {
+                Some(exact) => (
+                    exact.verdict.clone(),
+                    num(exact.progress_probability),
+                    exact.states.to_string(),
+                ),
+                None => (String::new(), String::new(), String::new()),
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 c.cell,
                 c.family,
                 c.size,
@@ -159,6 +193,11 @@ impl SweepReport {
                 num(c.mean_hunger),
                 num(c.min_meals_mean),
                 num(c.fairness_mean),
+                c.stuck_trials,
+                c.unsafe_trials,
+                exact_verdict,
+                exact_prob,
+                exact_states,
                 c.steps_per_sec.map(num).unwrap_or_default(),
             );
         }

@@ -1,6 +1,7 @@
 //! The batch runner: drives every cell of an expanded grid through the
 //! Monte-Carlo estimators and reduces it to a [`CellResult`].
 
+use crate::check::{exact_cell_verdict, ExactCellVerdict};
 use crate::report::SweepReport;
 use crate::spec::{ScenarioCell, ScenarioSpec};
 use gdp_analysis::montecarlo::estimate_liveness;
@@ -56,14 +57,31 @@ pub struct CellResult {
     /// (`trials * max_steps` steps of fixed work); `None` unless timing was
     /// recorded.
     pub steps_per_sec: Option<f64>,
+    /// Trials whose final state was a **true deadlock** (no scheduling
+    /// choice and no random outcome can ever change it).
+    pub stuck_trials: u64,
+    /// Trials whose final state violated the safety invariants.
+    pub unsafe_trials: u64,
+    /// The exact worst-case progress verdict for this cell, when the sweep
+    /// ran with [`SweepOptions::exact_check`].
+    pub exact: Option<ExactCellVerdict>,
 }
 
 impl CellResult {
+    /// Whether a hard violation (true deadlock or safety breach) was
+    /// observed in any trial — the signal behind `gdp sweep`'s nonzero
+    /// exit.  Exact verdicts do not trip this: a `violated` exact verdict
+    /// for LR1 is the *expected* theorem, not a defect of the run.
+    #[must_use]
+    pub fn violation_detected(&self) -> bool {
+        self.stuck_trials > 0 || self.unsafe_trials > 0
+    }
+
     /// One aligned human-readable row (the `gdp sweep` console format).
     #[must_use]
     pub fn row(&self) -> String {
         format!(
-            "{:<28} n={:<3} k={:<3} {:<6} deadlock={:>5.2} lockout={:>5.2} hunger={:>8.1} jain={:>5.3}{}",
+            "{:<28} n={:<3} k={:<3} {:<6} deadlock={:>5.2} lockout={:>5.2} hunger={:>8.1} jain={:>5.3}{}{}{}",
             self.cell,
             self.philosophers,
             self.forks,
@@ -72,6 +90,15 @@ impl CellResult {
             self.lockout_rate,
             self.mean_hunger,
             self.fairness_mean,
+            if self.violation_detected() {
+                format!(" VIOLATION(stuck={} unsafe={})", self.stuck_trials, self.unsafe_trials)
+            } else {
+                String::new()
+            },
+            match &self.exact {
+                Some(exact) => format!(" exact={}({:.3})", exact.verdict, exact.progress_probability),
+                None => String::new(),
+            },
             match self.steps_per_sec {
                 Some(sps) => format!(" {:>10.0} steps/s", sps),
                 None => String::new(),
@@ -89,6 +116,11 @@ pub struct SweepOptions {
     pub record_timing: bool,
     /// Print each cell's row to stdout as it completes.
     pub progress: bool,
+    /// Attach an exact worst-case progress verdict (`gdp-mcheck`) to every
+    /// cell, with the given canonical-state budget; cells whose automaton
+    /// exceeds the budget report `inconclusive`.  The verdicts are a pure
+    /// function of the spec, so reproducibility is preserved.
+    pub exact_check: Option<usize>,
 }
 
 impl SweepOptions {
@@ -104,6 +136,7 @@ impl SweepOptions {
         SweepOptions {
             record_timing: true,
             progress: true,
+            exact_check: None,
         }
     }
 }
@@ -166,11 +199,29 @@ fn run_cell(
     let started = Instant::now();
     let estimate = estimate_liveness(&topology, &program, make_adversary, &config);
     let elapsed_secs = started.elapsed().as_secs_f64();
-    let (progress, lockout) = (estimate.progress, estimate.lockout);
+    let (progress, lockout) = (estimate.progress.clone(), estimate.lockout.clone());
 
     let steps_per_sec = options
         .record_timing
         .then(|| (spec.trials * spec.max_steps) as f64 / elapsed_secs);
+
+    let exact = match options.exact_check {
+        Some(max_states) => Some(
+            exact_cell_verdict(
+                cell.family,
+                cell.size,
+                cell.algorithm,
+                cell.seed,
+                max_states,
+                spec.threads,
+            )
+            .map_err(|message| SweepError::Topology {
+                cell: cell.key.clone(),
+                source: gdp_topology::TopologyError::InvalidParameter { message },
+            })?,
+        ),
+        None => None,
+    };
 
     Ok(CellResult {
         cell: cell.key.clone(),
@@ -189,6 +240,9 @@ fn run_cell(
         min_meals_mean: lockout.min_meals_mean,
         fairness_mean: lockout.fairness_mean,
         steps_per_sec,
+        stuck_trials: estimate.violations.stuck_trials,
+        unsafe_trials: estimate.violations.unsafe_trials,
+        exact,
     })
 }
 
@@ -301,6 +355,7 @@ mod tests {
             &SweepOptions {
                 record_timing: true,
                 progress: false,
+                exact_check: None,
             },
         )
         .unwrap();

@@ -2,10 +2,12 @@
 
 use crate::adversary::Adversary;
 use crate::config::SimConfig;
+use crate::draws::DrawTape;
 use crate::fork::ForkCell;
 use crate::hash::fingerprint64;
 use crate::outcome::{RunOutcome, StopCondition, StopReason};
-use crate::program::{Phase, Program, StepCtx};
+use crate::program::{Phase, Program, StepCtx, StepRandomness};
+use crate::snapshot::EngineState;
 use crate::trace::{StepRecord, Trace};
 use crate::view::{make_view, Holding, PhilosopherView, SystemView};
 use gdp_topology::{ForkId, PhilosopherId, Topology};
@@ -269,6 +271,38 @@ impl<P: Program> Engine<P> {
     ///
     /// Panics if `philosopher` is out of range for the topology.
     pub fn step_philosopher(&mut self, philosopher: PhilosopherId) -> StepRecord {
+        self.step_philosopher_impl(philosopher, None)
+    }
+
+    /// Executes one atomic step for `philosopher` with its random draws read
+    /// from `tape` instead of the engine RNG (which is left untouched).
+    ///
+    /// This is the replay/enumeration entry point of the scripted-draw
+    /// protocol (see [`crate::draws`]): if the step requests a draw past the
+    /// end of the tape, [`DrawTape::pending`] reports the request and the
+    /// resulting engine state is *meaningless* — the caller must discard it
+    /// by [`restore`](Self::restore)-ing a snapshot.
+    /// [`for_each_step_outcome`](Self::for_each_step_outcome) wraps the full
+    /// probe-extend-rerun loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `philosopher` is out of range for the topology, or if the
+    /// tape's scripted outcomes mismatch the kinds of draws the program
+    /// issues.
+    pub fn step_philosopher_with_tape(
+        &mut self,
+        philosopher: PhilosopherId,
+        tape: &mut DrawTape,
+    ) -> StepRecord {
+        self.step_philosopher_impl(philosopher, Some(tape))
+    }
+
+    fn step_philosopher_impl(
+        &mut self,
+        philosopher: PhilosopherId,
+        tape: Option<&mut DrawTape>,
+    ) -> StepRecord {
         let idx = philosopher.index();
         assert!(
             idx < self.states.len(),
@@ -278,11 +312,15 @@ impl<P: Program> Engine<P> {
         let ends = self.topology.forks_of(philosopher);
         let phase_before = self.program.observation(&self.states[idx], ends).phase;
         let action = {
+            let randomness = match tape {
+                Some(tape) => StepRandomness::Scripted(tape),
+                None => StepRandomness::Sampled(&mut self.rng),
+            };
             let mut ctx = StepCtx::new(
                 philosopher,
                 ends,
                 &mut self.forks,
-                &mut self.rng,
+                randomness,
                 &self.config.hunger,
                 self.config.left_bias,
                 self.nr_range,
@@ -437,6 +475,169 @@ impl<P: Program> Engine<P> {
         for idx in 0..n {
             self.refresh_view(idx);
         }
+    }
+
+    /// Captures the engine's semantic state — fork cells, private program
+    /// states, RNG position and step count — as an [`EngineState`].
+    ///
+    /// Statistics (meal counts, waiting times, the trace) are *not*
+    /// captured; see the [`crate::snapshot`] module docs for why.
+    #[must_use]
+    pub fn snapshot(&self) -> EngineState<P> {
+        EngineState {
+            forks: self.forks.clone(),
+            states: self.states.clone(),
+            rng: self.rng.clone(),
+            step_count: self.step_count,
+        }
+    }
+
+    /// [`snapshot`](Self::snapshot) into an existing buffer, reusing its
+    /// allocations (the hot path of state-space exploration).
+    pub fn snapshot_into(&self, out: &mut EngineState<P>) {
+        out.forks.clone_from(&self.forks);
+        out.states.clone_from(&self.states);
+        out.rng = self.rng.clone();
+        out.step_count = self.step_count;
+    }
+
+    /// Restores the engine to a previously captured [`EngineState`].
+    ///
+    /// The fork cells, program states, RNG and step counter return exactly
+    /// to their snapshot values, so a subsequent
+    /// [`step_philosopher`](Self::step_philosopher) sequence replays
+    /// bit-for-bit what it would have produced from the snapshot point.
+    /// Run statistics — meal
+    /// counts, scheduling/fairness accounting, waiting times and the trace —
+    /// restart from zero, because a snapshot deliberately does not capture
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from an engine with a different
+    /// number of forks or philosophers.
+    pub fn restore(&mut self, snapshot: &EngineState<P>) {
+        assert_eq!(
+            snapshot.forks.len(),
+            self.forks.len(),
+            "snapshot has a different fork count than this engine"
+        );
+        assert_eq!(
+            snapshot.states.len(),
+            self.states.len(),
+            "snapshot has a different philosopher count than this engine"
+        );
+        self.forks.clone_from(&snapshot.forks);
+        self.states.clone_from(&snapshot.states);
+        self.rng = snapshot.rng.clone();
+        self.step_count = snapshot.step_count;
+        let n = self.states.len();
+        self.meals_completed.iter_mut().for_each(|m| *m = 0);
+        self.first_meal_finished.iter_mut().for_each(|f| *f = None);
+        self.first_meal_started = None;
+        self.scheduled.iter_mut().for_each(|s| *s = 0);
+        self.last_scheduled.iter_mut().for_each(|l| *l = None);
+        self.max_scheduling_gap = 0;
+        self.hungry_since.iter_mut().for_each(|h| *h = None);
+        self.waiting_times.iter_mut().for_each(Vec::clear);
+        self.trace = self.config.record_trace.then(|| Trace::new(n));
+        for idx in 0..n {
+            self.refresh_view(idx);
+        }
+    }
+
+    /// Enumerates **every** possible outcome of scheduling `philosopher` for
+    /// one atomic step from the current state — the probabilistic branching
+    /// of the paper's automaton, made exhaustive.
+    ///
+    /// For each complete outcome, `visit` is called with the outcome's
+    /// probability (the product of its draw probabilities; outcomes with
+    /// probability 0 are never visited), the engine *in the post-step state*,
+    /// and the step record.  The engine is restored to its pre-call state
+    /// between outcomes and before returning, so `visit` may freely inspect
+    /// or [`snapshot`](Self::snapshot) it but must not step it.
+    ///
+    /// The visited probabilities sum to 1 and their order is deterministic
+    /// (draw-lexicographic), which the bitwise-determinism guarantees of
+    /// `gdp-mcheck` rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `philosopher` is out of range for the topology.
+    pub fn for_each_step_outcome(
+        &mut self,
+        philosopher: PhilosopherId,
+        visit: impl FnMut(f64, &mut Engine<P>, &StepRecord),
+    ) {
+        let snapshot = self.snapshot();
+        self.for_each_step_outcome_from(&snapshot, philosopher, visit);
+    }
+
+    /// [`for_each_step_outcome`](Self::for_each_step_outcome) relative to
+    /// an explicit pre-step snapshot, the allocation-lean form used on the
+    /// model-checking hot path (state-space builders already hold a
+    /// snapshot of the state they are expanding).
+    ///
+    /// The engine's current state is clobbered; on return it is restored
+    /// to `snapshot`.
+    pub fn for_each_step_outcome_from(
+        &mut self,
+        snapshot: &EngineState<P>,
+        philosopher: PhilosopherId,
+        mut visit: impl FnMut(f64, &mut Engine<P>, &StepRecord),
+    ) {
+        let mut tape = DrawTape::new();
+        self.enumerate_outcomes(snapshot, philosopher, &mut tape, 1.0, &mut visit);
+        self.restore(snapshot);
+    }
+
+    fn enumerate_outcomes(
+        &mut self,
+        snapshot: &EngineState<P>,
+        philosopher: PhilosopherId,
+        tape: &mut DrawTape,
+        probability: f64,
+        visit: &mut impl FnMut(f64, &mut Engine<P>, &StepRecord),
+    ) {
+        self.restore(snapshot);
+        tape.rewind();
+        let record = self.step_philosopher_with_tape(philosopher, tape);
+        match tape.pending() {
+            None => visit(probability, self, &record),
+            Some(request) => {
+                for (outcome, p) in request.outcomes() {
+                    tape.push(outcome);
+                    self.enumerate_outcomes(snapshot, philosopher, tape, probability * p, visit);
+                    tape.pop();
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the current state is **stuck**: no scheduling
+    /// choice and no random outcome of any single step changes the semantic
+    /// state, so no meal can ever happen from here.
+    ///
+    /// This is the exact finite test for a true deadlock (e.g. the classic
+    /// every-philosopher-holds-its-left-fork state): busy-wait loops that
+    /// leave forks and program states untouched cannot escape, whereas any
+    /// state with a productive step — including a merely improbable one — is
+    /// not stuck.  The engine is restored before returning.
+    pub fn is_stuck(&mut self) -> bool {
+        let base = self.state_fingerprint();
+        let n = self.states.len() as u32;
+        for p in 0..n {
+            let mut moved = false;
+            self.for_each_step_outcome(PhilosopherId::new(p), |_, engine, _| {
+                if engine.state_fingerprint() != base {
+                    moved = true;
+                }
+            });
+            if moved {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -757,6 +958,143 @@ mod tests {
         );
         assert_eq!(outcome.total_meals, 0);
         assert!(!outcome.made_progress());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_for_bit() {
+        // Run a prefix, snapshot, run a suffix; restoring the snapshot and
+        // re-running the suffix must reproduce the exact same state —
+        // including the RNG stream.
+        let config = SimConfig::default()
+            .with_seed(3)
+            .with_hunger(crate::HungerModel::Bernoulli(0.6));
+        let mut engine = Engine::new(classic_ring(5).unwrap(), ToyProgram, config);
+        let mut adversary = UniformRandomAdversary::new(17);
+        for _ in 0..137 {
+            engine.step_with(&mut adversary);
+        }
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.fingerprint(), engine.state_fingerprint());
+        assert_eq!(snapshot.step_count(), 137);
+        let mut suffix_adversary = adversary.clone();
+        let records: Vec<_> = (0..211)
+            .map(|_| engine.step_with(&mut suffix_adversary))
+            .collect();
+        let end_fp = engine.state_fingerprint();
+
+        engine.restore(&snapshot);
+        assert_eq!(engine.state_fingerprint(), snapshot.fingerprint());
+        assert_eq!(engine.step_count(), 137);
+        assert_eq!(engine.views(), engine.rebuilt_views().as_slice());
+        let replayed: Vec<_> = (0..211).map(|_| engine.step_with(&mut adversary)).collect();
+        assert_eq!(records, replayed);
+        assert_eq!(engine.state_fingerprint(), end_fp);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers_and_matches_snapshot() {
+        let mut engine = engine(4, 9);
+        let mut buffer = engine.snapshot();
+        engine.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(100),
+        );
+        engine.snapshot_into(&mut buffer);
+        assert_eq!(buffer, engine.snapshot());
+    }
+
+    #[test]
+    fn scripted_step_with_empty_tape_reports_pending_for_random_draws() {
+        use crate::draws::{DrawRequest, DrawTape};
+        // Bernoulli hunger: the very first scheduled step needs a coin.
+        let config = SimConfig::default().with_hunger(crate::HungerModel::Bernoulli(0.3));
+        let mut engine = Engine::new(classic_ring(3).unwrap(), ToyProgram, config);
+        let snapshot = engine.snapshot();
+        let mut tape = DrawTape::new();
+        engine.step_philosopher_with_tape(PhilosopherId::new(0), &mut tape);
+        assert_eq!(tape.pending(), Some(DrawRequest::Coin { p_true: 0.3 }));
+        engine.restore(&snapshot);
+        assert_eq!(engine.state_fingerprint(), snapshot.fingerprint());
+    }
+
+    #[test]
+    fn for_each_step_outcome_enumerates_a_coin_with_probabilities_summing_to_one() {
+        let config = SimConfig::default().with_hunger(crate::HungerModel::Bernoulli(0.25));
+        let mut engine = Engine::new(classic_ring(3).unwrap(), ToyProgram, config);
+        let before = engine.state_fingerprint();
+        let mut outcomes = Vec::new();
+        engine.for_each_step_outcome(PhilosopherId::new(0), |p, e, record| {
+            outcomes.push((p, e.state_fingerprint(), record.action));
+        });
+        // One coin: hungry (p = 0.25) or still thinking (p = 0.75).
+        assert_eq!(outcomes.len(), 2);
+        assert!((outcomes.iter().map(|o| o.0).sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(outcomes[0].2, Action::BecomeHungry);
+        assert_ne!(outcomes[0].1, before, "becoming hungry changes the state");
+        assert_eq!(outcomes[1].1, before, "keep-thinking leaves the state");
+        // The engine itself is restored.
+        assert_eq!(engine.state_fingerprint(), before);
+        assert_eq!(engine.views(), engine.rebuilt_views().as_slice());
+    }
+
+    #[test]
+    fn for_each_step_outcome_is_deterministic_for_always_hungry_steps() {
+        // Always-hungry Toy steps draw nothing: exactly one outcome, p = 1.
+        let mut engine = engine(3, 0);
+        let mut count = 0;
+        engine.for_each_step_outcome(PhilosopherId::new(1), |p, _, record| {
+            count += 1;
+            assert_eq!(p, 1.0);
+            assert_eq!(record.action, Action::BecomeHungry);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn fresh_states_are_not_stuck_and_toy_never_deadlocks() {
+        let mut engine = engine(3, 1);
+        assert!(!engine.is_stuck(), "initial state can always advance");
+        engine.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(500),
+        );
+        assert!(!engine.is_stuck());
+    }
+
+    #[test]
+    fn relabelled_fingerprint_identity_matches_fingerprint() {
+        use crate::snapshot::RelabelScratch;
+        let mut engine = engine(4, 2);
+        engine.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(123),
+        );
+        let snapshot = engine.snapshot();
+        let phil_id: Vec<PhilosopherId> = (0..4).map(PhilosopherId::new).collect();
+        let fork_id: Vec<ForkId> = (0..4).map(ForkId::new).collect();
+        let mut scratch = RelabelScratch::new();
+        assert_eq!(
+            snapshot.relabelled_fingerprint(&phil_id, &fork_id, &mut scratch),
+            snapshot.fingerprint()
+        );
+        // A ring rotation relabels the state consistently: rotating twice by
+        // one is the same as rotating once by two.
+        let rot = |c: u32| {
+            (
+                (0..4u32)
+                    .map(|p| PhilosopherId::new((p + c) % 4))
+                    .collect::<Vec<_>>(),
+                (0..4u32)
+                    .map(|f| ForkId::new((f + c) % 4))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let (p1, f1) = rot(1);
+        let (p2, f2) = rot(2);
+        let once = snapshot.relabelled_fingerprint(&p1, &f1, &mut scratch);
+        let twice = snapshot.relabelled_fingerprint(&p2, &f2, &mut scratch);
+        assert_ne!(once, snapshot.fingerprint());
+        assert_ne!(once, twice);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub type UsageStamp = u64;
 /// All fields are private; the atomic-step operations below are the only way
 /// to read or modify them, mirroring the paper's "test-and-set operations on
 /// the forks are performed atomically".
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, PartialEq, Eq, Hash)]
 pub struct ForkCell {
     holder: Option<PhilosopherId>,
     nr: u32,
@@ -40,6 +40,31 @@ pub struct ForkCell {
     guest_book: Vec<(PhilosopherId, UsageStamp)>,
     /// Next usage stamp to hand out when somebody signs the guest book.
     next_stamp: UsageStamp,
+}
+
+// Manual impl so `clone_from` reuses the request-list and guest-book
+// allocations: [`Engine::restore`](crate::Engine::restore) clones fork
+// cells on the state-space exploration hot path, where the derived
+// fallback (`*self = source.clone()`) would reallocate both vectors per
+// fork per restore.
+impl Clone for ForkCell {
+    fn clone(&self) -> Self {
+        ForkCell {
+            holder: self.holder,
+            nr: self.nr,
+            requests: self.requests.clone(),
+            guest_book: self.guest_book.clone(),
+            next_stamp: self.next_stamp,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.holder = source.holder;
+        self.nr = source.nr;
+        self.requests.clone_from(&source.requests);
+        self.guest_book.clone_from(&source.guest_book);
+        self.next_stamp = source.next_stamp;
+    }
 }
 
 impl ForkCell {
@@ -204,6 +229,30 @@ impl ForkCell {
     /// allocations across trials.
     pub fn reset(&mut self) {
         *self = ForkCell::default();
+    }
+
+    /// Writes into `out` a copy of this cell with every stored philosopher
+    /// identifier relabelled through `map`, preserving request-list and
+    /// guest-book order (and all stamps).
+    ///
+    /// This is the fork half of the canonical state encoding used by the
+    /// symmetry reduction in `gdp-mcheck`: applying a topology automorphism
+    /// to a system state relabels the philosophers referenced by each fork
+    /// cell while leaving everything else untouched.  Reuses `out`'s
+    /// allocations.
+    pub fn relabel_philosophers_into(
+        &self,
+        map: impl Fn(PhilosopherId) -> PhilosopherId,
+        out: &mut ForkCell,
+    ) {
+        out.holder = self.holder.map(&map);
+        out.nr = self.nr;
+        out.requests.clear();
+        out.requests.extend(self.requests.iter().map(|&p| map(p)));
+        out.guest_book.clear();
+        out.guest_book
+            .extend(self.guest_book.iter().map(|&(p, stamp)| (map(p), stamp)));
+        out.next_stamp = self.next_stamp;
     }
 }
 

@@ -2,14 +2,102 @@
 //!
 //! Everything in this workspace that needs a 64-bit state digest (the
 //! engine's [`state_fingerprint`](crate::Engine::state_fingerprint), the
-//! analysis crate's state-space exploration) goes through [`fingerprint64`]
-//! instead of setting up an ad-hoc hasher at each call site.  The hasher is
-//! `std`'s `DefaultHasher` constructed with fixed keys, so fingerprints are
-//! deterministic within a build — which is all the exploration code relies
-//! on; fingerprints are never persisted.
+//! analysis crate's state-space exploration, `gdp-mcheck`'s canonical state
+//! encoding) goes through [`fingerprint64`] instead of setting up an ad-hoc
+//! hasher at each call site.
+//!
+//! The hasher is a fixed-key multiply-rotate design (the `FxHash` family):
+//! exact model checking fingerprints tens of millions of states and sits on
+//! this function for a large share of its wall-clock, so the `SipHash`
+//! `DefaultHasher` used before PR 3 was replaced with something ~5× faster.
+//! Fingerprints are deterministic within a build and never persisted.
+//!
+//! **Collision caveat**: everything that dedups states by fingerprint —
+//! the bounded explorers and `gdp-mcheck`'s canonical state keys — silently
+//! merges two states on a 64-bit collision.  At the largest space this
+//! workspace checks (~4 × 10⁶ canonical states) the birthday bound for an
+//! ideal 64-bit hash is ≈ 4 × 10⁻⁷ per run; `gdp-mcheck` documents this as
+//! a standing caveat of its certificates (`docs/VERIFICATION.md`), and the
+//! final avalanche round below exists to keep the bound meaningful for
+//! structured state data.
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+
+/// The multiplier of the FxHash mixing step (the 64-bit golden ratio, as
+/// used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, fixed-key 64-bit hasher (FxHash-style
+/// multiply-rotate), used solely for in-memory state fingerprints.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche round so trailing small writes diffuse into
+        // the high bits.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(SEED);
+        h ^= h >> 29;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, value: u128) {
+        self.add_to_hash(value as u64);
+        self.add_to_hash((value >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+}
 
 /// Hashes `value` to a deterministic 64-bit fingerprint.
 ///
@@ -22,7 +110,7 @@ use std::hash::{Hash, Hasher};
 /// ```
 #[must_use]
 pub fn fingerprint64<T: Hash + ?Sized>(value: &T) -> u64 {
-    let mut hasher = DefaultHasher::new();
+    let mut hasher = FxHasher64::default();
     value.hash(&mut hasher);
     hasher.finish()
 }
@@ -40,7 +128,16 @@ mod tests {
     #[test]
     fn distinct_values_usually_hash_distinct() {
         let fingerprints: std::collections::HashSet<u64> =
-            (0u64..1_000).map(|i| fingerprint64(&i)).collect();
-        assert_eq!(fingerprints.len(), 1_000);
+            (0u64..100_000).map(|i| fingerprint64(&i)).collect();
+        assert_eq!(fingerprints.len(), 100_000);
+    }
+
+    #[test]
+    fn byte_streams_with_different_lengths_hash_distinct() {
+        // Zero-padding in the tail path must not collide with explicit
+        // zero bytes.
+        assert_ne!(fingerprint64(&[0u8][..]), fingerprint64(&[0u8, 0][..]));
+        let empty: &[u8] = &[];
+        assert_ne!(fingerprint64(empty), fingerprint64(&[0u8][..]));
     }
 }

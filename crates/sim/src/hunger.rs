@@ -36,15 +36,34 @@ impl HungerModel {
     /// `[0, 1]` (validated here rather than at construction so the enum can
     /// stay a plain data carrier).
     pub fn becomes_hungry<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        match self.resolve() {
+            Ok(deterministic) => deterministic,
+            Err(p) => rng.gen_bool(p),
+        }
+    }
+
+    /// Resolves the model to either a deterministic answer (`Ok`) or the
+    /// probability of a hunger coin that still needs to be flipped (`Err`).
+    ///
+    /// This is the branching structure exact model checking needs: `Always`
+    /// and `Never` contribute no probabilistic branch, `Bernoulli` forks on
+    /// one coin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`HungerModel::Bernoulli`] probability is not within
+    /// `[0, 1]` (validated here rather than at construction so the enum can
+    /// stay a plain data carrier).
+    pub(crate) fn resolve(&self) -> Result<bool, f64> {
         match *self {
-            HungerModel::Always => true,
-            HungerModel::Never => false,
+            HungerModel::Always => Ok(true),
+            HungerModel::Never => Ok(false),
             HungerModel::Bernoulli(p) => {
                 assert!(
                     (0.0..=1.0).contains(&p),
                     "hunger probability must be in [0, 1], got {p}"
                 );
-                rng.gen_bool(p)
+                Err(p)
             }
         }
     }

@@ -28,6 +28,14 @@
 //! * [`Engine`] — drives the interleaving: repeatedly asks the adversary for
 //!   a philosopher, executes that philosopher's next atomic step, records
 //!   the [`Trace`], and evaluates [`StopCondition`]s.
+//! * [`EngineState`] — first-class snapshots of the semantic state
+//!   (forks, private program states, RNG, step counter) with `O(n + k)`
+//!   [`Engine::restore`], plus the relabelled-fingerprint canonical
+//!   encoding behind `gdp-mcheck`'s symmetry quotient.
+//! * [`DrawTape`] — scripted randomness: replay or exhaustively enumerate
+//!   a step's random draws ([`Engine::for_each_step_outcome`]), the
+//!   probabilistic-branching primitive of exact model checking; also
+//!   behind the exact deadlock test [`Engine::is_stuck`].
 //!
 //! Crafted adversaries that defeat LR1/LR2 (Section 3 and Theorems 1–2 of
 //! the paper) live in the `gdp-adversary` crate; the algorithms themselves
@@ -96,22 +104,26 @@
 
 mod adversary;
 mod config;
+pub mod draws;
 mod engine;
 mod fork;
 mod hash;
 mod hunger;
 mod outcome;
 mod program;
+pub mod snapshot;
 mod trace;
 mod view;
 
 pub use adversary::{Adversary, RoundRobinAdversary, UniformRandomAdversary};
 pub use config::SimConfig;
+pub use draws::{DrawOutcome, DrawRequest, DrawTape};
 pub use engine::Engine;
 pub use fork::{ForkCell, UsageStamp};
 pub use hash::fingerprint64;
 pub use hunger::HungerModel;
 pub use outcome::{RunOutcome, StopCondition, StopReason};
 pub use program::{Action, Phase, Program, ProgramObservation, StepCtx};
+pub use snapshot::{EngineState, RelabelScratch};
 pub use trace::{StepRecord, Trace};
 pub use view::{Holding, PhilosopherView, SystemView};

@@ -9,6 +9,7 @@
 //! One call to [`Program::step`] models one numbered line of the paper's
 //! pseudo-code (Tables 1–4) and is atomic with respect to the adversary.
 
+use crate::draws::DrawTape;
 use crate::fork::ForkCell;
 use crate::hunger::HungerModel;
 use gdp_topology::{ForkEnds, ForkId, PhilosopherId, Side};
@@ -16,6 +17,16 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
 use std::hash::Hash;
+
+/// Where a step's random draws come from: the engine's seeded RNG (normal
+/// simulation) or a scripted [`DrawTape`] (replay / exhaustive branch
+/// enumeration, see [`crate::draws`]).
+pub(crate) enum StepRandomness<'a> {
+    /// Draws are sampled from the engine RNG.
+    Sampled(&'a mut ChaCha8Rng),
+    /// Draws are read from a scripted tape.
+    Scripted(&'a mut DrawTape),
+}
 
 /// The coarse phase of a philosopher, used for progress / lockout analysis.
 ///
@@ -193,7 +204,7 @@ pub struct StepCtx<'a> {
     me: PhilosopherId,
     ends: ForkEnds,
     forks: &'a mut [ForkCell],
-    rng: &'a mut ChaCha8Rng,
+    randomness: StepRandomness<'a>,
     hunger: &'a HungerModel,
     left_bias: f64,
     nr_range: u32,
@@ -206,7 +217,7 @@ impl<'a> StepCtx<'a> {
         me: PhilosopherId,
         ends: ForkEnds,
         forks: &'a mut [ForkCell],
-        rng: &'a mut ChaCha8Rng,
+        randomness: StepRandomness<'a>,
         hunger: &'a HungerModel,
         left_bias: f64,
         nr_range: u32,
@@ -215,10 +226,18 @@ impl<'a> StepCtx<'a> {
             me,
             ends,
             forks,
-            rng,
+            randomness,
             hunger,
             left_bias,
             nr_range,
+        }
+    }
+
+    /// Draws a biased coin from whichever randomness source backs this step.
+    fn draw_coin(&mut self, p_true: f64) -> bool {
+        match &mut self.randomness {
+            StepRandomness::Sampled(rng) => rng.gen_bool(p_true),
+            StepRandomness::Scripted(tape) => tape.draw_coin(p_true),
         }
     }
 
@@ -355,13 +374,17 @@ impl<'a> StepCtx<'a> {
 
     /// Draws a uniformly random priority number in `[1, m]` (Table 3 line 4).
     pub fn random_nr(&mut self) -> u32 {
-        self.rng.gen_range(1..=self.nr_range)
+        let m = self.nr_range;
+        match &mut self.randomness {
+            StepRandomness::Sampled(rng) => rng.gen_range(1..=m),
+            StepRandomness::Scripted(tape) => tape.draw_uniform(m),
+        }
     }
 
     /// Draws a random side: `Left` with the configured bias (default 1/2),
     /// `Right` otherwise (Table 1 line 2).
     pub fn random_side(&mut self) -> Side {
-        if self.rng.gen_bool(self.left_bias) {
+        if self.draw_coin(self.left_bias) {
             Side::Left
         } else {
             Side::Right
@@ -378,7 +401,10 @@ impl<'a> StepCtx<'a> {
     /// Consults the hunger model: returns `true` if a thinking philosopher
     /// scheduled now stops thinking and becomes hungry.
     pub fn becomes_hungry(&mut self) -> bool {
-        self.hunger.becomes_hungry(self.rng)
+        match self.hunger.resolve() {
+            Ok(deterministic) => deterministic,
+            Err(p) => self.draw_coin(p),
+        }
     }
 }
 
@@ -415,7 +441,7 @@ mod tests {
             PhilosopherId::new(0),
             ForkEnds::new(ForkId::new(0), ForkId::new(1)),
             forks,
-            rng,
+            StepRandomness::Sampled(rng),
             hunger,
             0.5,
             10,
@@ -461,7 +487,7 @@ mod tests {
             PhilosopherId::new(0),
             ForkEnds::new(ForkId::new(0), ForkId::new(1)),
             &mut forks,
-            &mut rng,
+            StepRandomness::Sampled(&mut rng),
             &hunger,
             1.0,
             10,

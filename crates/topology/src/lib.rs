@@ -31,6 +31,8 @@
 //! * [`analysis`] — structural analysis: degrees, connectivity, cycle
 //!   enumeration, and decision procedures for the preconditions of
 //!   Theorems 1 and 2;
+//! * [`symmetry`] — orientation-preserving automorphism enumeration, the
+//!   topology half of `gdp-mcheck`'s symmetry quotient;
 //! * [`dot`] — Graphviz export for visual inspection of a topology.
 //!
 //! ## Example
@@ -54,10 +56,12 @@ pub mod builders;
 pub mod dot;
 mod error;
 mod ids;
+pub mod symmetry;
 mod topology;
 
 pub use error::TopologyError;
 pub use ids::{ForkId, PhilosopherId};
+pub use symmetry::{automorphisms, Automorphism};
 pub use topology::{ForkEnds, Side, Topology, TopologyBuilder};
 
 /// Convenience result alias used throughout this crate.

@@ -1,0 +1,309 @@
+//! Orientation-preserving topology automorphisms.
+//!
+//! A generalized dining philosophers system is symmetric by construction:
+//! every philosopher runs the same program and every fork starts in the same
+//! state.  The only thing that distinguishes two executions related by a
+//! relabelling of the multigraph is the labels themselves — so states that
+//! differ by an automorphism of the topology are bisimilar, and an exact
+//! model checker may identify them (the *symmetry quotient* of
+//! `gdp-mcheck`).  On the classic `n`-ring the `n` rotations alone shrink
+//! the reachable state space by a factor of about `n`.
+//!
+//! Soundness requires one care: the paper's programs are written in terms of
+//! each philosopher's private *left*/*right* orientation
+//! ([`Side`](crate::Side)).  An
+//! automorphism may therefore only map a philosopher onto one whose left
+//! fork is the image of its left fork and likewise for the right — an
+//! **orientation-preserving** automorphism.  (A reflection of the classic
+//! ring swaps every philosopher's sides, so it is *not* returned here, and
+//! indeed identifying states across it would be unsound for a left-biased
+//! coin.)
+//!
+//! [`automorphisms`] enumerates these symmetries by backtracking over fork
+//! relabellings, matching parallel philosophers (arcs with identical
+//! oriented endpoints) in increasing-identifier order.  The result always
+//! contains the identity; it is a set of genuine automorphisms even when
+//! truncated by the search budget, which is all fingerprint-minimisation
+//! needs to stay sound.
+
+use crate::{ForkId, PhilosopherId, Topology};
+use std::collections::HashMap;
+
+/// One orientation-preserving automorphism: a fork relabelling together
+/// with the philosopher relabelling it induces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Automorphism {
+    /// `fork_map[f]` is the image of fork `f`.
+    pub fork_map: Vec<ForkId>,
+    /// `phil_map[p]` is the image of philosopher `p`.
+    pub phil_map: Vec<PhilosopherId>,
+}
+
+impl Automorphism {
+    /// The identity automorphism for a system with `num_forks` forks and
+    /// `num_philosophers` philosophers.
+    #[must_use]
+    pub fn identity(num_forks: usize, num_philosophers: usize) -> Self {
+        Automorphism {
+            fork_map: (0..num_forks as u32).map(ForkId::new).collect(),
+            phil_map: (0..num_philosophers as u32)
+                .map(PhilosopherId::new)
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if this is the identity.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.fork_map
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.index() == i)
+            && self
+                .phil_map
+                .iter()
+                .enumerate()
+                .all(|(i, p)| p.index() == i)
+    }
+}
+
+/// Hard cap on the backtracking search, measured in explored assignments.
+/// Large enough for every witness topology in this workspace, small enough
+/// that a pathological multigraph cannot stall a checker run.
+const SEARCH_BUDGET: usize = 200_000;
+
+/// Enumerates orientation-preserving automorphisms of `topology`, up to
+/// `limit` of them (the identity is always first).
+///
+/// Parallel philosophers — arcs with identical oriented fork pairs — are
+/// matched in increasing-identifier order, so each fork relabelling induces
+/// exactly one philosopher relabelling.  The search backtracks over fork
+/// images with degree and incidence pruning and gives up (returning what it
+/// has found so far, always at least the identity) once an internal budget
+/// is exhausted; any subset found this way is sound for symmetry reduction.
+///
+/// ```
+/// use gdp_topology::builders::classic_ring;
+/// use gdp_topology::symmetry::automorphisms;
+///
+/// // The classic n-ring has exactly its n rotations (reflections reverse
+/// // every philosopher's left/right orientation and are excluded).
+/// let ring = classic_ring(6).unwrap();
+/// assert_eq!(automorphisms(&ring, 64).len(), 6);
+/// ```
+#[must_use]
+pub fn automorphisms(topology: &Topology, limit: usize) -> Vec<Automorphism> {
+    let k = topology.num_forks();
+    let n = topology.num_philosophers();
+    let limit = limit.max(1);
+
+    // Bundle the arcs by oriented endpoint pair: philosophers in a bundle
+    // are interchangeable up to their identifiers.
+    let mut bundles: HashMap<(u32, u32), Vec<PhilosopherId>> = HashMap::new();
+    for p in topology.philosopher_ids() {
+        let ends = topology.forks_of(p);
+        bundles
+            .entry((ends.left.raw(), ends.right.raw()))
+            .or_default()
+            .push(p);
+    }
+    // (Incidence lists are in increasing id order already, but make the
+    // canonical bundle order explicit.)
+    for bundle in bundles.values_mut() {
+        bundle.sort_unstable();
+    }
+
+    let mut search = Search {
+        topology,
+        bundles: &bundles,
+        fork_image: vec![u32::MAX; k],
+        image_used: vec![false; k],
+        found: Vec::with_capacity(limit.min(16)),
+        limit,
+        budget: SEARCH_BUDGET,
+        num_philosophers: n,
+    };
+    search.assign(0);
+    debug_assert!(search.found.iter().any(Automorphism::is_identity));
+    // Identity first, then by fork image — a stable, deterministic order.
+    search
+        .found
+        .sort_by_key(|a| (!a.is_identity(), a.fork_map.clone()));
+    search.found
+}
+
+struct Search<'a> {
+    topology: &'a Topology,
+    bundles: &'a HashMap<(u32, u32), Vec<PhilosopherId>>,
+    /// Partial fork relabelling; `u32::MAX` marks "unassigned".
+    fork_image: Vec<u32>,
+    image_used: Vec<bool>,
+    found: Vec<Automorphism>,
+    limit: usize,
+    budget: usize,
+    num_philosophers: usize,
+}
+
+impl Search<'_> {
+    /// Checks every arc bundle whose two endpoints are both assigned:
+    /// its image pair must carry a bundle of the same size.
+    fn partially_consistent(&self) -> bool {
+        for (&(l, r), bundle) in self.bundles {
+            let (il, ir) = (self.fork_image[l as usize], self.fork_image[r as usize]);
+            if il == u32::MAX || ir == u32::MAX {
+                continue;
+            }
+            let image_size = self.bundles.get(&(il, ir)).map_or(0, Vec::len);
+            if image_size != bundle.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn assign(&mut self, fork: usize) {
+        if self.found.len() >= self.limit || self.budget == 0 {
+            return;
+        }
+        if fork == self.fork_image.len() {
+            self.emit();
+            return;
+        }
+        for image in 0..self.fork_image.len() {
+            if self.image_used[image] {
+                continue;
+            }
+            if self.topology.fork_degree(ForkId::new(fork as u32))
+                != self.topology.fork_degree(ForkId::new(image as u32))
+            {
+                continue;
+            }
+            self.budget = self.budget.saturating_sub(1);
+            if self.budget == 0 {
+                return;
+            }
+            self.fork_image[fork] = image as u32;
+            self.image_used[image] = true;
+            if self.partially_consistent() {
+                self.assign(fork + 1);
+            }
+            self.fork_image[fork] = u32::MAX;
+            self.image_used[image] = false;
+        }
+    }
+
+    /// A complete, consistent fork relabelling: derive the philosopher
+    /// relabelling by matching each bundle onto its image bundle in
+    /// increasing-identifier order.
+    fn emit(&mut self) {
+        let mut phil_map = vec![PhilosopherId::new(0); self.num_philosophers];
+        for (&(l, r), bundle) in self.bundles {
+            let image_key = (self.fork_image[l as usize], self.fork_image[r as usize]);
+            let image_bundle = &self.bundles[&image_key];
+            for (p, ip) in bundle.iter().zip(image_bundle.iter()) {
+                phil_map[p.index()] = *ip;
+            }
+        }
+        self.found.push(Automorphism {
+            fork_map: self.fork_image.iter().map(|&f| ForkId::new(f)).collect(),
+            phil_map,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{classic_ring, figure1_triangle, figure3_theta, star};
+
+    /// Checks that `a` really is an orientation-preserving automorphism.
+    fn verify(topology: &Topology, a: &Automorphism) {
+        for p in topology.philosopher_ids() {
+            let ends = topology.forks_of(p);
+            let image = topology.forks_of(a.phil_map[p.index()]);
+            assert_eq!(image.left, a.fork_map[ends.left.index()], "{a:?}");
+            assert_eq!(image.right, a.fork_map[ends.right.index()], "{a:?}");
+        }
+        // Bijectivity.
+        let mut seen_forks = vec![false; topology.num_forks()];
+        for f in &a.fork_map {
+            assert!(!seen_forks[f.index()]);
+            seen_forks[f.index()] = true;
+        }
+        let mut seen_phils = vec![false; topology.num_philosophers()];
+        for p in &a.phil_map {
+            assert!(!seen_phils[p.index()]);
+            seen_phils[p.index()] = true;
+        }
+    }
+
+    #[test]
+    fn classic_ring_has_exactly_its_rotations() {
+        for n in [3usize, 4, 5, 7] {
+            let ring = classic_ring(n).unwrap();
+            let autos = automorphisms(&ring, 256);
+            assert_eq!(autos.len(), n, "ring {n}");
+            assert!(autos[0].is_identity());
+            for a in &autos {
+                verify(&ring, a);
+                // A rotation by c maps fork f to f + c for a fixed c.
+                let c = a.fork_map[0].raw();
+                for (f, image) in a.fork_map.iter().enumerate() {
+                    assert_eq!(image.raw(), (f as u32 + c) % n as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_triangle_symmetries_are_found_and_valid() {
+        // 3 forks, every oriented pair carrying one philosopher each way:
+        // every fork permutation extends, giving the full S3 (order 6).
+        let t = figure1_triangle();
+        let autos = automorphisms(&t, 256);
+        assert_eq!(autos.len(), 6);
+        for a in &autos {
+            verify(&t, a);
+        }
+    }
+
+    #[test]
+    fn theta_graph_automorphisms_are_valid() {
+        let t = figure3_theta();
+        let autos = automorphisms(&t, 256);
+        assert!(!autos.is_empty());
+        assert!(autos[0].is_identity());
+        for a in &autos {
+            verify(&t, a);
+        }
+    }
+
+    #[test]
+    fn star_automorphisms_fix_the_hub() {
+        let t = star(5).unwrap();
+        let autos = automorphisms(&t, 256);
+        assert!(autos.len() > 1, "a star has leaf symmetries");
+        for a in &autos {
+            verify(&t, a);
+        }
+    }
+
+    #[test]
+    fn limit_is_respected_and_identity_is_first() {
+        let ring = classic_ring(8).unwrap();
+        let autos = automorphisms(&ring, 3);
+        assert_eq!(autos.len(), 3);
+        assert!(autos[0].is_identity());
+        for a in &autos {
+            verify(&ring, a);
+        }
+    }
+
+    #[test]
+    fn identity_constructor_round_trips() {
+        let id = Automorphism::identity(4, 7);
+        assert!(id.is_identity());
+        assert_eq!(id.fork_map.len(), 4);
+        assert_eq!(id.phil_map.len(), 7);
+    }
+}

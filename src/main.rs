@@ -1,14 +1,21 @@
 //! `gdp` — the command-line workbench for the generalized dining
 //! philosophers workspace.
 //!
-//! Three subcommands make the whole repo drivable without writing Rust:
+//! Four subcommands make the whole repo drivable without writing Rust:
 //!
 //! * `gdp list` — the catalog of topology families, algorithms and
 //!   adversaries a sweep can name;
 //! * `gdp run` — one detailed simulation of a single *family × size ×
 //!   algorithm × adversary* cell;
 //! * `gdp sweep` — a full scenario grid through the parallel Monte-Carlo
-//!   machinery, streamed to the console and written to JSON + CSV.
+//!   machinery, streamed to the console and written to JSON + CSV;
+//! * `gdp check` — the **exact** model checker (`gdp-mcheck`): worst-case
+//!   verdicts over every fair adversary and every random draw, emitted as
+//!   byte-reproducible certificates (see `docs/VERIFICATION.md`).
+//!
+//! Exit codes: `0` success / certified, `1` violation detected (safety
+//! breach, true deadlock, or a failed liveness check), `2` usage error,
+//! `3` inconclusive (state budget exhausted).
 //!
 //! Argument parsing is hand-rolled: the build container is offline, so the
 //! workspace carries no CLI dependency.  See `docs/SCENARIOS.md` for the
@@ -16,10 +23,21 @@
 
 use gdp::prelude::*;
 use gdp_scenarios::{
-    run_sweep_with, AdversarySpec, ScenarioSpec, SeedPolicy, SweepOptions, TopologyFamily,
-    FAMILY_CATALOG,
+    run_check, run_sweep_with, AdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict,
+    ScenarioSpec, SeedPolicy, SweepOptions, TopologyFamily, FAMILY_CATALOG,
 };
 use std::process::ExitCode;
+
+/// What a successfully parsed-and-executed command asks the process to
+/// report.
+enum CommandOutcome {
+    /// Everything held.
+    Ok,
+    /// A violation was detected (safety breach, deadlock, failed check).
+    Violation(String),
+    /// An exact check ran out of state budget before reaching a verdict.
+    Inconclusive(String),
+}
 
 const USAGE: &str = "\
 gdp — generalized dining philosophers workbench (Herescu & Palamidessi, PODC 2001)
@@ -37,6 +55,21 @@ USAGE:
           --steps <n>            step budget                 [default: 40000]
           --seed <n>             random seed                 [default: 0]
 
+    gdp check [OPTIONS]
+        Exactly model-check one cell: build the MDP of the probabilistic
+        automaton (adversary choices x random draws) and certify or refute
+        the objective over every fair adversary.  The certificate on stdout
+        is byte-reproducible and identical for every --threads value.
+          --family <family>      topology family spec        [default: ring]
+          --size <n>             family scale parameter      [default: 4]
+          --algorithm <name>     algorithm to check          [default: gdp1]
+          --target <t>           progress|lockout|philosopher:<i> [default: progress]
+          --max-states <n>       canonical-state budget      [default: 6000000]
+          --threads <n>          0 = all cores               [default: 0]
+          --symmetry <on|off>    quotient symmetric states   [default: auto]
+          --expected-steps       also compute exact E[steps to first meal]
+          --counterexample <p>   write the starvation lasso as Graphviz DOT
+
     gdp sweep [OPTIONS]
         Run a scenario grid (families x sizes x algorithms) and write JSON + CSV.
           --families <a,b,..>    family specs     [default: ring,torus,complete,star,barbell,random-regular:3]
@@ -53,11 +86,17 @@ USAGE:
           --name <name>          sweep name       [default: sweep]
           --timing               embed wall-clock steps/sec in the artifacts
           --quiet                no per-cell console rows
+          --check                attach exact worst-case progress verdicts
+          --check-states <n>     state budget per exact verdict [default: 400000]
 
 Adversary specs: round-robin | uniform-random | blocking | blocking:<bound>.
 Results are bitwise-identical for every --threads value (PR-1 determinism
 contract); by default the JSON/CSV artifacts are also byte-reproducible
 across runs — pass --timing to trade that for embedded throughput figures.
+
+run and sweep exit 1 when a trial ends in a true deadlock or breaks a
+safety invariant; check exits 1 on a violated objective and 3 when the
+state budget truncated the model before a verdict.
 ";
 
 /// A tiny hand-rolled flag parser: `--flag value` pairs plus boolean flags.
@@ -153,7 +192,7 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(mut args: Args) -> Result<(), String> {
+fn cmd_run(mut args: Args) -> Result<CommandOutcome, String> {
     let family: TopologyFamily = parse(
         "topology family",
         &args
@@ -211,10 +250,110 @@ fn cmd_run(mut args: Args) -> Result<(), String> {
     for (i, meals) in outcome.meals_per_philosopher.iter().enumerate() {
         println!("         P{i}: {meals} meals");
     }
-    Ok(())
+    let safe = state_is_safe(&engine);
+    let stuck = engine.is_stuck();
+    if !safe {
+        return Ok(CommandOutcome::Violation(
+            "final state violates the safety invariants".to_string(),
+        ));
+    }
+    if stuck {
+        return Ok(CommandOutcome::Violation(format!(
+            "final state is a true deadlock: no scheduling choice and no random \
+             outcome can ever unblock it (step {})",
+            engine.step_count()
+        )));
+    }
+    Ok(CommandOutcome::Ok)
 }
 
-fn cmd_sweep(mut args: Args) -> Result<(), String> {
+fn cmd_check(mut args: Args) -> Result<CommandOutcome, String> {
+    let family: TopologyFamily = parse(
+        "topology family",
+        &args
+            .value_of("--family")?
+            .or(args.value_of("--topology")?)
+            .unwrap_or_else(|| "ring".into()),
+    )?;
+    let size: usize = parse(
+        "size",
+        &args.value_of("--size")?.unwrap_or_else(|| "4".into()),
+    )?;
+    let algorithm: AlgorithmKind = parse(
+        "algorithm",
+        &args
+            .value_of("--algorithm")?
+            .unwrap_or_else(|| "gdp1".into()),
+    )?;
+    let target: CheckTargetSpec = parse(
+        "target",
+        &args
+            .value_of("--target")?
+            .unwrap_or_else(|| "progress".into()),
+    )?;
+    let max_states: usize = parse(
+        "state budget",
+        &args
+            .value_of("--max-states")?
+            .unwrap_or_else(|| "6000000".into()),
+    )?;
+    let threads: usize = parse(
+        "thread count",
+        &args.value_of("--threads")?.unwrap_or_else(|| "0".into()),
+    )?;
+    let symmetry = match args.value_of("--symmetry")?.as_deref() {
+        None | Some("auto") => None,
+        Some("on") => Some(true),
+        Some("off") => Some(false),
+        Some(other) => {
+            return Err(format!(
+                "invalid --symmetry {other:?}: expected on, off or auto"
+            ))
+        }
+    };
+    let expected_steps = args.has("--expected-steps");
+    let counterexample_path = args.value_of("--counterexample")?;
+    let seed: u64 = parse(
+        "seed",
+        &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
+    )?;
+    args.finish()?;
+
+    let spec = CheckSpec {
+        family,
+        size,
+        algorithm,
+        target,
+        max_states,
+        threads,
+        symmetry,
+        expected_steps,
+        topology_seed: seed,
+    };
+    let report = run_check(&spec)?;
+    print!("{}", report.render());
+    if let Some(path) = counterexample_path {
+        match &report.counterexample_dot {
+            Some(dot) => {
+                std::fs::write(&path, dot).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote counterexample DOT to {path}");
+            }
+            None => println!("no counterexample to write to {path}"),
+        }
+    }
+    Ok(match report.verdict() {
+        CheckVerdict::Certified => CommandOutcome::Ok,
+        CheckVerdict::Violated => {
+            CommandOutcome::Violation(format!("check violated for {}", report.cell))
+        }
+        CheckVerdict::Inconclusive => CommandOutcome::Inconclusive(format!(
+            "state budget ({max_states}) exhausted before a verdict for {}",
+            report.cell
+        )),
+    })
+}
+
+fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
     let mut spec = ScenarioSpec::new(
         args.value_of("--name")?
             .unwrap_or_else(|| "sweep".to_string()),
@@ -263,9 +402,20 @@ fn cmd_sweep(mut args: Args) -> Result<(), String> {
     let csv_path = args
         .value_of("--csv")?
         .unwrap_or_else(|| "gdp_sweep.csv".into());
+    let exact_check = if args.has("--check") {
+        Some(parse(
+            "exact-check state budget",
+            &args
+                .value_of("--check-states")?
+                .unwrap_or_else(|| "400000".into()),
+        )?)
+    } else {
+        None
+    };
     let options = SweepOptions {
         record_timing: args.has("--timing"),
         progress: !args.has("--quiet"),
+        exact_check,
     };
     args.finish()?;
 
@@ -282,7 +432,19 @@ fn cmd_sweep(mut args: Args) -> Result<(), String> {
         "wrote {json_path} and {csv_path} ({} cells)",
         report.cells.len()
     );
-    Ok(())
+    if report.violation_detected() {
+        let offenders: Vec<&str> = report
+            .cells
+            .iter()
+            .filter(|c| c.violation_detected())
+            .map(|c| c.cell.as_str())
+            .collect();
+        return Ok(CommandOutcome::Violation(format!(
+            "deadlock or safety violation detected in: {}",
+            offenders.join(", ")
+        )));
+    }
+    Ok(CommandOutcome::Ok)
 }
 
 fn main() -> ExitCode {
@@ -296,14 +458,23 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "list" => {
             let r = cmd_list();
-            args.finish().and(r)
+            args.finish().and(r).map(|()| CommandOutcome::Ok)
         }
         "run" => cmd_run(args),
         "sweep" => cmd_sweep(args),
+        "check" => cmd_check(args),
         other => Err(format!("unknown command {other:?}; try `gdp --help`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CommandOutcome::Ok) => ExitCode::SUCCESS,
+        Ok(CommandOutcome::Violation(message)) => {
+            eprintln!("violation: {message}");
+            ExitCode::from(1)
+        }
+        Ok(CommandOutcome::Inconclusive(message)) => {
+            eprintln!("inconclusive: {message}");
+            ExitCode::from(3)
+        }
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
