@@ -43,7 +43,7 @@ fn bench_runtime(c: &mut Criterion) {
             name,
             report.philosophers,
             report.total_meals(),
-            report.throughput_meals_per_sec,
+            report.throughput_meals_per_sec().unwrap_or(0.0),
             report.everyone_ate()
         );
     }

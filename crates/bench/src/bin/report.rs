@@ -44,6 +44,10 @@ fn run_perf() {
         report.scenario_sweep.identical,
         "parallel scenario sweep must match serial bitwise"
     );
+    assert!(
+        report.runtime_stress.everyone_ate,
+        "the GDP2 stress run must feed every philosopher"
+    );
     report
         .write_json("BENCH_results.json")
         .expect("writing BENCH_results.json");
@@ -298,7 +302,7 @@ fn main() {
             name,
             report.philosophers,
             report.total_meals(),
-            report.throughput_meals_per_sec,
+            report.throughput_meals_per_sec().unwrap_or(0.0),
             report.everyone_ate()
         );
     }

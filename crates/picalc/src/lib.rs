@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use gdp_algorithms::AlgorithmKind;
 use gdp_runtime::DiningTable;
 use gdp_topology::{ForkId, PhilosopherId, Topology};
 use parking_lot::Mutex;
@@ -274,13 +275,27 @@ impl ChoiceRound {
     /// (Theorem 4).
     #[must_use]
     pub fn resolve(&self) -> RoundOutcome {
+        self.resolve_with(AlgorithmKind::Gdp2)
+    }
+
+    /// [`resolve`](Self::resolve) with an explicit conflict-resolution
+    /// algorithm, through the runtime's algorithm-generic table API.
+    ///
+    /// Only algorithms that guarantee progress on arbitrary topologies make
+    /// sense here — [`AlgorithmKind::Gdp2`] (the default: lockout-free, so
+    /// repeated rounds also stay fair), [`AlgorithmKind::Gdp1`]
+    /// (progress only) and [`AlgorithmKind::OrderedForks`] (deadlock-free
+    /// but centralized-by-ordering, the baseline the paper argues against).
+    /// Passing [`AlgorithmKind::Naive`] can genuinely hang the round.
+    #[must_use]
+    pub fn resolve_with(&self, algorithm: AlgorithmKind) -> RoundOutcome {
         let Some((topology, candidates)) = self.conflict_topology() else {
             return RoundOutcome {
                 committed: Vec::new(),
                 num_processes: self.processes.len(),
             };
         };
-        let table = DiningTable::for_topology(topology);
+        let table = DiningTable::for_algorithm(topology, algorithm);
         let committed_flags: Arc<Vec<Mutex<bool>>> = Arc::new(
             (0..self.processes.len())
                 .map(|_| Mutex::new(false))
@@ -290,7 +305,7 @@ impl ChoiceRound {
 
         std::thread::scope(|scope| {
             for (idx, candidate) in candidates.iter().enumerate() {
-                let seat = table.seat(PhilosopherId::new(idx as u32));
+                let mut seat = table.seat(PhilosopherId::new(idx as u32));
                 let committed_flags = Arc::clone(&committed_flags);
                 let results = Arc::clone(&results);
                 let candidate = *candidate;
@@ -428,6 +443,109 @@ mod tests {
                 "round {round_index}: the server must synchronize"
             );
             assert_eq!(outcome.synchronizations().len(), 1);
+        }
+    }
+
+    #[test]
+    fn a_round_value_can_be_resolved_repeatedly() {
+        // `resolve` borrows the round immutably: one ChoiceRound value is a
+        // reusable description of the choice instance, and every resolution
+        // builds a fresh table — so repeated rounds (the π-calculus
+        // execution model: resolve, rewrite, resolve again) need no
+        // rebuilding of the guard lists.
+        let mut round = ChoiceRound::new();
+        let server = round.add_process(vec![Guard::recv(chan(0)), Guard::send(chan(1), 42)]);
+        for c in 0..3 {
+            round.add_process(vec![Guard::send(chan(0), c)]);
+        }
+        round.add_process(vec![Guard::recv(chan(1))]);
+        for repeat in 0..5 {
+            let outcome = round.resolve();
+            assert!(outcome.is_conflict_free(), "repeat {repeat}");
+            assert!(
+                outcome.committed_partner(server).is_some(),
+                "repeat {repeat}: the server must synchronize every round"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_with_gdp1_and_ordered_forks_also_commit() {
+        use gdp_algorithms::AlgorithmKind;
+        for algorithm in [AlgorithmKind::Gdp1, AlgorithmKind::OrderedForks] {
+            let mut round = ChoiceRound::new();
+            let s = round.add_process(vec![Guard::send(chan(0), 5)]);
+            let r = round.add_process(vec![Guard::recv(chan(0))]);
+            let outcome = round.resolve_with(algorithm);
+            assert_eq!(outcome.synchronizations().len(), 1, "{algorithm}");
+            assert_eq!(outcome.committed_partner(s).unwrap().receiver, r);
+        }
+    }
+
+    /// Seeded random rounds: every resolution must be conflict-free *and*
+    /// maximal — after the round, no potential synchronization has both
+    /// endpoints uncommitted (each candidate's critical section ran with
+    /// both process states held, and would have committed had both still
+    /// been free).
+    #[test]
+    fn random_rounds_commit_conflict_free_maximal_sets() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut round = ChoiceRound::new();
+            let processes = rng.gen_range(3..8usize);
+            let channels = rng.gen_range(1..4u32);
+            for _ in 0..processes {
+                let guards = (0..rng.gen_range(1..4usize))
+                    .map(|_| {
+                        let channel = chan(rng.gen_range(0..channels));
+                        if rng.gen_bool(0.5) {
+                            Guard::send(channel, rng.gen_range(0..100))
+                        } else {
+                            Guard::recv(channel)
+                        }
+                    })
+                    .collect();
+                round.add_process(guards);
+            }
+            let candidates = round.potential_synchronizations();
+            let outcome = round.resolve();
+            assert!(outcome.is_conflict_free(), "seed {seed}");
+            // Committed synchronizations come from the candidate set.
+            for s in outcome.synchronizations() {
+                assert!(candidates.contains(s), "seed {seed}: alien commit {s:?}");
+            }
+            // Maximality: an uncommitted candidate must have a committed
+            // endpoint.
+            for c in &candidates {
+                let sender_busy = outcome.committed_partner(c.sender).is_some();
+                let receiver_busy = outcome.committed_partner(c.receiver).is_some();
+                assert!(
+                    sender_busy || receiver_busy,
+                    "seed {seed}: candidate {c:?} was left on the table"
+                );
+            }
+        }
+    }
+
+    /// Regression: a process offering only guards with no complementary
+    /// partner must never commit — even when other processes around it do.
+    #[test]
+    fn a_process_with_no_complementary_partner_never_commits() {
+        for seed in 0..4u64 {
+            let mut round = ChoiceRound::new();
+            // chan(7) is send-only in this round: no receiver exists.
+            let lonely = round.add_process(vec![Guard::send(chan(7), seed)]);
+            let s = round.add_process(vec![Guard::send(chan(0), 1)]);
+            let r = round.add_process(vec![Guard::recv(chan(0))]);
+            // A second would-be receiver on chan(7)... also sending: still
+            // no complementary pair.
+            let lonely2 = round.add_process(vec![Guard::send(chan(7), 9)]);
+            let outcome = round.resolve();
+            assert!(outcome.committed_partner(lonely).is_none(), "seed {seed}");
+            assert!(outcome.committed_partner(lonely2).is_none(), "seed {seed}");
+            assert_eq!(outcome.synchronizations().len(), 1);
+            assert_eq!(outcome.committed_partner(s).unwrap().receiver, r);
         }
     }
 

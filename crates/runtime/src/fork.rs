@@ -1,227 +1,156 @@
 //! The shared state of one fork (resource) in the threaded runtime.
+//!
+//! A [`SharedFork`] is the simulator's [`ForkCell`] — holder, priority
+//! number `nr`, request list, guest book — behind a [`parking_lot::Mutex`],
+//! plus a condition variable that blocked seats wait on.  Using the *same*
+//! cell type as `gdp-sim` is the point: the runtime's seats execute the same
+//! [`Program`](gdp_sim::Program) step code against the same shared-state
+//! representation, so the simulated and the real-thread semantics cannot
+//! drift.
 
+use gdp_sim::ForkCell;
 use gdp_topology::PhilosopherId;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
-
-#[derive(Debug, Default)]
-struct ForkState {
-    holder: Option<PhilosopherId>,
-    nr: u32,
-    requests: Vec<PhilosopherId>,
-    /// Latest usage stamp per philosopher that has eaten with this fork.
-    guest_book: Vec<(PhilosopherId, u64)>,
-    next_stamp: u64,
-}
-
-impl ForkState {
-    fn last_use(&self, philosopher: PhilosopherId) -> Option<u64> {
-        self.guest_book
-            .iter()
-            .find(|(p, _)| *p == philosopher)
-            .map(|&(_, s)| s)
-    }
-
-    fn courtesy_holds(&self, philosopher: PhilosopherId) -> bool {
-        let mine = self.last_use(philosopher);
-        self.requests
-            .iter()
-            .filter(|&&q| q != philosopher)
-            .all(|&q| match (mine, self.last_use(q)) {
-                (None, _) => true,
-                (Some(_), None) => false,
-                (Some(m), Some(t)) => t > m,
-            })
-    }
-}
 
 /// One fork (resource) shared between threads.
 ///
-/// All operations are short critical sections protected by a
-/// [`parking_lot::Mutex`]; waiting for the fork to become available is done
-/// on a condition variable, so blocked threads consume no CPU.
+/// All mutation happens inside a short mutex-protected critical section
+/// driven by [`Seat::step_once`](crate::Seat::step_once), which locks the
+/// stepping philosopher's two forks in global id order for the duration of
+/// one atomic program step.  Waiting for a busy fork is done on a condition
+/// variable with a bounded timeout, so blocked threads consume no CPU but
+/// can never miss a courtesy-condition change either.
 #[derive(Debug, Default)]
 pub struct SharedFork {
-    state: Mutex<ForkState>,
+    cell: Mutex<ForkCell>,
     released: Condvar,
 }
 
 impl SharedFork {
-    /// Creates a free fork with priority number 0 (the symmetric initial
-    /// state required by the paper).
+    /// Creates a free fork in the symmetric initial state (`nr == 0`, empty
+    /// request list and guest book), as the paper requires.
     #[must_use]
     pub fn new() -> Self {
         SharedFork::default()
     }
 
-    /// The current priority number.
+    /// Locks the underlying cell.  Only the seat interpreter does this.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ForkCell> {
+        self.cell.lock()
+    }
+
+    /// Wakes every thread waiting for this fork to be released.
+    pub(crate) fn notify_released(&self) {
+        self.released.notify_all();
+    }
+
+    /// Blocks until the fork is released or `timeout` elapses; returns
+    /// immediately if the fork is currently free (e.g. when the caller is
+    /// blocked on the courtesy condition rather than on availability).
+    pub(crate) fn wait_for_release(&self, timeout: Duration) {
+        let mut cell = self.cell.lock();
+        if cell.is_free() {
+            return;
+        }
+        let _ = self.released.wait_for(&mut cell, timeout);
+    }
+
+    /// The current priority number `nr` (diagnostics / tests).
     #[must_use]
     pub fn nr(&self) -> u32 {
-        self.state.lock().nr
+        self.cell.lock().nr()
     }
 
     /// Returns `true` if no thread currently holds the fork.
     #[must_use]
     pub fn is_free(&self) -> bool {
-        self.state.lock().holder.is_none()
-    }
-
-    /// Registers `philosopher` in the request list (GDP2 line 2).
-    pub fn insert_request(&self, philosopher: PhilosopherId) {
-        let mut state = self.state.lock();
-        if !state.requests.contains(&philosopher) {
-            state.requests.push(philosopher);
-        }
-    }
-
-    /// Removes `philosopher` from the request list (GDP2 line 8).
-    pub fn remove_request(&self, philosopher: PhilosopherId) {
-        self.state.lock().requests.retain(|&p| p != philosopher);
-    }
-
-    /// GDP2 line 4: atomically takes the fork if it is free **and** the
-    /// courtesy condition holds for `philosopher`; otherwise blocks until the
-    /// fork is released (or the timeout elapses) and reports `false`.
-    ///
-    /// The bounded wait keeps the caller responsive: the GDP2 loop in
-    /// [`Seat::dine`](crate::Seat::dine) simply re-evaluates its fork choice
-    /// after a timeout, which also refreshes the `nr` comparison.
-    pub fn take_first_when_courteous(&self, philosopher: PhilosopherId, timeout: Duration) -> bool {
-        let mut state = self.state.lock();
-        if state.holder.is_none() && state.courtesy_holds(philosopher) {
-            state.holder = Some(philosopher);
-            return true;
-        }
-        // Wait for a release and retry once; the caller loops.
-        let _ = self.released.wait_for(&mut state, timeout);
-        if state.holder.is_none() && state.courtesy_holds(philosopher) {
-            state.holder = Some(philosopher);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// GDP2 line 6: non-blocking test-and-set of the second fork.
-    pub fn try_take_second(&self, philosopher: PhilosopherId) -> bool {
-        let mut state = self.state.lock();
-        if state.holder.is_none() {
-            state.holder = Some(philosopher);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// GDP2 line 5: if this fork's number equals `other_nr`, replace it with
-    /// `new_nr` (drawn by the caller from `[1, m]`).  Returns the number now
-    /// in effect.
-    pub fn relabel_if_equal(&self, other_nr: u32, new_nr: u32) -> u32 {
-        let mut state = self.state.lock();
-        if state.nr == other_nr {
-            state.nr = new_nr;
-        }
-        state.nr
-    }
-
-    /// Signs the guest book for `philosopher` (GDP2 line 9).
-    pub fn sign_guest_book(&self, philosopher: PhilosopherId) {
-        let mut state = self.state.lock();
-        let stamp = state.next_stamp;
-        state.next_stamp += 1;
-        if let Some(entry) = state.guest_book.iter_mut().find(|(p, _)| *p == philosopher) {
-            entry.1 = stamp;
-        } else {
-            state.guest_book.push((philosopher, stamp));
-        }
-    }
-
-    /// Releases the fork if held by `philosopher` and wakes one waiter
-    /// (GDP2 lines 6/10).  Returns whether a release happened.
-    pub fn release(&self, philosopher: PhilosopherId) -> bool {
-        let mut state = self.state.lock();
-        if state.holder == Some(philosopher) {
-            state.holder = None;
-            drop(state);
-            self.released.notify_all();
-            true
-        } else {
-            false
-        }
+        self.cell.lock().is_free()
     }
 
     /// The holder, if any (diagnostics / tests).
     #[must_use]
     pub fn holder(&self) -> Option<PhilosopherId> {
-        self.state.lock().holder
+        self.cell.lock().holder()
+    }
+
+    /// A snapshot of the request list (diagnostics / tests).
+    #[must_use]
+    pub fn requests(&self) -> Vec<PhilosopherId> {
+        self.cell.lock().requests().to_vec()
+    }
+
+    /// Number of distinct philosophers that have signed the guest book
+    /// (diagnostics / tests).
+    #[must_use]
+    pub fn guest_book_len(&self) -> usize {
+        self.cell.lock().guest_book_len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use std::sync::Arc;
+    use std::time::Instant;
 
     fn p(i: u32) -> PhilosopherId {
         PhilosopherId::new(i)
     }
 
     #[test]
-    fn take_and_release() {
+    fn fresh_fork_is_symmetric_initial_state() {
         let fork = SharedFork::new();
         assert!(fork.is_free());
-        assert!(fork.try_take_second(p(0)));
-        assert_eq!(fork.holder(), Some(p(0)));
-        assert!(!fork.try_take_second(p(1)));
-        assert!(!fork.release(p(1)));
-        assert!(fork.release(p(0)));
-        assert!(fork.is_free());
-    }
-
-    #[test]
-    fn courteous_take_defers_to_hungrier_requester() {
-        let fork = SharedFork::new();
-        fork.insert_request(p(0));
-        fork.insert_request(p(1));
-        // P0 eats once (signs the guest book).
-        assert!(fork.take_first_when_courteous(p(0), Duration::from_millis(1)));
-        fork.sign_guest_book(p(0));
-        assert!(fork.release(p(0)));
-        // P0 must now defer to P1.
-        assert!(!fork.take_first_when_courteous(p(0), Duration::from_millis(1)));
-        assert!(fork.take_first_when_courteous(p(1), Duration::from_millis(1)));
-        fork.sign_guest_book(p(1));
-        fork.release(p(1));
-        // Now P0 may go again.
-        assert!(fork.take_first_when_courteous(p(0), Duration::from_millis(1)));
-    }
-
-    #[test]
-    fn relabel_only_on_collision() {
-        let fork = SharedFork::new();
+        assert_eq!(fork.holder(), None);
         assert_eq!(fork.nr(), 0);
-        assert_eq!(fork.relabel_if_equal(0, 7), 7);
-        assert_eq!(fork.nr(), 7);
-        // No collision: unchanged.
-        assert_eq!(fork.relabel_if_equal(3, 9), 7);
+        assert!(fork.requests().is_empty());
+        assert_eq!(fork.guest_book_len(), 0);
     }
 
     #[test]
-    fn blocking_take_wakes_on_release() {
-        use std::sync::Arc;
+    fn cell_operations_round_trip_through_the_lock() {
+        let fork = SharedFork::new();
+        {
+            let mut cell = fork.lock();
+            assert!(cell.take_if_free(p(0)));
+            cell.insert_request(p(1));
+            cell.set_nr(6);
+        }
+        assert_eq!(fork.holder(), Some(p(0)));
+        assert_eq!(fork.requests(), vec![p(1)]);
+        assert_eq!(fork.nr(), 6);
+        assert!(fork.lock().release(p(0)));
+        assert!(fork.is_free());
+    }
+
+    #[test]
+    fn wait_for_release_returns_immediately_on_a_free_fork() {
+        let fork = SharedFork::new();
+        let started = Instant::now();
+        fork.wait_for_release(Duration::from_secs(5));
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn wait_for_release_wakes_on_notify() {
         let fork = Arc::new(SharedFork::new());
-        fork.insert_request(p(0));
-        fork.insert_request(p(1));
-        assert!(fork.try_take_second(p(0)));
+        assert!(fork.lock().take_if_free(p(0)));
         let waiter = {
             let fork = Arc::clone(&fork);
-            std::thread::spawn(move || fork.take_first_when_courteous(p(1), Duration::from_secs(5)))
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                fork.wait_for_release(Duration::from_secs(10));
+                started.elapsed()
+            })
         };
         std::thread::sleep(Duration::from_millis(20));
-        fork.release(p(0));
+        fork.lock().release(p(0));
+        fork.notify_released();
+        let waited = waiter.join().unwrap();
         assert!(
-            waiter.join().unwrap(),
-            "the waiter should acquire the fork after the release"
+            waited < Duration::from_secs(5),
+            "the waiter should wake on the release, waited {waited:?}"
         );
     }
 }

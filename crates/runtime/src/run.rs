@@ -1,25 +1,85 @@
-//! Convenience driver: run one thread per philosopher for a fixed number of
-//! meals each and report what happened.
+//! Whole-table drivers: spawn one OS thread per (active) philosopher and
+//! drive every seat to a meal budget or for a wall-clock duration, with an
+//! optional watchdog so even the deliberately broken baselines terminate.
 
+use crate::counters::{jain_fairness_index, WAIT_HISTOGRAM_BUCKETS};
 use crate::table::DiningTable;
-use gdp_topology::Topology;
-use std::sync::Arc;
+use gdp_algorithms::AlgorithmKind;
+use gdp_topology::{PhilosopherId, Topology};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-/// Result of [`run_for_meals`].
+/// Options for [`run_with`] and [`run_for_duration`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// The algorithm every seat interprets.
+    pub algorithm: AlgorithmKind,
+    /// Meals each active seat must complete ([`run_with`] only).
+    pub meals_per_seat: u64,
+    /// How many philosophers get a driving thread: seats `0..active_seats`.
+    /// `None`, `Some(0)` and any value `>= n` all drive every philosopher
+    /// (0 means "all", matching `gdp stress --threads 0`); anything in
+    /// between models partial participation — the remaining philosophers
+    /// stay thinking and their forks stay free.
+    pub active_seats: Option<usize>,
+    /// Whole-run watchdog: once elapsed, threads abandon their current
+    /// acquisition attempt and the report sets
+    /// [`RunReport::watchdog_tripped`].  `None` runs unbounded — do **not**
+    /// do that with [`AlgorithmKind::Naive`], which can deadlock.
+    pub watchdog: Option<Duration>,
+    /// Seed for the seats' private randomness.
+    pub seed: u64,
+    /// Override of the GDP priority-number bound `m` (`None` = number of
+    /// forks).
+    pub nr_range: Option<u32>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            algorithm: AlgorithmKind::Gdp2,
+            meals_per_seat: 50,
+            active_seats: None,
+            watchdog: None,
+            seed: 0,
+            nr_range: None,
+        }
+    }
+}
+
+/// Wall-clock figures of a run.  Kept separate from [`RunReport`] so report
+/// serializers can omit them: with timing excluded, a meal-budget run that
+/// fed everyone is a deterministic artifact (every count is exactly the
+/// budget), byte-reproducible like the sweep reports.
 #[derive(Clone, Debug, PartialEq)]
-pub struct RunReport {
-    /// Number of philosophers (threads) that participated.
-    pub philosophers: usize,
-    /// Meals completed per philosopher (all equal to the requested count on
-    /// success).
-    pub meals: Vec<u64>,
+pub struct RunTiming {
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Total meals per second across the table.
     pub throughput_meals_per_sec: f64,
     /// Total time each philosopher spent waiting for forks.
     pub wait: Vec<Duration>,
+    /// Table-wide log2 histogram of per-meal wait times in nanoseconds
+    /// (bucket `i` counts waits in `[2^i, 2^(i+1))` ns).
+    pub wait_histogram: [u64; WAIT_HISTOGRAM_BUCKETS],
+}
+
+/// Result of [`run_with`] / [`run_for_meals`] / [`run_for_duration`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// The algorithm that was interpreted.
+    pub algorithm: AlgorithmKind,
+    /// Number of philosophers in the topology.
+    pub philosophers: usize,
+    /// Number of seats that had a driving thread (`<= philosophers`).
+    pub active_seats: usize,
+    /// Meals completed per philosopher (inactive seats report 0).
+    pub meals: Vec<u64>,
+    /// Whether any thread hit the watchdog before finishing its budget.
+    pub watchdog_tripped: bool,
+    /// Wall-clock figures; `None` when the caller asked for a
+    /// timing-free (byte-reproducible) report.
+    pub timing: Option<RunTiming>,
 }
 
 impl RunReport {
@@ -29,64 +89,184 @@ impl RunReport {
         self.meals.iter().sum()
     }
 
-    /// Returns `true` if every philosopher completed at least one meal.
+    /// Returns `true` if every **active** philosopher completed at least one
+    /// meal.
     #[must_use]
     pub fn everyone_ate(&self) -> bool {
-        self.meals.iter().all(|&m| m > 0)
+        self.meals[..self.active_seats].iter().all(|&m| m > 0)
+    }
+
+    /// Jain's fairness index over the active philosophers' meal counts
+    /// (see [`jain_fairness_index`]).
+    #[must_use]
+    pub fn jain_fairness(&self) -> f64 {
+        jain_fairness_index(&self.meals[..self.active_seats])
+    }
+
+    /// Convenience accessor: throughput if timing was recorded.
+    #[must_use]
+    pub fn throughput_meals_per_sec(&self) -> Option<f64> {
+        self.timing.as_ref().map(|t| t.throughput_meals_per_sec)
     }
 }
 
-/// Spawns one thread per philosopher of `topology`; each thread completes
-/// `meals_per_philosopher` meals (each running `critical`), then the report
-/// is returned.  Uses scoped threads, so `critical` only needs to be `Sync`.
-pub fn run_for_meals<F>(topology: Topology, meals_per_philosopher: u64, critical: F) -> RunReport
+fn finish_report(
+    table: &DiningTable,
+    active: usize,
+    tripped: bool,
+    elapsed: Duration,
+) -> RunReport {
+    let stats = table.stats();
+    let total = stats.total_meals();
+    RunReport {
+        algorithm: table.algorithm(),
+        philosophers: table.topology().num_philosophers(),
+        active_seats: active,
+        meals: stats.meals().to_vec(),
+        watchdog_tripped: tripped,
+        timing: Some(RunTiming {
+            elapsed,
+            throughput_meals_per_sec: if elapsed.as_secs_f64() > 0.0 {
+                total as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            wait: stats.wait_times(),
+            wait_histogram: *stats.wait_histogram(),
+        }),
+    }
+}
+
+/// Spawns one thread for each active philosopher of `topology`; each thread
+/// completes [`RunOptions::meals_per_seat`] meals (each running `critical`)
+/// or gives up at the watchdog.  Uses scoped threads, so `critical` only
+/// needs to be `Sync`.
+pub fn run_with<F>(topology: Topology, options: &RunOptions, critical: F) -> RunReport
 where
     F: Fn() + Sync,
 {
-    let table = DiningTable::for_topology(topology);
+    let table = DiningTable::new(topology, options.algorithm, options.seed, options.nr_range);
+    let n = table.topology().num_philosophers();
+    let active = match options.active_seats {
+        Some(a) if a >= 1 => a.min(n),
+        _ => n,
+    };
+    let deadline = options.watchdog.map(|w| Instant::now() + w);
+    let tripped = AtomicBool::new(false);
     let started = Instant::now();
-    let table_ref: &Arc<DiningTable> = &table;
     let critical_ref = &critical;
+    let tripped_ref = &tripped;
     std::thread::scope(|scope| {
-        for seat in table_ref.seats() {
+        for p in 0..active {
+            let mut seat = table.seat(PhilosopherId::new(p as u32));
             scope.spawn(move || {
-                for _ in 0..meals_per_philosopher {
-                    seat.dine(critical_ref);
+                for _ in 0..options.meals_per_seat {
+                    match deadline {
+                        None => {
+                            seat.dine(critical_ref);
+                        }
+                        Some(d) => {
+                            if seat.try_dine_until(d, critical_ref).is_none() {
+                                tripped_ref.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                        }
+                    }
                 }
             });
         }
     });
-    let elapsed = started.elapsed();
-    let stats = table.stats();
-    let total = stats.total_meals();
-    RunReport {
-        philosophers: table.topology().num_philosophers(),
-        meals: stats.meals().to_vec(),
-        elapsed,
-        throughput_meals_per_sec: if elapsed.as_secs_f64() > 0.0 {
-            total as f64 / elapsed.as_secs_f64()
-        } else {
-            0.0
+    finish_report(
+        &table,
+        active,
+        tripped.load(Ordering::SeqCst),
+        started.elapsed(),
+    )
+}
+
+/// Drives every active seat for (at least) `duration` of wall-clock time:
+/// each thread completes as many meals as it can before the shared deadline.
+/// A [`RunOptions::watchdog`] shorter than `duration` cuts the run short
+/// and is reported as tripped — it stays the whole-run bound in this mode
+/// too; otherwise running out of time *is* the stop condition, and the
+/// per-philosopher meal counts are the measurement (inherently
+/// timing-dependent, unlike the meal-budget mode).
+pub fn run_for_duration<F>(
+    topology: Topology,
+    options: &RunOptions,
+    duration: Duration,
+    critical: F,
+) -> RunReport
+where
+    F: Fn() + Sync,
+{
+    let table = DiningTable::new(topology, options.algorithm, options.seed, options.nr_range);
+    let n = table.topology().num_philosophers();
+    let active = match options.active_seats {
+        Some(a) if a >= 1 => a.min(n),
+        _ => n,
+    };
+    let tripped = matches!(options.watchdog, Some(w) if w < duration);
+    let bound = if tripped {
+        options.watchdog.expect("tripped implies a watchdog")
+    } else {
+        duration
+    };
+    let started = Instant::now();
+    let deadline = started + bound;
+    let critical_ref = &critical;
+    std::thread::scope(|scope| {
+        for p in 0..active {
+            let mut seat = table.seat(PhilosopherId::new(p as u32));
+            scope.spawn(move || {
+                while Instant::now() < deadline {
+                    if seat.try_dine_until(deadline, critical_ref).is_none() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    finish_report(&table, active, tripped, started.elapsed())
+}
+
+/// Back-compatible convenience wrapper: GDP2, every seat active, no
+/// watchdog — each thread completes `meals_per_philosopher` meals.
+pub fn run_for_meals<F>(topology: Topology, meals_per_philosopher: u64, critical: F) -> RunReport
+where
+    F: Fn() + Sync,
+{
+    run_with(
+        topology,
+        &RunOptions {
+            meals_per_seat: meals_per_philosopher,
+            ..RunOptions::default()
         },
-        wait: stats.wait_times(),
-    }
+        critical,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gdp_topology::builders::{classic_ring, figure1_triangle};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn everyone_completes_their_meals_on_the_ring() {
         let report = run_for_meals(classic_ring(5).unwrap(), 50, || {});
         assert_eq!(report.philosophers, 5);
+        assert_eq!(report.active_seats, 5);
         assert_eq!(report.total_meals(), 250);
         assert!(report.everyone_ate());
+        assert!(!report.watchdog_tripped);
         assert!(report.meals.iter().all(|&m| m == 50));
-        assert!(report.throughput_meals_per_sec > 0.0);
-        assert_eq!(report.wait.len(), 5);
+        assert_eq!(report.jain_fairness(), 1.0);
+        assert_eq!(report.algorithm, AlgorithmKind::Gdp2);
+        let timing = report.timing.as_ref().expect("drivers record timing");
+        assert!(timing.throughput_meals_per_sec > 0.0);
+        assert_eq!(timing.wait.len(), 5);
+        assert_eq!(timing.wait_histogram.iter().sum::<u64>(), 250);
     }
 
     #[test]
@@ -97,5 +277,79 @@ mod tests {
         });
         assert_eq!(report.total_meals(), 120);
         assert_eq!(counter.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn every_deadlock_free_algorithm_feeds_the_ring_on_real_threads() {
+        for algorithm in AlgorithmKind::deadlock_free() {
+            let report = run_with(
+                classic_ring(4).unwrap(),
+                &RunOptions {
+                    algorithm,
+                    meals_per_seat: 20,
+                    watchdog: Some(Duration::from_secs(60)),
+                    ..RunOptions::default()
+                },
+                || {},
+            );
+            assert!(!report.watchdog_tripped, "{algorithm}");
+            assert!(report.everyone_ate(), "{algorithm}: {:?}", report.meals);
+            assert_eq!(report.total_meals(), 80, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn partial_participation_drives_only_the_requested_seats() {
+        let report = run_with(
+            classic_ring(6).unwrap(),
+            &RunOptions {
+                meals_per_seat: 10,
+                active_seats: Some(2),
+                ..RunOptions::default()
+            },
+            || {},
+        );
+        assert_eq!(report.active_seats, 2);
+        assert_eq!(report.total_meals(), 20);
+        assert!(report.everyone_ate(), "active seats all ate");
+        assert!(report.meals[2..].iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn duration_mode_honours_a_shorter_watchdog() {
+        // The watchdog stays the whole-run bound in duration mode: shorter
+        // than the requested duration, it cuts the run and reports tripped.
+        let report = run_for_duration(
+            classic_ring(3).unwrap(),
+            &RunOptions {
+                watchdog: Some(Duration::from_millis(30)),
+                ..RunOptions::default()
+            },
+            Duration::from_secs(600),
+            || {},
+        );
+        assert!(report.watchdog_tripped);
+        let elapsed = report.timing.as_ref().unwrap().elapsed;
+        assert!(
+            elapsed < Duration::from_secs(60),
+            "the watchdog bounds the run, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn duration_mode_stops_near_the_deadline() {
+        let report = run_for_duration(
+            classic_ring(3).unwrap(),
+            &RunOptions::default(),
+            Duration::from_millis(60),
+            || {},
+        );
+        assert!(!report.watchdog_tripped);
+        assert!(report.total_meals() > 0, "60ms is plenty for some meals");
+        let elapsed = report.timing.as_ref().unwrap().elapsed;
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "the deadline bounds the run, took {elapsed:?}"
+        );
     }
 }

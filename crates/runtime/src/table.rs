@@ -1,18 +1,20 @@
 //! The dining table: a conflict topology instantiated with real shared forks
-//! and per-philosopher seats.
+//! and per-philosopher seats, parameterized by the algorithm the seats run.
 
+use crate::counters::{jain_fairness_index, SeatCounters, WaitHistogram, WAIT_HISTOGRAM_BUCKETS};
 use crate::fork::SharedFork;
+use crate::seat::Seat;
+use gdp_algorithms::AlgorithmKind;
 use gdp_topology::{ForkId, PhilosopherId, Topology};
-use rand::Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Aggregated statistics of a [`DiningTable`].
 #[derive(Debug)]
 pub struct TableStats {
     meals: Vec<u64>,
     wait_nanos: Vec<u64>,
+    wait_histogram: [u64; WAIT_HISTOGRAM_BUCKETS],
 }
 
 impl TableStats {
@@ -37,6 +39,21 @@ impl TableStats {
             .collect()
     }
 
+    /// The table-wide log2 histogram of per-meal wait times: bucket `i`
+    /// counts meals whose hungry-to-eating latency fell in
+    /// `[2^i, 2^(i+1))` nanoseconds.
+    #[must_use]
+    pub fn wait_histogram(&self) -> &[u64; WAIT_HISTOGRAM_BUCKETS] {
+        &self.wait_histogram
+    }
+
+    /// Jain's fairness index of the meal distribution (see
+    /// [`jain_fairness_index`]).
+    #[must_use]
+    pub fn jain_fairness(&self) -> f64 {
+        jain_fairness_index(&self.meals)
+    }
+
     /// Returns the philosophers that have not completed a single meal.
     #[must_use]
     pub fn starved(&self) -> Vec<PhilosopherId> {
@@ -50,40 +67,69 @@ impl TableStats {
 }
 
 /// A set of shared forks arranged according to a conflict [`Topology`], with
-/// one [`Seat`] per philosopher.
+/// one [`Seat`] per philosopher, all running the same [`AlgorithmKind`].
 ///
 /// The table owns nothing thread-specific: it can be shared freely
-/// (`Arc<DiningTable>`) and any thread may drive any seat, though the
-/// intended pattern is one thread per seat.
+/// (`Arc<DiningTable>`), and each [`Seat`] obtained from it carries the
+/// per-philosopher program state; the intended pattern is one thread per
+/// seat.
 #[derive(Debug)]
 pub struct DiningTable {
     topology: Topology,
+    algorithm: AlgorithmKind,
     forks: Vec<SharedFork>,
     nr_range: u32,
-    meals: Vec<AtomicU64>,
-    wait_nanos: Vec<AtomicU64>,
+    seed: u64,
+    counters: Vec<SeatCounters>,
+    wait_histogram: WaitHistogram,
 }
 
 impl DiningTable {
-    /// Creates a table for `topology` with the default priority-number range
-    /// `m = k` (the number of forks).
+    /// Creates a table for `topology` running **GDP2** — the paper's
+    /// lockout-free default — with the default priority-number range `m = k`.
     #[must_use]
     pub fn for_topology(topology: Topology) -> Arc<Self> {
-        let k = topology.num_forks() as u32;
-        Self::with_nr_range(topology, k)
+        Self::for_algorithm(topology, AlgorithmKind::Gdp2)
     }
 
-    /// Creates a table with an explicit priority-number range `m`
+    /// Creates a table whose seats interpret `algorithm` (any
+    /// [`AlgorithmKind`], including the baselines), with default seed 0 and
+    /// `m = k`.
+    #[must_use]
+    pub fn for_algorithm(topology: Topology, algorithm: AlgorithmKind) -> Arc<Self> {
+        Self::new(topology, algorithm, 0, None)
+    }
+
+    /// Creates a GDP2 table with an explicit priority-number range `m`
     /// (clamped up to the number of forks, honouring the paper's `m >= k`).
     #[must_use]
     pub fn with_nr_range(topology: Topology, m: u32) -> Arc<Self> {
+        Self::new(topology, AlgorithmKind::Gdp2, 0, Some(m))
+    }
+
+    /// The fully explicit constructor: `algorithm` is interpreted by every
+    /// seat, `seed` derives each seat's private randomness (two tables with
+    /// the same seed hand identical random streams to their seats — the
+    /// *interleaving* of real threads of course remains OS-scheduled), and
+    /// `nr_range` overrides the GDP priority-number bound `m` (`None` means
+    /// `m = k`, always clamped up to `k`).
+    #[must_use]
+    pub fn new(
+        topology: Topology,
+        algorithm: AlgorithmKind,
+        seed: u64,
+        nr_range: Option<u32>,
+    ) -> Arc<Self> {
         let k = topology.num_forks();
         let n = topology.num_philosophers();
+        let default_m = (k as u32).max(1);
         Arc::new(DiningTable {
             forks: (0..k).map(|_| SharedFork::new()).collect(),
-            nr_range: m.max(k as u32).max(1),
-            meals: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            wait_nanos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            algorithm,
+            nr_range: nr_range.map_or(default_m, |m| m.max(default_m)),
+            seed,
+            counters: (0..n).map(|_| SeatCounters::new()).collect(),
+            wait_histogram: WaitHistogram::new(),
             topology,
         })
     }
@@ -92,6 +138,24 @@ impl DiningTable {
     #[must_use]
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The algorithm every seat of this table interprets.
+    #[must_use]
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
+    /// The effective GDP priority-number bound `m`.
+    #[must_use]
+    pub fn nr_range(&self) -> u32 {
+        self.nr_range
+    }
+
+    /// The seed this table derives seat randomness from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The shared fork with the given identifier.
@@ -104,7 +168,19 @@ impl DiningTable {
         &self.forks[fork.index()]
     }
 
-    /// The seat (philosopher handle) for `philosopher`.
+    /// The per-philosopher hot-path counters (cache-line padded; see
+    /// [`SeatCounters`]).
+    pub(crate) fn counters(&self, philosopher: PhilosopherId) -> &SeatCounters {
+        &self.counters[philosopher.index()]
+    }
+
+    /// The table-wide wait-time histogram.
+    pub(crate) fn histogram(&self) -> &WaitHistogram {
+        &self.wait_histogram
+    }
+
+    /// The seat (philosopher handle) for `philosopher`, carrying a fresh
+    /// program state in the algorithm's initial state.
     ///
     /// # Panics
     ///
@@ -115,10 +191,7 @@ impl DiningTable {
             philosopher.index() < self.topology.num_philosophers(),
             "philosopher {philosopher} is out of range for this table"
         );
-        Seat {
-            table: Arc::clone(self),
-            me: philosopher,
-        }
+        Seat::new(Arc::clone(self), philosopher)
     }
 
     /// Iterator over all seats, in philosopher order.
@@ -131,102 +204,10 @@ impl DiningTable {
     #[must_use]
     pub fn stats(&self) -> TableStats {
         TableStats {
-            meals: self
-                .meals
-                .iter()
-                .map(|m| m.load(Ordering::Relaxed))
-                .collect(),
-            wait_nanos: self
-                .wait_nanos
-                .iter()
-                .map(|w| w.load(Ordering::Relaxed))
-                .collect(),
+            meals: self.counters.iter().map(SeatCounters::meals).collect(),
+            wait_nanos: self.counters.iter().map(SeatCounters::wait_nanos).collect(),
+            wait_histogram: self.wait_histogram.snapshot(),
         }
-    }
-}
-
-/// A philosopher's handle onto a [`DiningTable`]: the object a worker thread
-/// uses to run critical sections that need both of its forks.
-#[derive(Clone, Debug)]
-pub struct Seat {
-    table: Arc<DiningTable>,
-    me: PhilosopherId,
-}
-
-impl Seat {
-    /// The philosopher this seat belongs to.
-    #[must_use]
-    pub fn philosopher(&self) -> PhilosopherId {
-        self.me
-    }
-
-    /// The two forks this seat contends for.
-    #[must_use]
-    pub fn forks(&self) -> (ForkId, ForkId) {
-        let ends = self.table.topology.forks_of(self.me);
-        (ends.left, ends.right)
-    }
-
-    /// Acquires both forks using the GDP2 protocol, runs `critical`, then
-    /// releases the forks, deregisters and signs the guest books.
-    ///
-    /// Blocks until the critical section has run; GDP2's lockout-freedom
-    /// (Theorem 4) guarantees it eventually will, no matter how the OS
-    /// schedules the contending threads.
-    pub fn dine<R>(&self, critical: impl FnOnce() -> R) -> R {
-        let table = &*self.table;
-        let ends = table.topology.forks_of(self.me);
-        let (left, right) = (ends.left, ends.right);
-        let started = Instant::now();
-        // Line 2: register interest at both forks.
-        table.fork(left).insert_request(self.me);
-        table.fork(right).insert_request(self.me);
-        let mut rng = rand::thread_rng();
-        loop {
-            // Line 3: pick the fork with the larger priority number first.
-            let (first, second) = if table.fork(left).nr() > table.fork(right).nr() {
-                (left, right)
-            } else {
-                (right, left)
-            };
-            // Line 4: take the first fork when free and courteous.
-            if !table
-                .fork(first)
-                .take_first_when_courteous(self.me, Duration::from_millis(1))
-            {
-                continue;
-            }
-            // Line 5: resolve priority collisions by re-drawing.
-            let other_nr = table.fork(second).nr();
-            let new_nr = rng.gen_range(1..=table.nr_range);
-            table.fork(first).relabel_if_equal(other_nr, new_nr);
-            // Line 6: try the second fork; on failure release and retry.
-            if table.fork(second).try_take_second(self.me) {
-                break;
-            }
-            table.fork(first).release(self.me);
-        }
-        self.table.wait_nanos[self.me.index()]
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-
-        // Line 7: eat.
-        let result = critical();
-
-        // Lines 8-10: deregister, sign the guest books, release.
-        table.fork(left).remove_request(self.me);
-        table.fork(right).remove_request(self.me);
-        table.fork(left).sign_guest_book(self.me);
-        table.fork(right).sign_guest_book(self.me);
-        table.fork(left).release(self.me);
-        table.fork(right).release(self.me);
-        self.table.meals[self.me.index()].fetch_add(1, Ordering::Relaxed);
-        result
-    }
-
-    /// Number of meals completed from this seat so far.
-    #[must_use]
-    pub fn meals(&self) -> u64 {
-        self.table.meals[self.me.index()].load(Ordering::Relaxed)
     }
 }
 
@@ -234,12 +215,12 @@ impl Seat {
 mod tests {
     use super::*;
     use gdp_topology::builders::{classic_ring, figure1_triangle, figure3_theta};
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
     fn single_seat_can_dine_repeatedly() {
         let table = DiningTable::for_topology(classic_ring(2).unwrap());
-        let seat = table.seat(PhilosopherId::new(0));
+        let mut seat = table.seat(PhilosopherId::new(0));
         for i in 0..10 {
             let result = seat.dine(|| i * 2);
             assert_eq!(result, i * 2);
@@ -255,36 +236,47 @@ mod tests {
     fn mutual_exclusion_on_shared_forks() {
         // Every pair of neighbouring philosophers shares a fork; a counter per
         // fork checks that no two critical sections using the same fork ever
-        // overlap.
-        let topology = figure1_triangle();
-        let k = topology.num_forks();
-        let table = DiningTable::for_topology(topology);
-        let in_use: Arc<Vec<AtomicU32>> = Arc::new((0..k).map(|_| AtomicU32::new(0)).collect());
-        let handles: Vec<_> = table
-            .seats()
-            .map(|seat| {
-                let in_use = Arc::clone(&in_use);
-                std::thread::spawn(move || {
-                    let (left, right) = seat.forks();
-                    for _ in 0..200 {
-                        seat.dine(|| {
-                            for f in [left, right] {
-                                let prev = in_use[f.index()].fetch_add(1, Ordering::SeqCst);
-                                assert_eq!(prev, 0, "fork {f} used by two threads at once");
-                            }
-                            std::hint::spin_loop();
-                            for f in [left, right] {
-                                in_use[f.index()].fetch_sub(1, Ordering::SeqCst);
-                            }
-                        });
-                    }
+        // overlap.  Run it for every algorithm that can feed the triangle.
+        for algorithm in [
+            AlgorithmKind::Lr1,
+            AlgorithmKind::Lr2,
+            AlgorithmKind::Gdp1,
+            AlgorithmKind::Gdp2,
+            AlgorithmKind::OrderedForks,
+        ] {
+            let topology = figure1_triangle();
+            let k = topology.num_forks();
+            let table = DiningTable::for_algorithm(topology, algorithm);
+            let in_use: Arc<Vec<AtomicU32>> = Arc::new((0..k).map(|_| AtomicU32::new(0)).collect());
+            let handles: Vec<_> = table
+                .seats()
+                .map(|mut seat| {
+                    let in_use = Arc::clone(&in_use);
+                    std::thread::spawn(move || {
+                        let (left, right) = seat.forks();
+                        for _ in 0..100 {
+                            seat.dine(|| {
+                                for f in [left, right] {
+                                    let prev = in_use[f.index()].fetch_add(1, Ordering::SeqCst);
+                                    assert_eq!(
+                                        prev, 0,
+                                        "fork {f} used by two threads at once under {algorithm}"
+                                    );
+                                }
+                                std::hint::spin_loop();
+                                for f in [left, right] {
+                                    in_use[f.index()].fetch_sub(1, Ordering::SeqCst);
+                                }
+                            });
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(table.stats().total_meals(), 6 * 100, "{algorithm}");
         }
-        assert_eq!(table.stats().total_meals(), 6 * 200);
     }
 
     #[test]
@@ -292,7 +284,7 @@ mod tests {
         let table = DiningTable::for_topology(figure3_theta());
         let handles: Vec<_> = table
             .seats()
-            .map(|seat| {
+            .map(|mut seat| {
                 std::thread::spawn(move || {
                     for _ in 0..100 {
                         seat.dine(|| {});
@@ -307,6 +299,9 @@ mod tests {
         assert!(stats.starved().is_empty());
         assert!(stats.meals().iter().all(|&m| m == 100));
         assert_eq!(stats.wait_times().len(), 8);
+        assert_eq!(stats.jain_fairness(), 1.0);
+        // Every completed meal left one sample in the wait histogram.
+        assert_eq!(stats.wait_histogram().iter().sum::<u64>(), 800);
     }
 
     #[test]
@@ -320,9 +315,18 @@ mod tests {
     fn nr_range_is_clamped_to_fork_count() {
         let table = DiningTable::with_nr_range(classic_ring(5).unwrap(), 2);
         assert_eq!(table.topology().num_forks(), 5);
-        // The clamp is internal; observable effect: dining still works.
-        let seat = table.seat(PhilosopherId::new(2));
+        assert_eq!(table.nr_range(), 5, "m must be clamped up to k");
+        assert_eq!(table.algorithm(), AlgorithmKind::Gdp2);
+        let mut seat = table.seat(PhilosopherId::new(2));
         seat.dine(|| {});
         assert_eq!(seat.meals(), 1);
+    }
+
+    #[test]
+    fn table_records_its_algorithm_and_seed() {
+        let table = DiningTable::new(classic_ring(4).unwrap(), AlgorithmKind::Lr1, 9, None);
+        assert_eq!(table.algorithm(), AlgorithmKind::Lr1);
+        assert_eq!(table.seed(), 9);
+        assert_eq!(table.nr_range(), 4);
     }
 }

@@ -53,6 +53,7 @@ mod family;
 mod report;
 mod runner;
 mod spec;
+mod stress;
 
 pub use check::{
     exact_cell_verdict, run_check, CheckReport, CheckSpec, CheckTargetSpec, CheckVerdict,
@@ -62,3 +63,6 @@ pub use family::{FamilyParseError, TopologyFamily, FAMILY_CATALOG};
 pub use report::{csv_header, SweepReport};
 pub use runner::{run_sweep, run_sweep_with, CellResult, SweepError, SweepOptions};
 pub use spec::{AdversarySpec, ScenarioCell, ScenarioSpec, SeedPolicy, SpecParseError};
+pub use stress::{
+    run_stress, stress_csv_header, StressLoad, StressReport, StressSpec, StressTiming,
+};

@@ -28,6 +28,25 @@ pub(crate) enum StepRandomness<'a> {
     Scripted(&'a mut DrawTape),
 }
 
+/// How a [`StepCtx`] reaches the shared fork cells.
+///
+/// The engine owns every fork in one contiguous slice; a real-concurrency
+/// runtime (`gdp-runtime`) instead holds two mutex guards — one per adjacent
+/// fork — for the duration of a single atomic step.  Both shapes expose the
+/// same two cells to the program, so the *identical* algorithm code runs in
+/// the simulator and on real threads.
+enum ForkAccess<'a> {
+    /// All fork cells, indexed by [`ForkId::index`] (the engine).
+    Slice(&'a mut [ForkCell]),
+    /// Exactly the stepping philosopher's two cells (the threaded runtime).
+    Pair {
+        /// The cell of the philosopher's left fork.
+        left: &'a mut ForkCell,
+        /// The cell of the philosopher's right fork.
+        right: &'a mut ForkCell,
+    },
+}
+
 /// The coarse phase of a philosopher, used for progress / lockout analysis.
 ///
 /// These are the `T` (trying) and `E` (eating) state sets of the paper's
@@ -203,7 +222,7 @@ pub trait Program {
 pub struct StepCtx<'a> {
     me: PhilosopherId,
     ends: ForkEnds,
-    forks: &'a mut [ForkCell],
+    forks: ForkAccess<'a>,
     randomness: StepRandomness<'a>,
     hunger: &'a HungerModel,
     left_bias: f64,
@@ -225,8 +244,56 @@ impl<'a> StepCtx<'a> {
         StepCtx {
             me,
             ends,
-            forks,
+            forks: ForkAccess::Slice(forks),
             randomness,
+            hunger,
+            left_bias,
+            nr_range,
+        }
+    }
+
+    /// Creates a step context over exactly one philosopher's two fork cells —
+    /// the entry point for **real-concurrency** runtimes.
+    ///
+    /// `gdp-runtime` stores each [`ForkCell`] behind its own mutex; to execute
+    /// one atomic program step it locks the philosopher's two cells (in
+    /// global fork-id order, so lock acquisition cannot deadlock), builds this
+    /// context from the two guards, and runs the *same*
+    /// [`Program::step`] code the simulator runs.  Holding both locks for the
+    /// duration of the step is what realizes the paper's "test-and-set
+    /// operations on the forks are performed atomically" assumption on real
+    /// threads, so the two layers cannot drift semantically.
+    ///
+    /// Random draws are sampled from `rng` (each seat owns a private seeded
+    /// RNG); `left_bias` and `nr_range` have the same meaning as in
+    /// [`SimConfig`](crate::SimConfig).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ends.left == ends.right`: a philosopher contends for two
+    /// *distinct* forks by definition of the problem, and two aliasing
+    /// `&mut` cells could not be constructed anyway.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_fork_pair(
+        me: PhilosopherId,
+        ends: ForkEnds,
+        left: &'a mut ForkCell,
+        right: &'a mut ForkCell,
+        rng: &'a mut ChaCha8Rng,
+        hunger: &'a HungerModel,
+        left_bias: f64,
+        nr_range: u32,
+    ) -> Self {
+        assert!(
+            ends.left != ends.right,
+            "philosopher {me} must contend for two distinct forks, got {} twice",
+            ends.left
+        );
+        StepCtx {
+            me,
+            ends,
+            forks: ForkAccess::Pair { left, right },
+            randomness: StepRandomness::Sampled(rng),
             hunger,
             left_bias,
             nr_range,
@@ -296,12 +363,30 @@ impl<'a> StepCtx<'a> {
 
     fn cell(&mut self, fork: ForkId) -> &mut ForkCell {
         self.check_adjacent(fork);
-        &mut self.forks[fork.index()]
+        match &mut self.forks {
+            ForkAccess::Slice(cells) => &mut cells[fork.index()],
+            ForkAccess::Pair { left, right } => {
+                if fork == self.ends.left {
+                    left
+                } else {
+                    right
+                }
+            }
+        }
     }
 
     fn cell_ref(&self, fork: ForkId) -> &ForkCell {
         self.check_adjacent(fork);
-        &self.forks[fork.index()]
+        match &self.forks {
+            ForkAccess::Slice(cells) => &cells[fork.index()],
+            ForkAccess::Pair { left, right } => {
+                if fork == self.ends.left {
+                    left
+                } else {
+                    right
+                }
+            }
+        }
     }
 
     /// Returns `true` if `fork` is currently free.
@@ -510,6 +595,60 @@ mod tests {
         }
         assert_eq!(forks[0].requests(), &[]);
         assert_eq!(forks[0].guest_book_len(), 1);
+    }
+
+    #[test]
+    fn fork_pair_backend_matches_slice_backend() {
+        // The runtime-facing two-cell constructor must expose the same
+        // operations, routed to the correct cell.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let hunger = HungerModel::Always;
+        let mut left = ForkCell::new();
+        let mut right = ForkCell::new();
+        right.set_nr(9);
+        let ends = ForkEnds::new(ForkId::new(3), ForkId::new(7));
+        let mut ctx = StepCtx::for_fork_pair(
+            PhilosopherId::new(1),
+            ends,
+            &mut left,
+            &mut right,
+            &mut rng,
+            &hunger,
+            0.5,
+            10,
+        );
+        assert_eq!(ctx.left(), ForkId::new(3));
+        assert_eq!(ctx.nr(ForkId::new(7)), 9, "reads route to the right cell");
+        assert!(ctx.take_if_free(ForkId::new(3)));
+        assert!(ctx.holds(ForkId::new(3)));
+        assert!(!ctx.holds(ForkId::new(7)));
+        ctx.insert_request(ForkId::new(7));
+        ctx.set_nr(ForkId::new(3), 4);
+        assert!(ctx.becomes_hungry());
+        let _ = ctx;
+        assert_eq!(left.holder(), Some(PhilosopherId::new(1)));
+        assert_eq!(left.nr(), 4);
+        assert!(right.is_free());
+        assert_eq!(right.requests(), &[PhilosopherId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct forks")]
+    fn fork_pair_backend_rejects_aliased_ends() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let hunger = HungerModel::Always;
+        let mut left = ForkCell::new();
+        let mut right = ForkCell::new();
+        let _ = StepCtx::for_fork_pair(
+            PhilosopherId::new(0),
+            ForkEnds::new(ForkId::new(2), ForkId::new(2)),
+            &mut left,
+            &mut right,
+            &mut rng,
+            &hunger,
+            0.5,
+            10,
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() {
     let transfers_per_worker = 2_000;
     let handles: Vec<_> = table
         .seats()
-        .map(|seat| {
+        .map(|mut seat| {
             let balances = Arc::clone(&balances);
             std::thread::spawn(move || {
                 let (from, to) = seat.forks();

@@ -42,7 +42,7 @@ fn main() {
     let table = DiningTable::for_topology(topology);
     let handles: Vec<_> = table
         .seats()
-        .map(|seat| {
+        .map(|mut seat| {
             std::thread::spawn(move || {
                 for _ in 0..100 {
                     seat.dine(|| {

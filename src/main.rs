@@ -1,7 +1,7 @@
 //! `gdp` — the command-line workbench for the generalized dining
 //! philosophers workspace.
 //!
-//! Four subcommands make the whole repo drivable without writing Rust:
+//! Five subcommands make the whole repo drivable without writing Rust:
 //!
 //! * `gdp list` — the catalog of topology families, algorithms and
 //!   adversaries a sweep can name;
@@ -11,7 +11,10 @@
 //!   machinery, streamed to the console and written to JSON + CSV;
 //! * `gdp check` — the **exact** model checker (`gdp-mcheck`): worst-case
 //!   verdicts over every fair adversary and every random draw, emitted as
-//!   byte-reproducible certificates (see `docs/VERIFICATION.md`).
+//!   byte-reproducible certificates (see `docs/VERIFICATION.md`);
+//! * `gdp stress` — one cell on **real contending OS threads** through the
+//!   algorithm-generic `gdp-runtime`, with watchdog-bounded runs and
+//!   JSON/CSV stress reports (see `docs/RUNTIME.md`).
 //!
 //! Exit codes: `0` success / certified, `1` violation detected (safety
 //! breach, true deadlock, or a failed liveness check), `2` usage error,
@@ -23,8 +26,8 @@
 
 use gdp::prelude::*;
 use gdp_scenarios::{
-    run_check, run_sweep_with, AdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict,
-    ScenarioSpec, SeedPolicy, SweepOptions, TopologyFamily, FAMILY_CATALOG,
+    run_check, run_stress, run_sweep_with, AdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict,
+    ScenarioSpec, SeedPolicy, StressLoad, StressSpec, SweepOptions, TopologyFamily, FAMILY_CATALOG,
 };
 use std::process::ExitCode;
 
@@ -69,6 +72,25 @@ USAGE:
           --symmetry <on|off>    quotient symmetric states   [default: auto]
           --expected-steps       also compute exact E[steps to first meal]
           --counterexample <p>   write the starvation lasso as Graphviz DOT
+
+    gdp stress [OPTIONS]
+        Run one cell on real contending OS threads (gdp-runtime) and write a
+        JSON + CSV stress report.  All six algorithms are runnable; the
+        naive baseline genuinely deadlocks and is bounded by the watchdog.
+          --family <family>      topology family spec        [default: ring]
+          --n <n>                family scale parameter      [default: 5]
+          --algorithm <name>     lr1|lr2|gdp1|gdp2|ordered|naive [default: gdp2]
+          --threads <n>          driven seats, 0 = all philosophers [default: 0]
+          --meals <n>            meal budget per seat        [default: 50]
+          --duration-ms <ms>     run for wall-clock time instead of a budget
+          --watchdog-ms <ms>     whole-run bound, 0 = none
+                                 [default: 30000; with --duration-ms: 0]
+          --spin <iters>         critical-section spin work  [default: 64]
+          --seed <n>             topology + randomness seed  [default: 0]
+          --json <path>          JSON output                 [default: gdp_stress.json]
+          --csv <path>           CSV output                  [default: gdp_stress.csv]
+          --timing               embed wall-clock fields (throughput, wait
+                                 histogram) in the artifacts
 
     gdp sweep [OPTIONS]
         Run a scenario grid (families x sizes x algorithms) and write JSON + CSV.
@@ -353,6 +375,127 @@ fn cmd_check(mut args: Args) -> Result<CommandOutcome, String> {
     })
 }
 
+fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
+    let family: TopologyFamily = parse(
+        "topology family",
+        &args.value_of("--family")?.unwrap_or_else(|| "ring".into()),
+    )?;
+    let size: usize = parse(
+        "size",
+        &args
+            .value_of("--n")?
+            .or(args.value_of("--size")?)
+            .unwrap_or_else(|| "5".into()),
+    )?;
+    let algorithm: AlgorithmKind = parse(
+        "algorithm",
+        &args
+            .value_of("--algorithm")?
+            .unwrap_or_else(|| "gdp2".into()),
+    )?;
+    let threads: usize = parse(
+        "thread count",
+        &args.value_of("--threads")?.unwrap_or_else(|| "0".into()),
+    )?;
+    let duration_ms: Option<u64> = args
+        .value_of("--duration-ms")?
+        .map(|v| parse("duration", &v))
+        .transpose()?;
+    let meals: u64 = parse(
+        "meal budget",
+        &args.value_of("--meals")?.unwrap_or_else(|| "50".into()),
+    )?;
+    let load = match duration_ms {
+        Some(ms) => StressLoad::DurationMs(ms),
+        None => StressLoad::MealsPerSeat(meals),
+    };
+    // In duration mode the deadline itself bounds the run, so the watchdog
+    // defaults to off unless explicitly requested; an explicit shorter
+    // watchdog cuts a duration run short and reports as tripped.
+    let watchdog_ms: u64 = match (args.value_of("--watchdog-ms")?, duration_ms) {
+        (Some(value), _) => parse("watchdog", &value)?,
+        (None, Some(_)) => 0,
+        (None, None) => 30_000,
+    };
+    let spin: u32 = parse(
+        "spin count",
+        &args.value_of("--spin")?.unwrap_or_else(|| "64".into()),
+    )?;
+    let seed: u64 = parse(
+        "seed",
+        &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
+    )?;
+    let json_path = args
+        .value_of("--json")?
+        .unwrap_or_else(|| "gdp_stress.json".into());
+    let csv_path = args
+        .value_of("--csv")?
+        .unwrap_or_else(|| "gdp_stress.csv".into());
+    let timing = args.has("--timing");
+    args.finish()?;
+
+    let spec = StressSpec {
+        family,
+        size,
+        algorithm,
+        threads,
+        load,
+        watchdog_ms,
+        seed,
+        spin,
+    };
+    println!(
+        "stress   {} x {} driven seats, load {}, watchdog {}ms (seed {seed})",
+        spec.cell(),
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        },
+        spec.load.name(),
+        watchdog_ms,
+    );
+    let report = run_stress(&spec, timing)?;
+    println!(
+        "result   {} philosophers / {} forks on real threads: {} meals total, \
+         everyone_ate={}, watchdog_tripped={}, jain={:.4}",
+        report.philosophers,
+        report.forks,
+        report.total_meals,
+        report.everyone_ate,
+        report.watchdog_tripped,
+        report.jain_fairness,
+    );
+    if let Some(t) = &report.timing {
+        println!(
+            "timing   {:.3}s elapsed, {:.0} meals/s, mean wait {:.1}us",
+            t.elapsed_secs, t.meals_per_sec, t.mean_wait_micros
+        );
+    }
+    for (i, m) in report.meals.iter().enumerate() {
+        println!("         P{i}: {m} meals");
+    }
+    report
+        .write_json(&json_path)
+        .map_err(|e| format!("writing {json_path}: {e}"))?;
+    report
+        .write_csv(&csv_path)
+        .map_err(|e| format!("writing {csv_path}: {e}"))?;
+    println!("wrote {json_path} and {csv_path}");
+    if !report.succeeded() {
+        return Ok(CommandOutcome::Violation(format!(
+            "stress cell {} {}",
+            report.cell,
+            if report.watchdog_tripped {
+                "tripped the watchdog before every seat finished its budget"
+            } else {
+                "left at least one driven philosopher unfed"
+            }
+        )));
+    }
+    Ok(CommandOutcome::Ok)
+}
+
 fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
     let mut spec = ScenarioSpec::new(
         args.value_of("--name")?
@@ -463,6 +606,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "sweep" => cmd_sweep(args),
         "check" => cmd_check(args),
+        "stress" => cmd_stress(args),
         other => Err(format!("unknown command {other:?}; try `gdp --help`")),
     };
     match result {

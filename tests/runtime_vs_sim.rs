@@ -1,0 +1,207 @@
+//! Cross-validation: the real-thread runtime agrees with the simulator's
+//! qualitative verdicts.
+//!
+//! `gdp-runtime`'s seats execute the *same* `Program` step code as the
+//! `gdp-sim` engine (through `StepCtx::for_fork_pair`), so the properties
+//! `tests/theorems.rs` and the exact checker (`gdp-mcheck`) pin for the
+//! simulator must also hold on real contending OS threads:
+//!
+//! * GDP1/GDP2/LR2 feed everyone on the Figure 1 triangle and on classic
+//!   rings (Theorems 3/4; LR2 is safe on rings and on the triangle, whose
+//!   only failure mode needs a theta subgraph — Theorem 2);
+//! * mutual exclusion holds — asserted with a per-fork occupancy counter
+//!   bumped inside every critical section;
+//! * the asymmetric ordered-forks baseline progresses everywhere;
+//! * the naive left-then-right baseline really deadlocks on a ring — forced
+//!   deterministically by parking every philosopher on its left fork before
+//!   the threads race, then bounded by the watchdog.
+//!
+//! None of the assertions is timing-sensitive: positive runs use meal
+//! budgets with a generous watchdog treated as a hard failure, and the
+//! negative run asserts from a state where no schedule can produce a meal.
+
+use gdp_algorithms::AlgorithmKind;
+use gdp_runtime::DiningTable;
+use gdp_topology::builders::{classic_ring, figure1_triangle};
+use gdp_topology::Topology;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Meals each philosopher must complete in the positive tests.  Sized down
+/// in CI to keep the suite's wall-clock in budget.
+fn meal_budget() -> u64 {
+    if std::env::var_os("CI").is_some() {
+        6
+    } else {
+        20
+    }
+}
+
+/// The watchdog for positive runs: generous enough that tripping it on a
+/// lockout-free algorithm means something is actually broken.
+const POSITIVE_WATCHDOG: Duration = Duration::from_secs(120);
+
+fn crosscheck_topologies() -> Vec<(String, Topology)> {
+    let mut topologies = vec![("figure1-triangle".to_string(), figure1_triangle())];
+    for n in 3..=6 {
+        topologies.push((format!("ring-{n}"), classic_ring(n).unwrap()));
+    }
+    topologies
+}
+
+/// Runs `algorithm` on `topology` with one thread per philosopher and a
+/// per-fork critical-section occupancy counter; panics on any mutual
+/// exclusion violation, a tripped watchdog, or an unfed philosopher.
+fn assert_feeds_everyone_with_mutual_exclusion(
+    name: &str,
+    topology: Topology,
+    algorithm: AlgorithmKind,
+) {
+    let budget = meal_budget();
+    let philosophers = topology.num_philosophers() as u64;
+    let forks = topology.num_forks();
+    let table = DiningTable::for_algorithm(topology, algorithm);
+    let in_use: Arc<Vec<AtomicU32>> = Arc::new((0..forks).map(|_| AtomicU32::new(0)).collect());
+    let deadline = Instant::now() + POSITIVE_WATCHDOG;
+    std::thread::scope(|scope| {
+        for mut seat in table.seats() {
+            let in_use = Arc::clone(&in_use);
+            scope.spawn(move || {
+                let (left, right) = seat.forks();
+                for meal in 0..budget {
+                    let fed = seat.try_dine_until(deadline, || {
+                        for f in [left, right] {
+                            let prev = in_use[f.index()].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(
+                                prev, 0,
+                                "{name}/{algorithm}: fork {f} used by two critical \
+                                 sections at once"
+                            );
+                        }
+                        std::hint::spin_loop();
+                        for f in [left, right] {
+                            in_use[f.index()].fetch_sub(1, Ordering::SeqCst);
+                        }
+                    });
+                    assert!(
+                        fed.is_some(),
+                        "{name}/{algorithm}: philosopher {} hit the {POSITIVE_WATCHDOG:?} \
+                         watchdog at meal {meal}/{budget} — the lockout-freedom the \
+                         simulator certifies did not hold on real threads",
+                        seat.philosopher()
+                    );
+                }
+            });
+        }
+    });
+    let stats = table.stats();
+    assert_eq!(
+        stats.total_meals(),
+        philosophers * budget,
+        "{name}/{algorithm}"
+    );
+    assert!(
+        stats.meals().iter().all(|&m| m == budget),
+        "{name}/{algorithm}: every philosopher eats exactly its budget, got {:?}",
+        stats.meals()
+    );
+    // Everything is released afterwards.
+    for f in table.topology().fork_ids() {
+        assert!(
+            table.fork(f).is_free(),
+            "{name}/{algorithm}: fork {f} still held after the run"
+        );
+    }
+}
+
+/// GDP1, GDP2 and LR2 on the triangle and rings n=3..6: everyone eats, with
+/// mutual exclusion — mirroring the simulator verdicts of
+/// `tests/theorems.rs` (Theorems 2–4) on real threads.
+#[test]
+fn gdp1_gdp2_lr2_feed_everyone_on_triangle_and_rings() {
+    for algorithm in [AlgorithmKind::Gdp1, AlgorithmKind::Gdp2, AlgorithmKind::Lr2] {
+        for (name, topology) in crosscheck_topologies() {
+            assert_feeds_everyone_with_mutual_exclusion(&name, topology, algorithm);
+        }
+    }
+}
+
+/// The asymmetric ordered-forks baseline is deadlock-free on real threads
+/// too (it trades symmetry for a global lock order).
+#[test]
+fn ordered_forks_progresses_on_the_ring() {
+    assert_feeds_everyone_with_mutual_exclusion(
+        "ring-5",
+        classic_ring(5).unwrap(),
+        AlgorithmKind::OrderedForks,
+    );
+}
+
+/// The naive baseline's deadlock, deterministically: drive every seat
+/// (single-threaded, via the public step interpreter) until it holds its
+/// left fork — the classic all-hold-left configuration, which `gdp check
+/// --algorithm naive` proves is a true deadlock — then let the threads race
+/// under a watchdog.  No schedule can produce a meal, so every thread must
+/// trip the watchdog and the meal count must stay zero.
+#[test]
+fn naive_trips_the_watchdog_from_the_forced_deadlock_on_a_ring() {
+    let n = 4usize;
+    let table = DiningTable::for_algorithm(classic_ring(n).unwrap(), AlgorithmKind::Naive);
+    let mut seats: Vec<_> = table.seats().collect();
+    for seat in &mut seats {
+        let (left, _right) = seat.forks();
+        for _ in 0..4 {
+            if seat.holds(left) {
+                break;
+            }
+            seat.step_once();
+        }
+        assert!(
+            seat.holds(left),
+            "philosopher {} failed to take its left fork during setup",
+            seat.philosopher()
+        );
+    }
+    // Every fork is now held by its left philosopher: the classic deadlock.
+    for f in table.topology().fork_ids() {
+        assert!(table.fork(f).holder().is_some(), "fork {f} must be held");
+    }
+    let deadline = Instant::now() + Duration::from_millis(300);
+    std::thread::scope(|scope| {
+        for mut seat in seats.drain(..) {
+            scope.spawn(move || {
+                let fed = seat.try_dine_until(deadline, || ());
+                assert!(
+                    fed.is_none(),
+                    "philosopher {} completed a meal out of a state the exact \
+                     checker proves deadlocked",
+                    seat.philosopher()
+                );
+            });
+        }
+    });
+    let stats = table.stats();
+    assert_eq!(
+        stats.total_meals(),
+        0,
+        "no meal can come out of the deadlock"
+    );
+    // Timed-out seats park in place: the deadlock is still observable.
+    for f in table.topology().fork_ids() {
+        assert!(table.fork(f).holder().is_some(), "fork {f} still held");
+    }
+    assert_eq!(stats.starved().len(), n);
+}
+
+/// The seat interpreter reports the same observable protocol labels the
+/// simulator's programs define — one shared vocabulary across layers.
+#[test]
+fn seat_observations_use_the_simulator_label_vocabulary() {
+    let table = DiningTable::for_algorithm(classic_ring(3).unwrap(), AlgorithmKind::Gdp1);
+    let mut seat = table.seat(gdp_topology::PhilosopherId::new(0));
+    assert_eq!(seat.observation().label, "GDP1.1");
+    seat.step_once();
+    assert!(seat.observation().label.starts_with("GDP1."));
+    assert_eq!(seat.algorithm(), AlgorithmKind::Gdp1);
+}

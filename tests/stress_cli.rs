@@ -1,0 +1,226 @@
+//! End-to-end tests driving `gdp stress`: the acceptance gate of the
+//! real-thread stress subsystem.  GDP1/GDP2/LR2 cells complete with every
+//! philosopher fed and emit the schema-documented JSON/CSV artifacts
+//! (byte-reproducible with timing off); the naive baseline terminates under
+//! its watchdog bound either way.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gdp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gdp"))
+        .args(args)
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("gdp binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gdp_stress_cli_{}_{name}", std::process::id()))
+}
+
+fn stress_args<'a>(
+    algorithm: &'a str,
+    json: &'a str,
+    csv: &'a str,
+    extra: &[&'a str],
+) -> Vec<&'a str> {
+    let mut args = vec![
+        "stress",
+        "--family",
+        "ring",
+        "--n",
+        "5",
+        "--algorithm",
+        algorithm,
+        "--meals",
+        "8",
+        "--watchdog-ms",
+        "60000",
+        "--json",
+        json,
+        "--csv",
+        csv,
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+/// The ISSUE acceptance line: `gdp stress --algorithm gdp2 --family ring
+/// --n 5` (and gdp1/lr2) completes with every philosopher fed and writes
+/// the artifacts.
+#[test]
+fn gdp2_gdp1_lr2_stress_cells_feed_everyone_and_write_artifacts() {
+    for algorithm in ["gdp2", "gdp1", "lr2"] {
+        let json = tmp(&format!("{algorithm}.json"));
+        let csv = tmp(&format!("{algorithm}.csv"));
+        let output = gdp(&stress_args(
+            algorithm,
+            json.to_str().unwrap(),
+            csv.to_str().unwrap(),
+            &[],
+        ));
+        assert!(
+            output.status.success(),
+            "{algorithm}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            json_text.contains("\"kind\": \"runtime_stress\""),
+            "{json_text}"
+        );
+        assert!(json_text.contains("\"everyone_ate\": true"), "{json_text}");
+        assert!(json_text.contains("\"watchdog_tripped\": false"));
+        assert!(json_text.contains("\"total_meals\": 40"));
+        // Timing off by default: the artifact carries no wall-clock fields.
+        assert!(json_text.contains("\"elapsed_secs\": null"));
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        let lines: Vec<&str> = csv_text.lines().collect();
+        assert_eq!(lines.len(), 2, "{algorithm}: header + one row");
+        assert!(lines[0].starts_with("cell,family,size,"));
+        assert!(lines[1].starts_with(&format!("ring/n5/{}", algorithm.to_uppercase())));
+        let _ = std::fs::remove_file(json);
+        let _ = std::fs::remove_file(csv);
+    }
+}
+
+/// With timing off, two real-thread runs of the same meal-budget cell emit
+/// byte-identical artifacts — the committed-artifact contract.
+#[test]
+fn stress_artifacts_are_byte_reproducible_without_timing() {
+    let json_a = tmp("repro_a.json");
+    let json_b = tmp("repro_b.json");
+    let csv_a = tmp("repro_a.csv");
+    let csv_b = tmp("repro_b.csv");
+    for (json, csv) in [(&json_a, &csv_a), (&json_b, &csv_b)] {
+        let output = gdp(&stress_args(
+            "gdp2",
+            json.to_str().unwrap(),
+            csv.to_str().unwrap(),
+            &[],
+        ));
+        assert!(output.status.success());
+    }
+    assert_eq!(
+        std::fs::read(&json_a).unwrap(),
+        std::fs::read(&json_b).unwrap(),
+        "JSON must be byte-identical across runs"
+    );
+    assert_eq!(
+        std::fs::read(&csv_a).unwrap(),
+        std::fs::read(&csv_b).unwrap()
+    );
+    for f in [json_a, json_b, csv_a, csv_b] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// `--timing` trades reproducibility for throughput and wait-histogram
+/// fields.
+#[test]
+fn timing_flag_embeds_wall_clock_fields() {
+    let json = tmp("timing.json");
+    let csv = tmp("timing.csv");
+    let output = gdp(&stress_args(
+        "gdp2",
+        json.to_str().unwrap(),
+        csv.to_str().unwrap(),
+        &["--timing"],
+    ));
+    assert!(output.status.success());
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"meals_per_sec\": "), "{json_text}");
+    assert!(!json_text.contains("\"meals_per_sec\": null"));
+    assert!(json_text.contains("\"wait_histogram_ns\": ["));
+    let _ = std::fs::remove_file(json);
+    let _ = std::fs::remove_file(csv);
+}
+
+/// The naive baseline is runnable only because the watchdog bounds it: the
+/// command must terminate promptly and report a well-formed artifact
+/// whether or not this particular OS schedule hit the deadlock.  (The
+/// deterministic deadlock verdict is pinned in tests/runtime_vs_sim.rs and
+/// by `gdp check --algorithm naive`.)
+#[test]
+fn naive_is_watchdog_bounded() {
+    let json = tmp("naive.json");
+    let csv = tmp("naive.csv");
+    let started = std::time::Instant::now();
+    let output = gdp(&[
+        "stress",
+        "--family",
+        "ring",
+        "--n",
+        "3",
+        "--algorithm",
+        "naive",
+        "--meals",
+        "3",
+        "--watchdog-ms",
+        "1500",
+        "--json",
+        json.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(60),
+        "the watchdog must bound the run"
+    );
+    // Exit 0 (squeezed through) or 1 (watchdog/starvation) — never a usage
+    // error or a hang.
+    let code = output.status.code().expect("no signal");
+    assert!(code == 0 || code == 1, "unexpected exit {code}");
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"algorithm\": \"naive-left-right\""));
+    let _ = std::fs::remove_file(json);
+    let _ = std::fs::remove_file(csv);
+}
+
+/// `--threads` drives a subset of seats; the report counts only those as
+/// active.
+#[test]
+fn partial_thread_counts_drive_a_subset() {
+    let json = tmp("threads.json");
+    let csv = tmp("threads.csv");
+    let output = gdp(&[
+        "stress",
+        "--family",
+        "ring",
+        "--n",
+        "6",
+        "--algorithm",
+        "gdp2",
+        "--threads",
+        "2",
+        "--meals",
+        "4",
+        "--watchdog-ms",
+        "60000",
+        "--json",
+        json.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"threads\": 2"), "{json_text}");
+    assert!(json_text.contains("\"total_meals\": 8"));
+    assert!(json_text.contains("\"everyone_ate\": true"));
+    let _ = std::fs::remove_file(json);
+    let _ = std::fs::remove_file(csv);
+}
+
+/// Usage errors exit 2, like the other subcommands.
+#[test]
+fn stress_usage_errors_exit_2() {
+    let output = gdp(&["stress", "--algorithm", "nope"]);
+    assert_eq!(output.status.code(), Some(2));
+    let output = gdp(&["stress", "--meals"]);
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -1,0 +1,192 @@
+//! Seeded property sweeps over the `gdp-topology` builder catalog: every
+//! family the scenario layer can name yields well-formed topologies at every
+//! size in a window above its minimum, the parameterized families keep
+//! their degree/size invariants, the random family is seed-deterministic,
+//! and the symmetry search returns genuine orientation-preserving
+//! automorphisms.
+
+use gdp::scenarios::{TopologyFamily, FAMILY_CATALOG};
+use gdp_topology::builders::{classic_ring, figure1_triangle, torus};
+use gdp_topology::symmetry::automorphisms;
+use gdp_topology::{analysis, Topology};
+
+/// Every parseable catalog spec, with parameterized families at their
+/// catalog-default parameter.
+fn catalog_families() -> Vec<TopologyFamily> {
+    FAMILY_CATALOG
+        .iter()
+        .map(|entry| {
+            let bare = entry.spec.split('[').next().unwrap();
+            bare.parse().unwrap_or_else(|e| panic!("{bare}: {e}"))
+        })
+        .collect()
+}
+
+fn assert_well_formed(context: &str, t: &Topology) {
+    assert!(t.num_philosophers() >= 1, "{context}: no philosophers");
+    assert!(
+        t.num_forks() >= 2,
+        "{context}: Definition 1 needs >= 2 forks"
+    );
+    for p in t.philosopher_ids() {
+        let ends = t.forks_of(p);
+        assert_ne!(
+            ends.left, ends.right,
+            "{context}: philosopher {p} must contend for two distinct forks"
+        );
+        assert!(ends.left.index() < t.num_forks(), "{context}");
+        assert!(ends.right.index() < t.num_forks(), "{context}");
+        // The incidence lists agree with the arc list in both directions.
+        assert!(t.philosophers_at(ends.left).contains(&p), "{context}");
+        assert!(t.philosophers_at(ends.right).contains(&p), "{context}");
+    }
+    let degree_sum: usize = t.fork_ids().map(|f| t.fork_degree(f)).sum();
+    assert_eq!(
+        degree_sum,
+        2 * t.num_philosophers(),
+        "{context}: handshake identity"
+    );
+    assert!(analysis::is_connected(t), "{context}: must be connected");
+}
+
+/// Every family in the catalog builds well-formed, connected topologies for
+/// a window of sizes above its minimum, under several seeds.
+#[test]
+fn every_catalog_family_builds_well_formed_topologies() {
+    for family in catalog_families() {
+        for n in family.min_size()..family.min_size() + 7 {
+            for seed in [0u64, 1, 42] {
+                let t = family
+                    .build(n, seed)
+                    .unwrap_or_else(|e| panic!("{} at n={n} seed={seed}: {e}", family.name()));
+                assert_well_formed(&format!("{} n={n} seed={seed}", family.name()), &t);
+            }
+        }
+    }
+}
+
+/// Grid and torus lattice invariants: the size maps to the promised square,
+/// torus forks all have degree exactly 4, grid degrees are bounded by 4
+/// with the philosopher count of an open lattice.
+#[test]
+fn grid_and_torus_keep_their_lattice_invariants() {
+    let grid: TopologyFamily = "grid".parse().unwrap();
+    let torus_family: TopologyFamily = "torus".parse().unwrap();
+    for n in 2..=30usize {
+        let t = grid.build(n, 0).unwrap();
+        let side = (2..).find(|s| s * s >= n.max(4)).unwrap();
+        assert_eq!(t.num_forks(), side * side, "grid n={n}");
+        // Open lattice: 2 * side * (side - 1) edges.
+        assert_eq!(t.num_philosophers(), 2 * side * (side - 1), "grid n={n}");
+        for f in t.fork_ids() {
+            let d = t.fork_degree(f);
+            assert!((2..=4).contains(&d), "grid n={n}: fork {f} degree {d}");
+        }
+    }
+    for n in 1..=30usize {
+        let t = torus_family.build(n, 0).unwrap();
+        let side = (3..).find(|s| s * s >= n).unwrap();
+        assert_eq!(t.num_forks(), side * side, "torus n={n}");
+        assert_eq!(t.num_philosophers(), 2 * side * side, "torus n={n}");
+        for f in t.fork_ids() {
+            assert_eq!(
+                t.fork_degree(f),
+                4,
+                "torus n={n}: every fork is shared by exactly 4"
+            );
+        }
+    }
+}
+
+/// The random-regular family: exact degree regularity, the promised
+/// fork-count rounding, and seed determinism.
+#[test]
+fn random_regular_is_regular_and_seed_deterministic() {
+    for degree in [3usize, 4] {
+        let family: TopologyFamily = format!("random-regular:{degree}").parse().unwrap();
+        for n in family.min_size()..family.min_size() + 10 {
+            for seed in [7u64, 8] {
+                let t = family.build(n, seed).unwrap();
+                let forks = n + (n * degree) % 2;
+                assert_eq!(t.num_forks(), forks, "degree={degree} n={n}");
+                assert_eq!(t.num_philosophers(), forks * degree / 2);
+                for f in t.fork_ids() {
+                    assert_eq!(
+                        t.fork_degree(f),
+                        degree,
+                        "degree={degree} n={n} seed={seed}: fork {f}"
+                    );
+                }
+            }
+            // Same seed, same arcs — across repeated builds.
+            let a = family.build(n, 31).unwrap();
+            let b = family.build(n, 31).unwrap();
+            assert_eq!(a.arcs(), b.arcs(), "degree={degree} n={n}");
+        }
+        // Different seeds produce different drawings somewhere in the window.
+        let family_differs = (family.min_size()..family.min_size() + 10)
+            .any(|n| family.build(n, 1).unwrap().arcs() != family.build(n, 2).unwrap().arcs());
+        assert!(family_differs, "degree={degree}: seeds must matter");
+    }
+}
+
+/// An automorphism returned by the symmetry search must actually be one:
+/// a fork bijection whose induced philosopher map sends every arc to an
+/// arc with the image endpoints, preserving left/right orientation.
+fn assert_is_automorphism(context: &str, t: &Topology, a: &gdp_topology::symmetry::Automorphism) {
+    // Fork map is a bijection.
+    let mut seen = vec![false; t.num_forks()];
+    for &f in &a.fork_map {
+        assert!(!seen[f.index()], "{context}: fork map not injective");
+        seen[f.index()] = true;
+    }
+    // Philosopher map is a bijection preserving oriented incidence.
+    let mut seen = vec![false; t.num_philosophers()];
+    for p in t.philosopher_ids() {
+        let q = a.phil_map[p.index()];
+        assert!(!seen[q.index()], "{context}: phil map not injective");
+        seen[q.index()] = true;
+        let ends = t.forks_of(p);
+        let image = t.forks_of(q);
+        assert_eq!(
+            image.left,
+            a.fork_map[ends.left.index()],
+            "{context}: {p} -> {q} must preserve the left fork"
+        );
+        assert_eq!(
+            image.right,
+            a.fork_map[ends.right.index()],
+            "{context}: {p} -> {q} must preserve the right fork"
+        );
+    }
+}
+
+#[test]
+fn automorphisms_map_arcs_to_arcs_preserving_orientation() {
+    let cases: Vec<(&str, Topology)> = vec![
+        ("ring-6", classic_ring(6).unwrap()),
+        ("ring-5", classic_ring(5).unwrap()),
+        ("figure1-triangle", figure1_triangle()),
+        ("torus-3x3", torus(3, 3).unwrap()),
+    ];
+    for (name, t) in cases {
+        let autos = automorphisms(&t, 256);
+        assert!(!autos.is_empty(), "{name}");
+        assert!(autos[0].is_identity(), "{name}: identity first");
+        for (i, a) in autos.iter().enumerate() {
+            assert_is_automorphism(&format!("{name} #{i}"), &t, a);
+        }
+        // No duplicates.
+        for (i, a) in autos.iter().enumerate() {
+            for b in &autos[i + 1..] {
+                assert_ne!(a, b, "{name}: duplicate automorphism");
+            }
+        }
+    }
+    // The classic n-ring has exactly its n rotations (reflections reverse
+    // orientation and must be excluded).
+    for n in [4usize, 5, 6] {
+        let ring = classic_ring(n).unwrap();
+        assert_eq!(automorphisms(&ring, 64).len(), n, "ring-{n}");
+    }
+}
