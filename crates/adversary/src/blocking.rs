@@ -152,8 +152,12 @@ impl BlockingPolicy {
 
 /// Picks, within a candidate list, the philosopher that has been scheduled
 /// the least (ties broken by identifier) — a mild internal fairness that also
-/// keeps the policy deterministic.
-fn least_scheduled(view: &SystemView<'_>, candidates: &[PhilosopherId]) -> Option<PhilosopherId> {
+/// keeps the policy deterministic.  Shared with the adaptive policies of
+/// [`crate::adaptive`].
+pub(crate) fn least_scheduled(
+    view: &SystemView<'_>,
+    candidates: &[PhilosopherId],
+) -> Option<PhilosopherId> {
     candidates
         .iter()
         .copied()

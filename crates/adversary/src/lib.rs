@@ -1,34 +1,65 @@
 //! # gdp-adversary
 //!
-//! Adversarial schedulers for the generalized dining philosophers problem,
-//! reproducing the negative results of Herescu & Palamidessi (PODC 2001):
+//! The **adversary catalog** for the generalized dining philosophers
+//! problem: every scheduler family the workspace can run, from the paper's
+//! crafted negative-result constructions to adaptive and fault-injecting
+//! schedulers, selectable at run time through one enum.
 //!
-//! * [`TriangleWaveAdversary`] — the paper's Section 3 scheduler: the exact
-//!   winning strategy against LR1 (and LR2) on the 6-philosopher / 3-fork
-//!   system of Figure 1, bootstrapping into the paper's State 1 and then
-//!   cycling the no-progress wave of States 1–6 forever.
-//! * [`BlockingAdversary`] — a full-information scheduler that generalizes
-//!   the constructions of Section 3 (the 6-philosopher / 3-fork example) and
-//!   Theorems 1–2.  It tries to keep a chosen set of philosophers from ever
-//!   eating by (i) never scheduling a philosopher that is about to take its
-//!   second fork while that fork is free, (ii) steering other philosophers
-//!   into occupying exactly those forks, and (iii) using the philosophers
-//!   *outside* the target set (for example the pendant philosopher `P` of
-//!   Figure 2) as helpers that are allowed to eat whenever that re-occupies
-//!   a contested fork.
-//! * [`TargetStarver`] — the Section 5 scenario: a scheduler that singles
-//!   out one victim philosopher and schedules its second-fork attempt only
-//!   when that fork is held, demonstrating that GDP1 is *not* lockout-free
-//!   while GDP2 is.
-//! * [`FairnessGuard`] / [`FairDriver`] — the "increasing stubbornness"
-//!   technique of the paper: any scheduling policy is turned into a fair
-//!   scheduler by bounding how long a philosopher may be deferred, with the
-//!   bound growing from round to round.  The crafted adversaries in this
-//!   crate are fair by construction through this mechanism, and the engine
-//!   additionally certifies the realized bounded-fairness bound of each run.
-//! * [`ReplayAdversary`] — plays back a recorded schedule, e.g. the optimal
-//!   starving strategy extracted by the exact checker (`gdp-mcheck`), so
-//!   that *proved* counterexamples become watchable runs.
+//! The paper's theorems (Herescu & Palamidessi, PODC 2001) are all
+//! quantified **worst-case over adversaries** — the adversary is the
+//! experimental axis, and this crate names it the way
+//! `gdp_algorithms::AlgorithmKind` names algorithms:
+//!
+//! * [`AdversaryKind`] / [`ADVERSARY_CATALOG`] — the uniform catalog:
+//!   canonical spec strings (`"blocking:1800"`, `"kbounded:4"`,
+//!   `"crash:2"`, …), per-family [`FairnessClass`] metadata, and the
+//!   deterministic [`build`](AdversaryKind::build) the sweep machinery
+//!   instantiates trials from.  See `docs/ADVERSARIES.md` for the full
+//!   family-by-family reference.
+//!
+//! The families, roughly from most benign to most hostile:
+//!
+//! * round-robin and uniform-random (re-exported from `gdp-sim`) — the
+//!   obviously fair baselines;
+//! * [`MaxWaitAdversary`] — adaptive FIFO service (longest-waiting enabled
+//!   philosopher first), the feedback-control scheduler;
+//! * [`KBoundedRoundRobin`] — deterministic `k·n`-bounded-fair round-robin
+//!   that dwells `k` consecutive steps per philosopher;
+//! * [`GreedyConflictAdversary`] — adaptive contention maximizer: steers
+//!   hungry neighbours onto eaters' forks and defers releases as long as
+//!   fairness allows;
+//! * [`BlockingAdversary`] — the topology-aware scheduler generalizing the
+//!   constructions of Section 3 and Theorems 1–2;
+//! * [`TriangleWaveAdversary`] — the paper's Section 3 scheduler verbatim:
+//!   the exact winning strategy against LR1/LR2 on the Figure 1 system;
+//! * [`TargetStarver`] — the Section 5 scenario separating GDP1 (not
+//!   lockout-free) from GDP2 (lockout-free);
+//! * [`CrashStopAdversary`] — the crash-stop fault model: a seeded subset
+//!   of philosophers stops permanently, mid-protocol.  Deliberately
+//!   *outside* the paper's fairness premise; it measures degradation.
+//!
+//! Fairness infrastructure: [`FairnessGuard`] / [`FairDriver`] implement
+//! the paper's "increasing stubbornness" repair — any scheduling policy
+//! becomes a fair scheduler by bounding deferral with a growing bound —
+//! and [`ReplayAdversary`] plays back recorded schedules (e.g. the optimal
+//! starving strategies extracted by `gdp-mcheck`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gdp_adversary::AdversaryKind;
+//! use gdp_algorithms::Gdp1;
+//! use gdp_sim::{Engine, SimConfig, StopCondition};
+//! use gdp_topology::builders::classic_ring;
+//!
+//! // Select a family by spec string, exactly like `gdp sweep --adversary`.
+//! let kind: AdversaryKind = "greedy-conflict".parse().unwrap();
+//! let mut adversary = kind.build(/* cell_seed */ 0, /* trial */ 0);
+//! let mut engine = Engine::new(classic_ring(5).unwrap(), Gdp1::new(), SimConfig::default());
+//! let outcome = engine.run(&mut adversary, StopCondition::MaxSteps(40_000));
+//! // Theorem 3: GDP1 progresses under every fair adversary in the catalog.
+//! assert!(outcome.made_progress());
+//! ```
 //!
 //! The corresponding experiments (E2–E4, E9) live in the `gdp-bench` crate;
 //! `cargo run -p gdp-bench --bin report --release` regenerates their
@@ -37,14 +68,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod blocking;
+mod catalog;
+mod crash;
 mod fairness;
+mod kbounded;
 mod replay;
 mod starver;
 mod triangle;
 
+pub use adaptive::{
+    GreedyConflictAdversary, GreedyConflictPolicy, MaxWaitAdversary, MaxWaitPolicy,
+};
 pub use blocking::{BlockingAdversary, BlockingPolicy};
+pub use catalog::{
+    AdversaryCatalogEntry, AdversaryKind, FairnessClass, ParseAdversaryError, ADVERSARY_CATALOG,
+};
+pub use crash::{seeded_crash_plan, CrashStopAdversary, DEFAULT_CRASH_WINDOW};
 pub use fairness::{FairDriver, FairnessGuard, SchedulingPolicy, StubbornnessSchedule};
+pub use kbounded::KBoundedRoundRobin;
 pub use replay::ReplayAdversary;
 pub use starver::TargetStarver;
 pub use triangle::TriangleWaveAdversary;

@@ -50,6 +50,9 @@ pub struct Certificate {
     pub algorithm: String,
     /// Target description.
     pub target: String,
+    /// The adversary class quantified over; `None` means the paper's
+    /// default — all fair schedulers ([`crate::restricted`] checks set it).
+    pub adversary_class: Option<String>,
     /// Hunger model, rendered.
     pub hunger: String,
     /// The left-bias of the philosophers' coins.
@@ -100,6 +103,7 @@ impl Certificate {
             system: topology.summary(),
             algorithm: algorithm.to_string(),
             target: target.describe(),
+            adversary_class: None,
             hunger: match sim.hunger {
                 HungerModel::Always => "always".to_string(),
                 HungerModel::Never => "never".to_string(),
@@ -121,6 +125,14 @@ impl Certificate {
             expected_steps: solution.expected_steps,
             counterexample: counterexample.map(CounterexampleSchedule::summary),
         }
+    }
+
+    /// Records the restricted adversary class the model quantified over
+    /// (rendered as an extra `adversaries:` certificate line).
+    #[must_use]
+    pub fn with_adversary_class(mut self, description: impl Into<String>) -> Self {
+        self.adversary_class = Some(description.into());
+        self
     }
 
     /// The overall verdict.
@@ -168,6 +180,9 @@ impl Certificate {
         let _ = writeln!(out, "system:            {}", self.system);
         let _ = writeln!(out, "algorithm:         {}", self.algorithm);
         let _ = writeln!(out, "target:            {}", self.target);
+        if let Some(class) = &self.adversary_class {
+            let _ = writeln!(out, "adversaries:       {class}");
+        }
         let _ = writeln!(
             out,
             "model:             hunger={} left-bias={} nr-range={}",

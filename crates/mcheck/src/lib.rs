@@ -22,6 +22,11 @@
 //!   and solution, the artifact emitted by `gdp check`;
 //! * [`strategy`] — extraction of the optimal starving adversary as a
 //!   replayable schedule plus a DOT dump of the counterexample lasso;
+//! * [`restricted`] — exact checking under **restricted adversary
+//!   classes** where they stay finite: k-bounded fairness as a product-MDP
+//!   restriction and crash-stop faults as enumerated crash branches (the
+//!   exact counterparts of the `gdp-adversary` catalog's `kbounded:<k>`
+//!   and `crash:<f>` families, see `docs/ADVERSARIES.md`);
 //! * [`seeded`] — the bounded per-seed-realization explorer that
 //!   `gdp_analysis::explore` delegates to (all scheduling nondeterminism,
 //!   one realization of the coin flips), built on the same
@@ -38,12 +43,14 @@
 
 pub mod certificate;
 pub mod model;
+pub mod restricted;
 pub mod seeded;
 pub mod solve;
 pub mod strategy;
 
 pub use certificate::Certificate;
 pub use model::{build_mdp, state_is_safe, BuildOptions, CheckTarget, Mdp, UNEXPLORED};
+pub use restricted::{build_restricted_mdp, ScheduleRestriction};
 pub use seeded::{
     explore_realization, explore_realization_with_work, merge_reports, ExplorationReport,
     ExplorationWork,

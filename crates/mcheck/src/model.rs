@@ -201,6 +201,15 @@ pub struct Mdp {
     /// Canonical fingerprint → state index (the dedup map, retained so
     /// extracted strategies can be replayed against a live engine).
     pub index_of_key: KeyMap<u32>,
+    /// Per-state bitmask of the choices a fair adversary must keep taking
+    /// infinitely often while confined to an end component containing the
+    /// state.  `None` means "every choice" — the paper's unrestricted fair
+    /// adversary, where every choice schedules one philosopher.  Restricted
+    /// models ([`crate::restricted`]) narrow it: under k-bounded fairness
+    /// the product structure already enforces fairness (`mask = 0`), and
+    /// under crash-stop faults only the *surviving* philosophers'
+    /// schedule-choices are required.
+    pub fairness_requirement: Option<Vec<u64>>,
     row_offsets: Vec<u32>,
     succs: Vec<u32>,
     probs: Vec<f64>,
@@ -228,24 +237,33 @@ impl Mdp {
         self.succs.len()
     }
 
-    /// Number of expanded, non-target states from which *every* choice and
-    /// *every* random outcome loops back to the state itself — true
-    /// deadlocks (e.g. the classic all-hold-left state of the naive
-    /// algorithm).
+    /// Number of expanded, non-target states from which *every* available
+    /// choice and *every* random outcome loops back to the state itself —
+    /// true deadlocks (e.g. the classic all-hold-left state of the naive
+    /// algorithm).  Choices a restricted model disallows (empty rows) are
+    /// vacuous; at least one available choice is required.
     #[must_use]
     pub fn deadlock_states(&self) -> usize {
         (0..self.num_states as u32)
             .filter(|&s| {
-                self.expanded[s as usize]
-                    && !self.target[s as usize]
-                    && (0..self.num_choices).all(|c| {
-                        let mut any = false;
-                        let all_self = self.outcomes(s, c).all(|(succ, _)| {
-                            any = true;
-                            succ == s
-                        });
-                        any && all_self
-                    })
+                if !self.expanded[s as usize] || self.target[s as usize] {
+                    return false;
+                }
+                let mut any_choice = false;
+                let all_self = (0..self.num_choices).all(|c| {
+                    let mut any = false;
+                    let self_looping = self.outcomes(s, c).all(|(succ, _)| {
+                        any = true;
+                        succ == s
+                    });
+                    if any {
+                        any_choice = true;
+                        self_looping
+                    } else {
+                        true
+                    }
+                });
+                any_choice && all_self
             })
             .count()
     }
@@ -593,6 +611,45 @@ where
         target_kind: target,
         automorphisms,
         index_of_key,
+        fairness_requirement: None,
+        row_offsets,
+        succs,
+        probs,
+    }
+}
+
+/// Assembles an [`Mdp`] from raw compressed-sparse-row parts — the
+/// constructor used by the restricted-adversary product builder
+/// ([`crate::restricted`]), which lays out its rows with the same
+/// state-major, choice-minor, draw-lexicographic discipline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mdp_from_parts(
+    num_choices: usize,
+    target: Vec<bool>,
+    expanded: Vec<bool>,
+    truncated: bool,
+    safety_violations: usize,
+    target_kind: CheckTarget,
+    automorphisms: Vec<Automorphism>,
+    index_of_key: KeyMap<u32>,
+    fairness_requirement: Option<Vec<u64>>,
+    row_offsets: Vec<u32>,
+    succs: Vec<u32>,
+    probs: Vec<f64>,
+) -> Mdp {
+    assert_eq!(row_offsets.len(), target.len() * num_choices + 1);
+    Mdp {
+        num_states: target.len(),
+        num_choices,
+        initial: 0,
+        target,
+        expanded,
+        truncated,
+        safety_violations,
+        target_kind,
+        automorphisms,
+        index_of_key,
+        fairness_requirement,
         row_offsets,
         succs,
         probs,

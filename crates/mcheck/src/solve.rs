@@ -249,16 +249,22 @@ fn fair_cores(mdp: &Mdp) -> FairCores {
     let mut live: Vec<bool> = (0..n_states)
         .map(|s| mdp.expanded[s] && !mdp.target[s])
         .collect();
-    // A choice is enabled while all its outcomes stay in the live fragment.
+    // A choice is enabled while it has at least one outcome and all its
+    // outcomes stay in the live fragment.  (Restricted models disallow some
+    // choices by giving them empty rows; an empty row is never enabled —
+    // no play can take it.)
     let mut enabled = vec![false; n_states * n_choices];
     for s in 0..n_states {
         if !live[s] {
             continue;
         }
         for c in 0..n_choices {
-            enabled[s * n_choices + c] = mdp.outcomes(s as u32, c).all(|(succ, _)| {
+            let mut any = false;
+            let all_live = mdp.outcomes(s as u32, c).all(|(succ, _)| {
+                any = true;
                 succ != UNEXPLORED && live.get(succ as usize).copied().unwrap_or(false)
             });
+            enabled[s * n_choices + c] = any && all_live;
         }
     }
 
@@ -311,37 +317,46 @@ fn fair_cores(mdp: &Mdp) -> FairCores {
         }
     }
 
-    // Fairness filter: an end component is a fair core iff for every
-    // philosopher i some member state has choice i enabled (all outcomes
-    // inside the component).
+    // Fairness filter: an end component is a fair core iff every choice
+    // the fairness requirement names for its member states is enabled
+    // somewhere in the component (all outcomes inside).  For unrestricted
+    // models the requirement is "every philosopher"; restricted models
+    // ([`Mdp::fairness_requirement`]) narrow it — e.g. under crash-stop
+    // faults only the surviving philosophers must keep being scheduled.
     let (component, num_components) = strongly_connected_components(mdp, &live, &enabled);
     let mut covered = vec![0u64; num_components as usize];
+    let mut required = vec![0u64; num_components as usize];
     assert!(
         n_choices <= 64,
-        "fairness bitmask supports up to 64 philosophers"
+        "fairness bitmask supports up to 64 choices"
     );
+    let full = if n_choices == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_choices) - 1
+    };
     for s in 0..n_states {
         if !live[s] {
             continue;
         }
+        required[component[s] as usize] |= mdp
+            .fairness_requirement
+            .as_ref()
+            .map_or(full, |masks| masks[s]);
         for c in 0..n_choices {
             if enabled[s * n_choices + c] {
                 covered[component[s] as usize] |= 1 << c;
             }
         }
     }
-    let full = if n_choices == 64 {
-        u64::MAX
-    } else {
-        (1u64 << n_choices) - 1
-    };
 
     let mut genuine = vec![false; n_states];
     let mut conservative = vec![false; n_states];
     let mut stay_choice = vec![0u32; n_states];
     let mut genuine_states = 0usize;
     for s in 0..n_states {
-        if live[s] && covered[component[s] as usize] == full {
+        let comp = component.get(s).copied().unwrap_or(u32::MAX) as usize;
+        if live[s] && covered[comp] & required[comp] == required[comp] {
             genuine[s] = true;
             conservative[s] = true;
             genuine_states += 1;

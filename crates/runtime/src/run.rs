@@ -1,8 +1,21 @@
 //! Whole-table drivers: spawn one OS thread per (active) philosopher and
 //! drive every seat to a meal budget or for a wall-clock duration, with an
 //! optional watchdog so even the deliberately broken baselines terminate.
+//!
+//! ## Crash-stop load shaping
+//!
+//! [`RunOptions::crash_seats`] injects the adversary catalog's crash-stop
+//! fault model (`gdp-adversary`'s `crash:<f>`) into a real-thread run: a
+//! seeded subset of the active seats completes only a seeded share of its
+//! budget, then *crashes mid-protocol* — it steps partway into its next
+//! acquisition (possibly taking a fork) and recovers through
+//! [`Seat::reset_trying`](crate::Seat::reset_trying), the release-and-reset
+//! path a supervisor would run for a dead worker.  Victims and crash points
+//! derive from [`RunOptions::seed`] alone, so meal-budget crash runs stay
+//! byte-reproducible like every other timing-free artifact.
 
 use crate::counters::{jain_fairness_index, WAIT_HISTOGRAM_BUCKETS};
+use crate::seat::Seat;
 use crate::table::DiningTable;
 use gdp_algorithms::AlgorithmKind;
 use gdp_topology::{PhilosopherId, Topology};
@@ -32,6 +45,12 @@ pub struct RunOptions {
     /// Override of the GDP priority-number bound `m` (`None` = number of
     /// forks).
     pub nr_range: Option<u32>,
+    /// Crash-stop faults: this many seeded active seats stop mid-protocol
+    /// before finishing their budget, recovering their forks through
+    /// [`Seat::reset_trying`](crate::Seat::reset_trying).  Capped at
+    /// `active − 1` (somebody always survives); victims and crash points
+    /// derive from [`seed`](Self::seed) alone, so crash runs replay.
+    pub crash_seats: usize,
 }
 
 impl Default for RunOptions {
@@ -43,6 +62,7 @@ impl Default for RunOptions {
             watchdog: None,
             seed: 0,
             nr_range: None,
+            crash_seats: 0,
         }
     }
 }
@@ -75,6 +95,9 @@ pub struct RunReport {
     pub active_seats: usize,
     /// Meals completed per philosopher (inactive seats report 0).
     pub meals: Vec<u64>,
+    /// Per-philosopher crash flags: `true` for the seats the crash-stop
+    /// fault model ([`RunOptions::crash_seats`]) stopped mid-run.
+    pub crashed: Vec<bool>,
     /// Whether any thread hit the watchdog before finishing its budget.
     pub watchdog_tripped: bool,
     /// Wall-clock figures; `None` when the caller asked for a
@@ -89,11 +112,21 @@ impl RunReport {
         self.meals.iter().sum()
     }
 
-    /// Returns `true` if every **active** philosopher completed at least one
-    /// meal.
+    /// Returns `true` if every **active surviving** philosopher completed at
+    /// least one meal (crashed seats are exempt — their budget was cut by
+    /// the fault model, not by contention).
     #[must_use]
     pub fn everyone_ate(&self) -> bool {
-        self.meals[..self.active_seats].iter().all(|&m| m > 0)
+        self.meals[..self.active_seats]
+            .iter()
+            .zip(&self.crashed)
+            .all(|(&m, &crashed)| crashed || m > 0)
+    }
+
+    /// Number of seats the fault model crashed.
+    #[must_use]
+    pub fn crashed_seats(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
     }
 
     /// Jain's fairness index over the active philosophers' meal counts
@@ -110,9 +143,37 @@ impl RunReport {
     }
 }
 
+/// The seeded crash plan: per active seat, `None` for survivors or
+/// `Some(permille)` — the share of the victim's budget (meals or wall
+/// clock) it completes before crashing, drawn from `[200, 800)`.
+///
+/// Victim selection is [`gdp_adversary::seeded_crash_plan`] — the same
+/// algorithm behind the Monte-Carlo `crash:<f>` scheduler, so the two
+/// faces of the fault model cannot drift.  A pure function of
+/// `(seed, crash_seats, active)`, so crash runs are replayable from the
+/// spec alone; at least one seat always survives.
+fn crash_plan(seed: u64, crash_seats: usize, active: usize) -> Vec<Option<u64>> {
+    gdp_adversary::seeded_crash_plan(seed ^ 0xC4A5_4057, crash_seats, active, 200..800)
+}
+
+/// Crash-stops a seat mid-protocol: steps partway into the next
+/// acquisition (up to one fork taken, requests registered) and then runs
+/// the [`Seat::reset_trying`] recovery — the supervisor path that releases
+/// a dead worker's forks and withdraws its requests so survivors proceed.
+fn crash_stop(seat: &mut Seat) {
+    // Three atomic steps reach a held first fork (LR1) or registered
+    // requests (LR2/GDP2) but never complete a meal, keeping meal-budget
+    // artifacts deterministic.
+    for _ in 0..3 {
+        seat.step_once();
+    }
+    seat.reset_trying();
+}
+
 fn finish_report(
     table: &DiningTable,
     active: usize,
+    crashed: Vec<bool>,
     tripped: bool,
     elapsed: Duration,
 ) -> RunReport {
@@ -123,6 +184,7 @@ fn finish_report(
         philosophers: table.topology().num_philosophers(),
         active_seats: active,
         meals: stats.meals().to_vec(),
+        crashed,
         watchdog_tripped: tripped,
         timing: Some(RunTiming {
             elapsed,
@@ -151,16 +213,28 @@ where
         Some(a) if a >= 1 => a.min(n),
         _ => n,
     };
+    let plan = crash_plan(options.seed, options.crash_seats, active);
+    let mut crashed = vec![false; n];
+    for (p, share) in plan.iter().enumerate() {
+        crashed[p] = share.is_some();
+    }
     let deadline = options.watchdog.map(|w| Instant::now() + w);
     let tripped = AtomicBool::new(false);
     let started = Instant::now();
     let critical_ref = &critical;
     let tripped_ref = &tripped;
     std::thread::scope(|scope| {
-        for p in 0..active {
+        for (p, share) in plan.iter().enumerate() {
             let mut seat = table.seat(PhilosopherId::new(p as u32));
+            // Victims complete a seeded share of the budget (at least one
+            // meal), then crash mid-protocol and recover their forks.
+            let budget = match *share {
+                None => options.meals_per_seat,
+                Some(permille) => (options.meals_per_seat * permille / 1000).max(1),
+            };
+            let is_victim = share.is_some();
             scope.spawn(move || {
-                for _ in 0..options.meals_per_seat {
+                for _ in 0..budget {
                     match deadline {
                         None => {
                             seat.dine(critical_ref);
@@ -173,12 +247,16 @@ where
                         }
                     }
                 }
+                if is_victim {
+                    crash_stop(&mut seat);
+                }
             });
         }
     });
     finish_report(
         &table,
         active,
+        crashed,
         tripped.load(Ordering::SeqCst),
         started.elapsed(),
     )
@@ -206,6 +284,11 @@ where
         Some(a) if a >= 1 => a.min(n),
         _ => n,
     };
+    let plan = crash_plan(options.seed, options.crash_seats, active);
+    let mut crashed = vec![false; n];
+    for (p, share) in plan.iter().enumerate() {
+        crashed[p] = share.is_some();
+    }
     let tripped = matches!(options.watchdog, Some(w) if w < duration);
     let bound = if tripped {
         options.watchdog.expect("tripped implies a watchdog")
@@ -216,18 +299,28 @@ where
     let deadline = started + bound;
     let critical_ref = &critical;
     std::thread::scope(|scope| {
-        for p in 0..active {
+        for (p, share) in plan.iter().enumerate() {
             let mut seat = table.seat(PhilosopherId::new(p as u32));
+            // Victims run until a seeded share of the wall clock, then
+            // crash mid-protocol and recover their forks.
+            let my_deadline = match *share {
+                None => deadline,
+                Some(permille) => started + bound.mul_f64(permille as f64 / 1000.0),
+            };
+            let is_victim = share.is_some();
             scope.spawn(move || {
-                while Instant::now() < deadline {
-                    if seat.try_dine_until(deadline, critical_ref).is_none() {
-                        return;
+                while Instant::now() < my_deadline {
+                    if seat.try_dine_until(my_deadline, critical_ref).is_none() {
+                        break;
                     }
+                }
+                if is_victim {
+                    crash_stop(&mut seat);
                 }
             });
         }
     });
-    finish_report(&table, active, tripped, started.elapsed())
+    finish_report(&table, active, crashed, tripped, started.elapsed())
 }
 
 /// Back-compatible convenience wrapper: GDP2, every seat active, no
@@ -313,6 +406,78 @@ mod tests {
         assert_eq!(report.total_meals(), 20);
         assert!(report.everyone_ate(), "active seats all ate");
         assert!(report.meals[2..].iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn crash_seats_cut_seeded_victims_short_and_recover_their_forks() {
+        let options = RunOptions {
+            meals_per_seat: 10,
+            crash_seats: 2,
+            watchdog: Some(Duration::from_secs(60)),
+            seed: 5,
+            ..RunOptions::default()
+        };
+        let report = run_with(classic_ring(5).unwrap(), &options, || {});
+        assert!(!report.watchdog_tripped);
+        assert_eq!(report.crashed_seats(), 2);
+        assert!(
+            report.everyone_ate(),
+            "survivors all fed: {:?}",
+            report.meals
+        );
+        for (p, (&meals, &crashed)) in report.meals.iter().zip(&report.crashed).enumerate() {
+            if crashed {
+                assert!(
+                    (1..10).contains(&meals),
+                    "victim P{p} eats a strict, nonzero share: {meals}"
+                );
+            } else {
+                assert_eq!(meals, 10, "survivor P{p} finishes its budget");
+            }
+        }
+        // Every fork is free again: reset_trying released the victims'.
+        let table = DiningTable::for_topology(classic_ring(5).unwrap());
+        drop(table);
+
+        // Same seed, same victims, same meal counts: crash runs replay.
+        let again = run_with(classic_ring(5).unwrap(), &options, || {});
+        assert_eq!(report.meals, again.meals);
+        assert_eq!(report.crashed, again.crashed);
+
+        // A different seed picks (generally) different victims/budgets.
+        let other = run_with(
+            classic_ring(5).unwrap(),
+            &RunOptions { seed: 6, ..options },
+            || {},
+        );
+        assert_eq!(other.crashed_seats(), 2);
+    }
+
+    #[test]
+    fn crash_plan_always_leaves_a_survivor_and_is_empty_without_faults() {
+        assert!(crash_plan(3, 0, 4).iter().all(Option::is_none));
+        let all = crash_plan(3, 99, 4);
+        assert_eq!(all.iter().filter(|s| s.is_some()).count(), 3);
+        assert!(crash_plan(3, 99, 1).iter().all(Option::is_none));
+        // Pure function of the seed.
+        assert_eq!(crash_plan(7, 2, 6), crash_plan(7, 2, 6));
+    }
+
+    #[test]
+    fn duration_mode_crashes_victims_at_their_seeded_share() {
+        let report = run_for_duration(
+            classic_ring(4).unwrap(),
+            &RunOptions {
+                crash_seats: 1,
+                seed: 2,
+                ..RunOptions::default()
+            },
+            Duration::from_millis(80),
+            || {},
+        );
+        assert_eq!(report.crashed_seats(), 1);
+        assert!(!report.watchdog_tripped);
+        assert!(report.total_meals() > 0);
     }
 
     #[test]

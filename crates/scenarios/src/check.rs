@@ -19,9 +19,107 @@ use gdp_algorithms::AlgorithmKind;
 pub use gdp_mcheck::certificate::Verdict as CheckVerdict;
 use gdp_mcheck::certificate::Verdict;
 use gdp_mcheck::strategy::{counterexample_dot, extract_counterexample, CounterexampleSchedule};
-use gdp_mcheck::{build_mdp, solve, BuildOptions, Certificate, CheckTarget, SolveOptions};
+use gdp_mcheck::{
+    build_mdp, build_restricted_mdp, solve, BuildOptions, Certificate, CheckTarget,
+    ScheduleRestriction, SolveOptions,
+};
 use gdp_topology::{symmetry, PhilosopherId, Topology};
 use std::fmt::Write as _;
+
+/// The adversary class a check quantifies over, as named on the command
+/// line (`gdp check --adversary`).
+///
+/// The default is the paper's: **all** fair schedulers, which contains
+/// every *fair* catalog family.  The restricted classes relate to the
+/// `gdp-adversary` catalog as follows (tabulated in
+/// `docs/ADVERSARIES.md`):
+///
+/// * `crash:<f>` contains the catalog's `crash:<f>` scheduler exactly
+///   (same victim budget, every crash timing/placement), so a
+///   `certified` verdict covers every Monte-Carlo crash run;
+/// * `kbounded:<K>` contains every scheduler whose waits stay below `K`.
+///   Mind the parameter mapping: the catalog's dwell scheduler
+///   `kbounded:<k>` produces gaps of `k·(n−1)` steps, so it lies in the
+///   exact class `kbounded:<k·(n−1)>` — **not** in `kbounded:<k>` for
+///   `k ≥ 2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckAdversarySpec {
+    /// All fair schedulers (`--adversary fair`, the default).
+    AllFair,
+    /// Only k-bounded-fair schedulers (`--adversary kbounded:<k>`).
+    KBounded {
+        /// The wait bound that triggers forcing.
+        k: u32,
+    },
+    /// Fair schedulers plus up to `crashes` crash-stop faults
+    /// (`--adversary crash:<f>`).
+    CrashStop {
+        /// Maximum number of crash actions.
+        crashes: u32,
+    },
+}
+
+impl CheckAdversarySpec {
+    /// The exact class matching a sweep's concrete scheduler: `crash:<f>`
+    /// maps to the crash-stop class with the same budget (the sweep's
+    /// faulty scheduler is a member, so the verdict speaks about the
+    /// row); every *fair* family — dwell round-robin included — is a
+    /// member of the all-fair default.
+    #[must_use]
+    pub fn for_sweep_adversary(adversary: gdp_adversary::AdversaryKind) -> Self {
+        match adversary {
+            gdp_adversary::AdversaryKind::CrashStop { crashes } => {
+                CheckAdversarySpec::CrashStop { crashes }
+            }
+            _ => CheckAdversarySpec::AllFair,
+        }
+    }
+
+    /// The product-MDP restriction, or `None` for the unrestricted model.
+    #[must_use]
+    pub fn restriction(self) -> Option<ScheduleRestriction> {
+        match self {
+            CheckAdversarySpec::AllFair => None,
+            CheckAdversarySpec::KBounded { k } => Some(ScheduleRestriction::KBounded { k }),
+            CheckAdversarySpec::CrashStop { crashes } => Some(ScheduleRestriction::CrashStop {
+                max_crashes: crashes,
+            }),
+        }
+    }
+}
+
+impl std::str::FromStr for CheckAdversarySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "fair" | "all-fair" | "all" => return Ok(CheckAdversarySpec::AllFair),
+            _ => {}
+        }
+        if let Some(k) = lower
+            .strip_prefix("kbounded:")
+            .or_else(|| lower.strip_prefix("kbounded-rr:"))
+        {
+            return match k.parse() {
+                Ok(k) if k >= 1 => Ok(CheckAdversarySpec::KBounded { k }),
+                _ => Err(format!("invalid k in adversary class {s:?}")),
+            };
+        }
+        if let Some(f) = lower
+            .strip_prefix("crash:")
+            .or_else(|| lower.strip_prefix("crash-stop:"))
+        {
+            return f
+                .parse()
+                .map(|crashes| CheckAdversarySpec::CrashStop { crashes })
+                .map_err(|_| format!("invalid crash count in adversary class {s:?}"));
+        }
+        Err(format!(
+            "invalid adversary class {s:?}: expected fair, kbounded:<k> or crash:<f>"
+        ))
+    }
+}
 
 /// The objective of a check, as named on the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +179,11 @@ pub struct CheckSpec {
     /// Seed used to *build* random topology families (never for the check
     /// itself — every draw is enumerated, not sampled).
     pub topology_seed: u64,
+    /// The adversary class to quantify over.  Restricted classes build the
+    /// product MDP of `gdp-mcheck::restricted` (serial, quotient-free) and
+    /// skip counterexample extraction — the replayer speaks engine states,
+    /// not product states.
+    pub adversary: CheckAdversarySpec,
 }
 
 impl CheckSpec {
@@ -98,6 +201,7 @@ impl CheckSpec {
             symmetry: None,
             expected_steps: false,
             topology_seed: 0,
+            adversary: CheckAdversarySpec::AllFair,
         }
     }
 
@@ -198,18 +302,33 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, String> {
         .with_symmetry(spec.effective_symmetry())
         .with_threads(spec.threads);
     let solve_options = SolveOptions {
-        expected_steps: spec.expected_steps,
+        // Expected-steps iteration averages over schedule choices, which
+        // only makes sense in the unrestricted model (restricted products
+        // add crash choices / forced rows).
+        expected_steps: spec.expected_steps && spec.adversary == CheckAdversarySpec::AllFair,
         ..SolveOptions::default()
     };
 
     let program = spec.algorithm.program();
+    let restriction = spec.adversary.restriction();
     let mut certificates = Vec::with_capacity(targets.len());
     let mut counterexample = None;
     let mut counterexample_dot_out = None;
     for target in targets {
-        let mdp = build_mdp(&topology, &program, target, &build_options);
+        let mdp = match restriction {
+            None => build_mdp(&topology, &program, target, &build_options),
+            Some(restriction) => {
+                build_restricted_mdp(&topology, &program, target, restriction, &build_options)
+            }
+        };
         let solution = solve(&mdp, &solve_options);
-        let schedule = if counterexample.is_none() && !solution.holds_with_probability_one() {
+        // Counterexample replay speaks plain engine states; restricted
+        // product states carry scheduler bookkeeping the replayer cannot
+        // reconstruct, so extraction is limited to the unrestricted model.
+        let schedule = if restriction.is_none()
+            && counterexample.is_none()
+            && !solution.holds_with_probability_one()
+        {
             extract_counterexample(
                 &topology,
                 &program,
@@ -222,7 +341,7 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, String> {
         } else {
             None
         };
-        certificates.push(Certificate::new(
+        let mut certificate = Certificate::new(
             &topology,
             spec.algorithm.name(),
             target,
@@ -230,7 +349,11 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, String> {
             &mdp,
             &solution,
             schedule.as_ref(),
-        ));
+        );
+        if let Some(restriction) = restriction {
+            certificate = certificate.with_adversary_class(restriction.describe());
+        }
+        certificates.push(certificate);
         if let Some(schedule) = schedule {
             counterexample_dot_out = Some(counterexample_dot(
                 &topology,
@@ -295,7 +418,11 @@ pub struct ExactCellVerdict {
     pub states: usize,
 }
 
-/// Runs the trimmed-down exact progress check a sweep attaches to a cell.
+/// Runs the trimmed-down exact progress check a sweep attaches to a cell,
+/// quantifying over `adversary` — the sweep runner passes the class
+/// matching the sweep's scheduler ([`CheckAdversarySpec::for_sweep_adversary`]),
+/// so the exact columns and the Monte-Carlo columns of a row never
+/// contradict each other.
 ///
 /// # Errors
 ///
@@ -307,11 +434,13 @@ pub fn exact_cell_verdict(
     topology_seed: u64,
     max_states: usize,
     threads: usize,
+    adversary: CheckAdversarySpec,
 ) -> Result<ExactCellVerdict, String> {
     let spec = CheckSpec {
         max_states,
         threads,
         topology_seed,
+        adversary,
         ..CheckSpec::new(family, size, algorithm)
     };
     let report = run_check(&spec)?;
@@ -382,14 +511,114 @@ mod tests {
 
     #[test]
     fn exact_cell_verdicts_report_budget_exhaustion_as_inconclusive() {
-        let tiny =
-            exact_cell_verdict(TopologyFamily::Ring, 5, AlgorithmKind::Gdp1, 0, 100, 1).unwrap();
+        let tiny = exact_cell_verdict(
+            TopologyFamily::Ring,
+            5,
+            AlgorithmKind::Gdp1,
+            0,
+            100,
+            1,
+            CheckAdversarySpec::AllFair,
+        )
+        .unwrap();
         assert_eq!(tiny.verdict, "inconclusive");
         assert_eq!(tiny.states, 100);
-        let real =
-            exact_cell_verdict(TopologyFamily::Ring, 3, AlgorithmKind::Lr1, 0, 100_000, 1).unwrap();
+        let real = exact_cell_verdict(
+            TopologyFamily::Ring,
+            3,
+            AlgorithmKind::Lr1,
+            0,
+            100_000,
+            1,
+            CheckAdversarySpec::AllFair,
+        )
+        .unwrap();
         assert_eq!(real.verdict, "certified");
         assert_eq!(real.progress_probability, 1.0);
+    }
+
+    #[test]
+    fn sweep_exact_columns_match_the_sweep_adversary_class() {
+        use gdp_adversary::AdversaryKind;
+        // Fair families map to the all-fair default; the crash family maps
+        // to the crash class with the same budget...
+        assert_eq!(
+            CheckAdversarySpec::for_sweep_adversary(AdversaryKind::UniformRandom),
+            CheckAdversarySpec::AllFair
+        );
+        assert_eq!(
+            CheckAdversarySpec::for_sweep_adversary(AdversaryKind::KBoundedRoundRobin { k: 4 }),
+            CheckAdversarySpec::AllFair
+        );
+        assert_eq!(
+            CheckAdversarySpec::for_sweep_adversary(AdversaryKind::CrashStop { crashes: 1 }),
+            CheckAdversarySpec::CrashStop { crashes: 1 }
+        );
+        // ...so a crash:1 GDP1 ring-3 cell reports the crash-class verdict
+        // (violated, probability 0) instead of a contradictory all-fair
+        // "certified" next to faulty Monte-Carlo columns.
+        let exact = exact_cell_verdict(
+            TopologyFamily::Ring,
+            3,
+            AlgorithmKind::Gdp1,
+            0,
+            2_000_000,
+            1,
+            CheckAdversarySpec::for_sweep_adversary(AdversaryKind::CrashStop { crashes: 1 }),
+        )
+        .unwrap();
+        assert_eq!(exact.verdict, "violated");
+        assert_eq!(exact.progress_probability, 0.0);
+    }
+
+    #[test]
+    fn restricted_checks_run_and_stamp_the_adversary_class() {
+        // The crash-stop class defeats GDP1 progress even on the 3-ring
+        // (see gdp-mcheck::restricted): violated, with the class named in
+        // the certificate.
+        let spec = CheckSpec {
+            adversary: CheckAdversarySpec::CrashStop { crashes: 1 },
+            ..CheckSpec::new(TopologyFamily::Ring, 3, AlgorithmKind::Gdp1)
+        };
+        let report = run_check(&spec).unwrap();
+        assert_eq!(report.verdict(), Verdict::Violated);
+        assert!(report.counterexample.is_none(), "no replay for products");
+        let rendered = report.render();
+        assert!(
+            rendered.contains("adversaries:       fair schedulers with up to 1 crash-stop"),
+            "{rendered}"
+        );
+
+        // The k-bounded class is a *subset* of all fair schedulers: GDP1
+        // progress stays certified.
+        let spec = CheckSpec {
+            adversary: CheckAdversarySpec::KBounded { k: 2 },
+            ..CheckSpec::new(TopologyFamily::Ring, 3, AlgorithmKind::Gdp1)
+        };
+        let report = run_check(&spec).unwrap();
+        assert_eq!(report.verdict(), Verdict::Certified);
+        assert!(report
+            .render()
+            .contains("adversaries:       k-bounded-fair schedulers (k=2)"));
+    }
+
+    #[test]
+    fn check_adversary_specs_parse() {
+        assert_eq!(
+            "fair".parse::<CheckAdversarySpec>().unwrap(),
+            CheckAdversarySpec::AllFair
+        );
+        assert_eq!(
+            "kbounded:3".parse::<CheckAdversarySpec>().unwrap(),
+            CheckAdversarySpec::KBounded { k: 3 }
+        );
+        assert_eq!(
+            "crash:2".parse::<CheckAdversarySpec>().unwrap(),
+            CheckAdversarySpec::CrashStop { crashes: 2 }
+        );
+        assert!("kbounded:0".parse::<CheckAdversarySpec>().is_err());
+        assert!("uniform-random".parse::<CheckAdversarySpec>().is_err());
+        assert_eq!(CheckAdversarySpec::AllFair.restriction(), None);
     }
 
     #[test]

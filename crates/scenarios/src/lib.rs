@@ -56,13 +56,16 @@ mod spec;
 mod stress;
 
 pub use check::{
-    exact_cell_verdict, run_check, CheckReport, CheckSpec, CheckTargetSpec, CheckVerdict,
-    ExactCellVerdict,
+    exact_cell_verdict, run_check, CheckAdversarySpec, CheckReport, CheckSpec, CheckTargetSpec,
+    CheckVerdict, ExactCellVerdict,
 };
 pub use family::{FamilyParseError, TopologyFamily, FAMILY_CATALOG};
+pub use gdp_adversary::{
+    AdversaryCatalogEntry, FairnessClass, ParseAdversaryError, ADVERSARY_CATALOG,
+};
 pub use report::{csv_header, SweepReport};
 pub use runner::{run_sweep, run_sweep_with, CellResult, SweepError, SweepOptions};
-pub use spec::{AdversarySpec, ScenarioCell, ScenarioSpec, SeedPolicy, SpecParseError};
+pub use spec::{AdversaryKind, AdversarySpec, ScenarioCell, ScenarioSpec, SeedPolicy};
 pub use stress::{
     run_stress, stress_csv_header, StressLoad, StressReport, StressSpec, StressTiming,
 };

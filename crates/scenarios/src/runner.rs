@@ -214,6 +214,10 @@ fn run_cell(
                 cell.seed,
                 max_states,
                 spec.threads,
+                // Quantify over the class the sweep's scheduler belongs
+                // to, so a crash:<f> row never pairs faulty MC columns
+                // with an all-fair "certified".
+                crate::check::CheckAdversarySpec::for_sweep_adversary(spec.adversary),
             )
             .map_err(|message| SweepError::Topology {
                 cell: cell.key.clone(),

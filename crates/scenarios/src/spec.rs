@@ -1,99 +1,20 @@
 //! The declarative sweep specification and its grid expansion.
 
 use crate::family::TopologyFamily;
-use gdp_adversary::{BlockingAdversary, BlockingPolicy, StubbornnessSchedule};
 use gdp_algorithms::AlgorithmKind;
-use gdp_sim::{Adversary, RoundRobinAdversary, UniformRandomAdversary};
-use std::fmt;
-use std::str::FromStr;
 
-/// The scheduler every cell of a sweep runs under.
+/// The scheduler every cell of a sweep runs under: any family from the
+/// `gdp-adversary` catalog.
 ///
-/// This mirrors (and extends) `gdp_core::SchedulerSpec` with the patient
-/// blocking variant the off-ring failure experiments need: a blocking
-/// adversary whose stubbornness bound exceeds the step budget reproduces the
-/// paper's "late round" schedulers that are never forced off their preferred
-/// move within the observation window.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum AdversarySpec {
-    /// Fair round-robin scheduling.
-    RoundRobin,
-    /// Uniformly random fair scheduling, re-seeded per trial.
-    UniformRandom,
-    /// The generic blocking adversary of `gdp-adversary` with its default
-    /// growing stubbornness schedule (fairness bites within the window).
-    Blocking,
-    /// The blocking adversary with a constant stubbornness bound; pick a
-    /// bound larger than `max_steps` for the paper's patient late-round
-    /// schedulers.
-    BlockingPatient {
-        /// Constant deferral bound in scheduler steps.
-        stubbornness: u64,
-    },
-}
+/// Re-exported here (with `AdversarySpec` kept as an alias) because cell
+/// specs embed it; the catalog itself — families, fairness classes, spec
+/// strings, the deterministic per-trial
+/// [`build`](gdp_adversary::AdversaryKind::build) — lives in
+/// [`gdp_adversary`] and is documented in `docs/ADVERSARIES.md`.
+pub use gdp_adversary::AdversaryKind;
 
-impl AdversarySpec {
-    /// Instantiates the adversary for trial `trial` of a cell seeded with
-    /// `cell_seed`.  The construction depends only on those two values, so
-    /// sweeps stay deterministic for every thread count.
-    #[must_use]
-    pub fn build(self, cell_seed: u64, trial: u64) -> Box<dyn Adversary> {
-        match self {
-            AdversarySpec::RoundRobin => Box::new(RoundRobinAdversary::new()),
-            AdversarySpec::UniformRandom => {
-                Box::new(UniformRandomAdversary::new(cell_seed ^ trial ^ 0x5eed))
-            }
-            AdversarySpec::Blocking => Box::new(BlockingAdversary::global()),
-            AdversarySpec::BlockingPatient { stubbornness } => {
-                Box::new(BlockingAdversary::with_schedule(
-                    BlockingPolicy::global(),
-                    StubbornnessSchedule::constant(stubbornness),
-                ))
-            }
-        }
-    }
-
-    /// The canonical spec string (re-parseable with [`FromStr`]).
-    #[must_use]
-    pub fn name(self) -> String {
-        match self {
-            AdversarySpec::RoundRobin => "round-robin".to_string(),
-            AdversarySpec::UniformRandom => "uniform-random".to_string(),
-            AdversarySpec::Blocking => "blocking".to_string(),
-            AdversarySpec::BlockingPatient { stubbornness } => format!("blocking:{stubbornness}"),
-        }
-    }
-}
-
-impl fmt::Display for AdversarySpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
-    }
-}
-
-impl FromStr for AdversarySpec {
-    type Err = SpecParseError;
-
-    /// Parses `"round-robin"`, `"uniform-random"`, `"blocking"` or
-    /// `"blocking:<bound>"`.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
-            "round-robin" | "rr" => Ok(AdversarySpec::RoundRobin),
-            "uniform-random" | "uniform" | "random" => Ok(AdversarySpec::UniformRandom),
-            "blocking" => Ok(AdversarySpec::Blocking),
-            other => match other.strip_prefix("blocking:") {
-                Some(bound) => bound
-                    .parse()
-                    .map(|stubbornness| AdversarySpec::BlockingPatient { stubbornness })
-                    .map_err(|_| SpecParseError::new(s, "blocking bound must be an integer")),
-                None => Err(SpecParseError::new(
-                    s,
-                    "expected round-robin, uniform-random, blocking or blocking:<bound>",
-                )),
-            },
-        }
-    }
-}
+/// Historical name for [`AdversaryKind`], kept for the sweep-facing API.
+pub use gdp_adversary::AdversaryKind as AdversarySpec;
 
 /// How cell seeds are derived from the spec's base seed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -150,30 +71,6 @@ fn stable_cell_hash(key: &str) -> u64 {
     key.hash(&mut hasher);
     hasher.finish()
 }
-
-/// Error returned when a spec fragment does not parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecParseError {
-    input: String,
-    reason: String,
-}
-
-impl SpecParseError {
-    pub(crate) fn new(input: &str, reason: &str) -> Self {
-        SpecParseError {
-            input: input.to_string(),
-            reason: reason.to_string(),
-        }
-    }
-}
-
-impl fmt::Display for SpecParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid spec fragment {:?}: {}", self.input, self.reason)
-    }
-}
-
-impl std::error::Error for SpecParseError {}
 
 /// A fully specified scenario sweep: the Cartesian grid
 /// *families × sizes × algorithms*, one adversary, and a trial budget.

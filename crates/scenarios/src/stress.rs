@@ -82,6 +82,13 @@ pub struct StressSpec {
     /// Spin iterations executed inside each critical section, modelling
     /// real work while both resources are held.
     pub spin: u32,
+    /// Crash-stop faults (the runtime face of the adversary catalog's
+    /// `crash:<f>` family): this many seeded driven seats stop
+    /// mid-protocol before finishing their budget, recovering their forks
+    /// through `Seat::reset_trying`.  Victims and crash points derive from
+    /// [`seed`](Self::seed), so crash runs replay; crashed seats are
+    /// exempt from the `everyone_ate` success criterion.
+    pub crash_seats: usize,
 }
 
 impl StressSpec {
@@ -98,6 +105,7 @@ impl StressSpec {
             watchdog_ms: 30_000,
             seed: 0,
             spin: 64,
+            crash_seats: 0,
         }
     }
 
@@ -148,6 +156,10 @@ pub struct StressReport {
     pub seed: u64,
     /// Critical-section spin iterations.
     pub spin: u32,
+    /// Crash-stop faults requested.
+    pub crash_seats: usize,
+    /// The seats the fault model actually crashed (seeded, ascending).
+    pub crashed_seats: Vec<u64>,
     /// Meals per philosopher (inactive seats report 0).
     pub meals: Vec<u64>,
     /// Total meals.
@@ -206,6 +218,14 @@ fn from_run_report(spec: &StressSpec, report: &RunReport, record_timing: bool) -
         watchdog_ms: spec.watchdog_ms,
         seed: spec.seed,
         spin: spec.spin,
+        crash_seats: spec.crash_seats,
+        crashed_seats: report
+            .crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(p, _)| p as u64)
+            .collect(),
         total_meals: report.total_meals(),
         min_meals: active.iter().copied().min().unwrap_or(0),
         max_meals: active.iter().copied().max().unwrap_or(0),
@@ -245,6 +265,7 @@ pub fn run_stress(spec: &StressSpec, record_timing: bool) -> Result<StressReport
         watchdog: (spec.watchdog_ms > 0).then(|| Duration::from_millis(spec.watchdog_ms)),
         seed: spec.seed,
         nr_range: None,
+        crash_seats: spec.crash_seats,
     };
     let spin = spec.spin;
     let critical = move || {
@@ -267,6 +288,7 @@ pub fn run_stress(spec: &StressSpec, record_timing: bool) -> Result<StressReport
 #[must_use]
 pub fn stress_csv_header() -> &'static str {
     "cell,family,size,philosophers,forks,algorithm,threads,load,watchdog_ms,seed,spin,\
+     crash_seats,crashed_seats,\
      total_meals,min_meals,max_meals,everyone_ate,watchdog_tripped,jain_fairness,\
      elapsed_secs,meals_per_sec,mean_wait_micros"
 }
@@ -299,6 +321,9 @@ impl StressReport {
         let _ = writeln!(out, "  \"watchdog_ms\": {},", self.watchdog_ms);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"spin\": {},", self.spin);
+        let _ = writeln!(out, "  \"crash_seats\": {},", self.crash_seats);
+        let crashed: Vec<String> = self.crashed_seats.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "  \"crashed_seats\": [{}],", crashed.join(", "));
         let _ = writeln!(out, "  \"total_meals\": {},", self.total_meals);
         let _ = writeln!(out, "  \"min_meals\": {},", self.min_meals);
         let _ = writeln!(out, "  \"max_meals\": {},", self.max_meals);
@@ -356,11 +381,12 @@ impl StressReport {
             ),
             None => (String::new(), String::new(), String::new()),
         };
+        let crashed: Vec<String> = self.crashed_seats.iter().map(u64::to_string).collect();
         let mut out = String::from(stress_csv_header());
         out.push('\n');
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.cell,
             self.family,
             self.size,
@@ -372,6 +398,8 @@ impl StressReport {
             self.watchdog_ms,
             self.seed,
             self.spin,
+            self.crash_seats,
+            crashed.join(";"),
             self.total_meals,
             self.min_meals,
             self.max_meals,
@@ -483,6 +511,28 @@ mod tests {
         // Either it squeezed the meals through or the watchdog fired; both
         // terminate and serialize.
         assert!(report.to_json().contains("\"kind\": \"runtime_stress\""));
+    }
+
+    #[test]
+    fn crash_stress_exempts_victims_and_stays_byte_reproducible() {
+        let spec = StressSpec {
+            crash_seats: 2,
+            load: StressLoad::MealsPerSeat(6),
+            ..StressSpec::new(TopologyFamily::Ring, 5, AlgorithmKind::Gdp2)
+        };
+        let a = run_stress(&spec, false).unwrap();
+        assert!(a.succeeded(), "survivors feed despite two crashes");
+        assert_eq!(a.crash_seats, 2);
+        assert_eq!(a.crashed_seats.len(), 2);
+        assert!(a.total_meals < 30, "victims ate strictly less than budget");
+        assert!(a.jain_fairness < 1.0, "crashes show up as unfairness");
+        let json = a.to_json();
+        assert!(json.contains("\"crash_seats\": 2"), "{json}");
+        assert!(json.contains("\"crashed_seats\": ["), "{json}");
+        // Crash runs replay: identical artifacts on a second execution.
+        let b = run_stress(&spec, false).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
     }
 
     #[test]

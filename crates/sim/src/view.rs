@@ -284,6 +284,54 @@ impl<'a> SystemView<'a> {
     pub fn total_meals(&self) -> u64 {
         self.philosophers.iter().map(|p| p.meals).sum()
     }
+
+    /// The longest-waiting philosopher among those that satisfy `keep`:
+    /// smallest [`hungry_since`](PhilosopherView::hungry_since) stamp, ties
+    /// broken by identifier.  Eating philosophers keep their stamp until
+    /// the meal completes, so they rank with the same priority and finish
+    /// (releasing their forks) under waiting-order service.
+    ///
+    /// This is the primitive behind *adaptive* schedulers — the
+    /// `gdp-adversary` catalog's max-wait family is
+    /// `longest_waiting_where(enabled)` plus a least-scheduled fallback.
+    ///
+    /// ```
+    /// use gdp_algorithms::Gdp1;
+    /// use gdp_sim::{Engine, SimConfig, StopCondition, RoundRobinAdversary};
+    /// use gdp_topology::builders::classic_ring;
+    ///
+    /// let mut engine = Engine::new(classic_ring(4).unwrap(), Gdp1::new(), SimConfig::default());
+    /// engine.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(50));
+    /// engine.with_view(|view| {
+    ///     if let Some(p) = view.longest_waiting_where(|_| true) {
+    ///         let since = view.philosopher(p).hungry_since.expect("waiting implies a stamp");
+    ///         assert!(since <= view.step());
+    ///     }
+    /// });
+    /// ```
+    #[must_use]
+    pub fn longest_waiting_where(
+        &self,
+        mut keep: impl FnMut(&PhilosopherView) -> bool,
+    ) -> Option<PhilosopherId> {
+        self.philosophers
+            .iter()
+            .filter(|p| p.hungry_since.is_some() && keep(p))
+            .min_by_key(|p| (p.hungry_since, p.id))
+            .map(|p| p.id)
+    }
+
+    /// The philosopher scheduled the fewest times so far (ties broken by
+    /// identifier) — the standard deterministic fallback tier of the
+    /// catalog's adaptive schedulers.
+    #[must_use]
+    pub fn least_scheduled(&self) -> PhilosopherId {
+        self.philosophers
+            .iter()
+            .min_by_key(|p| (p.scheduled, p.id))
+            .map(|p| p.id)
+            .expect("a system has at least one philosopher")
+    }
 }
 
 pub(crate) fn make_view(

@@ -26,8 +26,9 @@
 
 use gdp::prelude::*;
 use gdp_scenarios::{
-    run_check, run_stress, run_sweep_with, AdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict,
-    ScenarioSpec, SeedPolicy, StressLoad, StressSpec, SweepOptions, TopologyFamily, FAMILY_CATALOG,
+    run_check, run_stress, run_sweep_with, AdversaryKind, CheckAdversarySpec, CheckSpec,
+    CheckTargetSpec, CheckVerdict, ScenarioSpec, SeedPolicy, StressLoad, StressSpec, SweepOptions,
+    TopologyFamily, ADVERSARY_CATALOG, FAMILY_CATALOG,
 };
 use std::process::ExitCode;
 
@@ -67,6 +68,7 @@ USAGE:
           --size <n>             family scale parameter      [default: 4]
           --algorithm <name>     algorithm to check          [default: gdp1]
           --target <t>           progress|lockout|philosopher:<i> [default: progress]
+          --adversary <class>    fair|kbounded:<k>|crash:<f> [default: fair]
           --max-states <n>       canonical-state budget      [default: 6000000]
           --threads <n>          0 = all cores               [default: 0]
           --symmetry <on|off>    quotient symmetric states   [default: auto]
@@ -85,6 +87,9 @@ USAGE:
           --duration-ms <ms>     run for wall-clock time instead of a budget
           --watchdog-ms <ms>     whole-run bound, 0 = none
                                  [default: 30000; with --duration-ms: 0]
+          --adversary <spec>     catalog spec; crash:<f> injects f seeded
+                                 crash-stop seats (reset_trying recovery),
+                                 fair families defer to the OS scheduler
           --spin <iters>         critical-section spin work  [default: 64]
           --seed <n>             topology + randomness seed  [default: 0]
           --json <path>          JSON output                 [default: gdp_stress.json]
@@ -111,7 +116,9 @@ USAGE:
           --check                attach exact worst-case progress verdicts
           --check-states <n>     state budget per exact verdict [default: 400000]
 
-Adversary specs: round-robin | uniform-random | blocking | blocking:<bound>.
+Adversary specs (the full catalog, see `gdp list` / docs/ADVERSARIES.md):
+round-robin | uniform-random | max-wait | kbounded:<k> | blocking |
+blocking:<bound> | greedy-conflict | greedy-conflict:<bound> | crash:<f>.
 Results are bitwise-identical for every --threads value (PR-1 determinism
 contract); by default the JSON/CSV artifacts are also byte-reproducible
 across runs — pass --timing to trade that for embedded throughput figures.
@@ -204,13 +211,20 @@ fn cmd_list() -> Result<(), String> {
         println!("  {:<26} {}", kind.name(), kind.description());
     }
     println!();
-    println!("ADVERSARIES (--adversary):");
-    println!("  round-robin                fair cyclic scheduling");
-    println!("  uniform-random             fair random scheduling, re-seeded per trial");
-    println!(
-        "  blocking                   blocking adversary, growing stubbornness (fairness bites)"
-    );
-    println!("  blocking:<bound>           blocking adversary, constant stubbornness bound");
+    println!("ADVERSARIES (--adversary; catalog in docs/ADVERSARIES.md):");
+    for entry in ADVERSARY_CATALOG {
+        println!(
+            "  {:<26} {:<24} {}",
+            entry.spec,
+            entry.fairness.name(),
+            entry.description
+        );
+    }
+    println!();
+    println!("EXACT ADVERSARY CLASSES (gdp check --adversary):");
+    println!("  fair                       all fair schedulers (the paper's default)");
+    println!("  kbounded:<k>               only k-bounded-fair schedulers (product MDP)");
+    println!("  crash:<f>                  fair scheduling + up to f crash-stop faults");
     Ok(())
 }
 
@@ -231,7 +245,7 @@ fn cmd_run(mut args: Args) -> Result<CommandOutcome, String> {
             .value_of("--algorithm")?
             .unwrap_or_else(|| "gdp1".into()),
     )?;
-    let adversary: AdversarySpec = parse(
+    let adversary: AdversaryKind = parse(
         "adversary",
         &args
             .value_of("--adversary")?
@@ -335,6 +349,12 @@ fn cmd_check(mut args: Args) -> Result<CommandOutcome, String> {
     };
     let expected_steps = args.has("--expected-steps");
     let counterexample_path = args.value_of("--counterexample")?;
+    let adversary: CheckAdversarySpec = parse(
+        "adversary class",
+        &args
+            .value_of("--adversary")?
+            .unwrap_or_else(|| "fair".into()),
+    )?;
     let seed: u64 = parse(
         "seed",
         &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
@@ -351,7 +371,14 @@ fn cmd_check(mut args: Args) -> Result<CommandOutcome, String> {
         symmetry,
         expected_steps,
         topology_seed: seed,
+        adversary,
     };
+    if expected_steps && adversary != CheckAdversarySpec::AllFair {
+        println!(
+            "note     --expected-steps applies only to the unrestricted class \
+             (--adversary fair); skipping it for this restricted check"
+        );
+    }
     let report = run_check(&spec)?;
     print!("{}", report.render());
     if let Some(path) = counterexample_path {
@@ -425,6 +452,20 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
         "seed",
         &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
     )?;
+    // Any catalog family is accepted: the crash-stop family shapes the load
+    // (seeded crash-stop seats recovering through reset_trying); for every
+    // fair family the OS scheduler itself stands in — real threads cannot
+    // be steered step-by-step, which is the point of the stress layer.
+    let adversary: AdversaryKind = parse(
+        "adversary",
+        &args
+            .value_of("--adversary")?
+            .unwrap_or_else(|| "uniform-random".into()),
+    )?;
+    let crash_seats = match adversary {
+        AdversaryKind::CrashStop { crashes } => crashes as usize,
+        _ => 0,
+    };
     let json_path = args
         .value_of("--json")?
         .unwrap_or_else(|| "gdp_stress.json".into());
@@ -443,9 +484,10 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
         watchdog_ms,
         seed,
         spin,
+        crash_seats,
     };
     println!(
-        "stress   {} x {} driven seats, load {}, watchdog {}ms (seed {seed})",
+        "stress   {} x {} driven seats, load {}, watchdog {}ms (seed {seed}{})",
         spec.cell(),
         if threads == 0 {
             "all".to_string()
@@ -454,17 +496,33 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
         },
         spec.load.name(),
         watchdog_ms,
+        if crash_seats > 0 {
+            format!(", {crash_seats} crash-stop seat(s)")
+        } else {
+            String::new()
+        },
     );
+    if crash_seats == 0 && adversary != AdversaryKind::UniformRandom {
+        println!(
+            "note     fair adversary families are subsumed by the OS scheduler on real \
+             threads; only crash:<f> shapes a stress load (see docs/ADVERSARIES.md)"
+        );
+    }
     let report = run_stress(&spec, timing)?;
     println!(
         "result   {} philosophers / {} forks on real threads: {} meals total, \
-         everyone_ate={}, watchdog_tripped={}, jain={:.4}",
+         everyone_ate={}, watchdog_tripped={}, jain={:.4}{}",
         report.philosophers,
         report.forks,
         report.total_meals,
         report.everyone_ate,
         report.watchdog_tripped,
         report.jain_fairness,
+        if report.crashed_seats.is_empty() {
+            String::new()
+        } else {
+            format!(", crashed={:?}", report.crashed_seats)
+        },
     );
     if let Some(t) = &report.timing {
         println!(

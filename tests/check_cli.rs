@@ -113,6 +113,51 @@ fn check_proves_lr1_lockout_on_the_three_ring() {
     assert!(text.contains("counterexample:"), "{text}");
 }
 
+/// Restricted adversary classes end to end: the crash-stop class defeats
+/// GDP1 progress even on the 3-ring (exit 1, class named in the
+/// certificate), while the k-bounded class — a subset of all fair
+/// schedulers — keeps it certified (exit 0).
+#[test]
+fn check_restricted_adversary_classes_flip_the_gdp1_verdict() {
+    let crash = gdp(&[
+        "check",
+        "--family",
+        "ring",
+        "--size",
+        "3",
+        "--algorithm",
+        "gdp1",
+        "--adversary",
+        "crash:1",
+    ]);
+    assert_eq!(crash.status.code(), Some(1), "{}", stderr(&crash));
+    let text = stdout(&crash);
+    assert!(
+        text.contains("adversaries:       fair schedulers with up to 1 crash-stop fault(s)"),
+        "{text}"
+    );
+    assert!(text.contains("0 (exact"), "{text}");
+
+    let kbounded = gdp(&[
+        "check",
+        "--family",
+        "ring",
+        "--size",
+        "3",
+        "--algorithm",
+        "gdp1",
+        "--adversary",
+        "kbounded:2",
+    ]);
+    assert!(kbounded.status.success(), "{}", stderr(&kbounded));
+    let text = stdout(&kbounded);
+    assert!(
+        text.contains("adversaries:       k-bounded-fair schedulers (k=2)"),
+        "{text}"
+    );
+    assert!(text.contains("verdict:           certified"), "{text}");
+}
+
 #[test]
 fn check_with_exhausted_budget_is_inconclusive_and_exits_3() {
     let output = gdp(&[

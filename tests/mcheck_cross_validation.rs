@@ -18,7 +18,8 @@
 use gdp::prelude::montecarlo::estimate_liveness;
 use gdp::prelude::*;
 use gdp::scenarios::{
-    exact_cell_verdict, run_check, CheckSpec, CheckTargetSpec, CheckVerdict, TopologyFamily,
+    exact_cell_verdict, run_check, CheckAdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict,
+    TopologyFamily,
 };
 use gdp_mcheck::{build_mdp, solve, BuildOptions, CheckTarget, SolveOptions};
 use gdp_topology::builders::classic_ring;
@@ -35,6 +36,7 @@ fn gdp1_exact_progress_is_one_and_brackets_monte_carlo_on_rings() {
             0,
             6_000_000,
             0,
+            CheckAdversarySpec::AllFair,
         )
         .unwrap();
         assert_eq!(exact.verdict, "certified", "ring n={n}");

@@ -3,7 +3,7 @@
 //! qualitative split, and sweeps are bitwise-identical for every thread
 //! count.
 //!
-//! The split, in finite-horizon form:
+//! The splits, in finite-horizon form:
 //!
 //! * under the generalized blocking scheduler of `gdp-adversary` with a
 //!   constant stubbornness bound well below the window (so the scheduler is
@@ -14,7 +14,13 @@
 //! * GDP1 makes progress in every cell under both the blocking and the
 //!   uniform-random scheduler (Theorem 3), and under fair random scheduling
 //!   it is empirically lockout-free on every family (the property GDP2
-//!   upgrades to a guarantee).
+//!   upgrades to a guarantee);
+//! * the Section 5 split between GDP1 and GDP2, surfaced by the **adaptive
+//!   greedy-conflict** scheduler of the adversary catalog
+//!   (`docs/ADVERSARIES.md`): on an irregular conflict graph GDP1 — which
+//!   is lockout-free in the same cells under uniform-random scheduling —
+//!   starves a philosopher in *every* trial, while GDP2's courtesy
+//!   machinery keeps every philosopher fed under the very same scheduler.
 
 use gdp_scenarios::{run_sweep, AdversarySpec, CellResult, ScenarioSpec, SeedPolicy, SweepOptions};
 
@@ -95,6 +101,59 @@ fn fair_sweep_keeps_gdp1_lockout_free_on_every_family() {
             assert!(c.min_meals_mean >= 1.0, "{}", c.cell);
         }
     }
+}
+
+#[test]
+fn greedy_conflict_separates_gdp1_from_gdp2_off_the_ring() {
+    // The adversary-catalog split (Section 5 in adaptive-scheduler form):
+    // under the contention-maximizing greedy-conflict scheduler with a
+    // constant 1800-step fairness bound (well inside the 40k window, so the
+    // scheduler is genuinely fair throughout), GDP1 starves somebody in
+    // every random-3-regular trial while GDP2 keeps everyone fed — and the
+    // same scheduler produces no lockout at all on the classic ring, so
+    // the separation is a topology-and-adversary interaction, not a blunt
+    // instrument.  (GDP1 is lockout-free in these same cells under
+    // uniform-random scheduling: see
+    // `fair_sweep_keeps_gdp1_lockout_free_on_every_family`.)
+    let spec = ScenarioSpec::new("greedy-conflict-split")
+        .with_families_str("ring,random-regular:3")
+        .expect("family specs parse")
+        .with_sizes([9])
+        .with_algorithms_str("gdp1,gdp2")
+        .expect("algorithm specs parse")
+        .with_adversary(AdversarySpec::GreedyConflictPatient {
+            stubbornness: 1_800,
+        })
+        .with_trials(8)
+        .with_max_steps(40_000)
+        .with_seed_policy(SeedPolicy::PerCell(0));
+    let report = run_sweep(&spec, &SweepOptions::quiet()).expect("sweep runs");
+    assert_eq!(report.cells.len(), 4);
+    for c in &report.cells {
+        assert_eq!(c.deadlock_rate, 0.0, "{} must progress", c.cell);
+        assert_eq!(c.adversary, "greedy-conflict:1800");
+    }
+
+    // On the ring the fairness guard rescues everyone under both
+    // algorithms (measured lockout 0.0 for each).
+    for key in ["ring/n9/GDP1", "ring/n9/GDP2"] {
+        assert_eq!(cell(&report.cells, key).lockout_rate, 0.0, "{key}");
+    }
+
+    // Off the ring: GDP1 starves a philosopher in every trial (measured
+    // rate 1.0; 0.75 leaves slack), GDP2 in none.
+    let gdp1 = cell(&report.cells, "random-regular:3/n9/GDP1");
+    assert!(
+        gdp1.lockout_rate >= 0.75,
+        "greedy-conflict must starve GDP1 off-ring, got {}",
+        gdp1.lockout_rate
+    );
+    let gdp2 = cell(&report.cells, "random-regular:3/n9/GDP2");
+    assert_eq!(
+        gdp2.lockout_rate, 0.0,
+        "GDP2 must stay lockout-free under the same scheduler"
+    );
+    assert!(gdp2.min_meals_mean >= 1.0);
 }
 
 #[test]

@@ -216,6 +216,67 @@ fn partial_thread_counts_drive_a_subset() {
     let _ = std::fs::remove_file(csv);
 }
 
+/// `--adversary crash:<f>` injects seeded crash-stop seats: victims eat a
+/// strict share of the budget, survivors finish theirs, the run still
+/// succeeds (crashed seats are exempt from `everyone_ate`), and the
+/// artifacts carry the crash columns.
+#[test]
+fn crash_adversary_shapes_the_load_and_reports_crash_columns() {
+    let json = tmp("crash.json");
+    let csv = tmp("crash.csv");
+    let output = gdp(&stress_args(
+        "gdp2",
+        json.to_str().unwrap(),
+        csv.to_str().unwrap(),
+        &["--adversary", "crash:2"],
+    ));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(stdout.contains("2 crash-stop seat(s)"), "{stdout}");
+    assert!(stdout.contains("crashed="), "{stdout}");
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"crash_seats\": 2"), "{json_text}");
+    assert!(json_text.contains("\"everyone_ate\": true"), "{json_text}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(
+        csv_text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("crash_seats,crashed_seats"),
+        "{csv_text}"
+    );
+    let _ = std::fs::remove_file(json);
+    let _ = std::fs::remove_file(csv);
+}
+
+/// Every fair catalog family is *accepted* by `gdp stress` (the OS
+/// scheduler stands in for it; only crash:<f> shapes the load).
+#[test]
+fn fair_adversary_specs_are_accepted_with_a_note() {
+    let json = tmp("fair_adv.json");
+    let csv = tmp("fair_adv.csv");
+    let output = gdp(&stress_args(
+        "gdp2",
+        json.to_str().unwrap(),
+        csv.to_str().unwrap(),
+        &["--adversary", "greedy-conflict"],
+    ));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(stdout.contains("subsumed by the OS scheduler"), "{stdout}");
+    let _ = std::fs::remove_file(json);
+    let _ = std::fs::remove_file(csv);
+}
+
 /// Usage errors exit 2, like the other subcommands.
 #[test]
 fn stress_usage_errors_exit_2() {
