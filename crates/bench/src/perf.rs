@@ -15,6 +15,10 @@
 //!   bitwise-equality check between the two estimates;
 //! * **cells/sec** of the scenario-sweep layer (`gdp-scenarios`) over a
 //!   mixed-family grid, again with the serial-vs-parallel identity check;
+//! * **cold vs warm resume** of the crash-safe cell store over the same
+//!   grid: wall-clock of computing + persisting every cell against a
+//!   full-cache `--resume`, with the store hit rate and the bitwise
+//!   identity of the two reports;
 //! * **states/sec** of the exact model checker (`gdp-mcheck`) building the
 //!   GDP1 4-ring MDP, plus the snapshot-vs-replay exploration comparison
 //!   on the same ring.  Two ratios are recorded: the exact **engine-step
@@ -94,6 +98,31 @@ pub struct ScenarioSweepSample {
     pub identical: bool,
 }
 
+/// Crash-safe store measurement: a cold store-backed sweep vs a warm
+/// resume of the same grid from the populated store.
+#[derive(Clone, Debug)]
+pub struct SweepResumeSample {
+    /// Cells in the measured grid.
+    pub cells: usize,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Step budget per trial.
+    pub max_steps: u64,
+    /// Wall-clock seconds of the cold run (every cell computed and
+    /// persisted).
+    pub cold_secs: f64,
+    /// Wall-clock seconds of the warm resume (every cell reused from the
+    /// store).
+    pub warm_secs: f64,
+    /// `warm / cold` wall-clock ratio — how cheap a full-cache resume is.
+    pub warm_vs_cold_ratio: f64,
+    /// Fraction of the warm run's cells served from the store (must be 1).
+    pub store_hit_rate: f64,
+    /// Whether the cold and warm reports were bitwise-identical (must be
+    /// `true`).
+    pub identical: bool,
+}
+
 /// Exact-model-checking throughput measurement.
 #[derive(Clone, Debug)]
 pub struct McheckSample {
@@ -167,6 +196,8 @@ pub struct PerfReport {
     pub montecarlo: MonteCarloSample,
     /// The scenario-sweep serial-vs-parallel sample.
     pub scenario_sweep: ScenarioSweepSample,
+    /// The crash-safe store cold-vs-warm-resume sample.
+    pub sweep_resume: SweepResumeSample,
     /// The exact-checker state-space sample.
     pub mcheck_state_space: McheckSample,
     /// The real-thread runtime stress sample.
@@ -320,6 +351,48 @@ pub fn measure_scenario_sweep() -> ScenarioSweepSample {
     }
 }
 
+/// Measures the crash-safe cell store on the perf grid: a cold
+/// store-backed sweep (compute + persist every cell) against a warm resume
+/// (every cell reused), checking the two reports are bitwise-identical.
+/// The warm figure is the floor cost of `gdp sweep --store --resume` after
+/// an interruption at the finish line.
+///
+/// # Panics
+///
+/// Panics when the store directory cannot be created or a sweep fails —
+/// both are defects of the bench environment.
+#[must_use]
+pub fn measure_sweep_resume() -> SweepResumeSample {
+    use gdp_scenarios::{run_sweep_durable, CellStore};
+    let spec = sweep_perf_spec();
+    let quiet = SweepOptions::quiet();
+    let dir = std::env::temp_dir().join(format!("gdp_bench_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CellStore::open(&dir, &spec, None).expect("bench store opens");
+
+    let started = Instant::now();
+    let (cold, cold_stats) = run_sweep_durable(&spec, &quiet, Some(&store), true, None, |_| {})
+        .expect("perf sweep (cold store)");
+    let cold_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let (warm, warm_stats) = run_sweep_durable(&spec, &quiet, Some(&store), true, None, |_| {})
+        .expect("perf sweep (warm resume)");
+    let warm_secs = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(cold_stats.computed as usize, cold.cells.len());
+    SweepResumeSample {
+        cells: warm.cells.len(),
+        trials: warm.trials,
+        max_steps: warm.max_steps,
+        cold_secs,
+        warm_secs,
+        warm_vs_cold_ratio: warm_secs / cold_secs,
+        store_hit_rate: warm_stats.reused as f64 / warm.cells.len() as f64,
+        identical: cold == warm,
+    }
+}
+
 /// Budget for the snapshot-vs-replay exploration comparison: the full
 /// per-seed GDP1 state space of the 4-ring fits comfortably.
 const EXPLORE_BUDGET: (usize, usize) = (200_000, 400);
@@ -452,6 +525,7 @@ pub fn run_perf_suite() -> PerfReport {
     // every core gets work.
     let montecarlo = measure_montecarlo(50, 64, 40_000);
     let scenario_sweep = measure_scenario_sweep();
+    let sweep_resume = measure_sweep_resume();
     let mcheck_state_space = measure_mcheck(4);
     let runtime_stress = measure_runtime_stress(8, 400);
     PerfReport {
@@ -459,6 +533,7 @@ pub fn run_perf_suite() -> PerfReport {
         hot_loop_rebuild,
         montecarlo,
         scenario_sweep,
+        sweep_resume,
         mcheck_state_space,
         runtime_stress,
     }
@@ -467,6 +542,16 @@ pub fn run_perf_suite() -> PerfReport {
 fn json_f64(value: f64) -> String {
     if value.is_finite() {
         format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Like [`json_f64`] at microsecond-scale precision, for the warm-resume
+/// figures (a full-cache resume is sub-millisecond and would round to 0).
+fn json_f64_fine(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
     } else {
         "null".to_string()
     }
@@ -532,6 +617,24 @@ impl PerfReport {
             json_f64(sweep.cells_per_sec),
             json_f64(sweep.speedup),
             sweep.identical,
+        );
+        let resume = &self.sweep_resume;
+        let _ = write!(
+            out,
+            "  \"sweep_resume\": {{\n    \"families\": \"{}\",\n    \
+             \"algorithm\": \"GDP1\",\n    \"cells\": {},\n    \"trials\": {},\n    \
+             \"max_steps\": {},\n    \"cold_secs\": {},\n    \"warm_secs\": {},\n    \
+             \"warm_vs_cold_ratio\": {},\n    \"store_hit_rate\": {},\n    \
+             \"bitwise_identical\": {}\n  }},\n",
+            SWEEP_PERF_FAMILIES,
+            resume.cells,
+            resume.trials,
+            resume.max_steps,
+            json_f64(resume.cold_secs),
+            json_f64_fine(resume.warm_secs),
+            json_f64_fine(resume.warm_vs_cold_ratio),
+            json_f64(resume.store_hit_rate),
+            resume.identical,
         );
         let mcheck = &self.mcheck_state_space;
         let _ = write!(
@@ -623,6 +726,17 @@ impl PerfReport {
             sweep.speedup,
             sweep.identical,
         );
+        let resume = &self.sweep_resume;
+        println!(
+            "perf: sweep_resume {} cells: cold {:.3}s vs warm resume {:.3}s \
+             ({:.4}x), hit rate {:.2}, identical={}",
+            resume.cells,
+            resume.cold_secs,
+            resume.warm_secs,
+            resume.warm_vs_cold_ratio,
+            resume.store_hit_rate,
+            resume.identical,
+        );
         let mcheck = &self.mcheck_state_space;
         println!(
             "perf: mcheck ring-{} GDP1 {} states ({} transitions) at {:.0} states/s, \
@@ -682,6 +796,16 @@ mod tests {
                 speedup: 1.0,
                 identical: true,
             },
+            sweep_resume: SweepResumeSample {
+                cells: 8,
+                trials: 16,
+                max_steps: 20_000,
+                cold_secs: 2.0,
+                warm_secs: 0.01,
+                warm_vs_cold_ratio: 0.005,
+                store_hit_rate: 1.0,
+                identical: true,
+            },
             mcheck_state_space: measure_mcheck(3),
             runtime_stress: RuntimeStressSample {
                 n: 8,
@@ -701,6 +825,8 @@ mod tests {
         assert!(json.contains("\"steps_per_sec\""));
         assert!(json.contains("\"scenario_sweep\""));
         assert!(json.contains("\"cells_per_sec\""));
+        assert!(json.contains("\"sweep_resume\""));
+        assert!(json.contains("\"store_hit_rate\""));
         assert!(json.contains("\"mcheck_state_space\""));
         assert!(json.contains("\"engine_step_work_ratio\""));
         assert!(json.contains("\"runtime_stress\""));
@@ -759,5 +885,21 @@ mod tests {
         assert!(sample.identical, "sweep must be thread-count independent");
         assert_eq!(sample.cells, 8);
         assert!(sample.cells_per_sec > 0.0);
+    }
+
+    /// The store contract as seen from the bench: a warm resume reuses the
+    /// whole grid (hit rate 1) and reproduces the cold report exactly.
+    /// (The warm/cold wall-clock *ratio* is recorded, not asserted: it is
+    /// load-sensitive inside a parallel test suite.)
+    #[test]
+    fn sweep_resume_sample_hits_the_whole_store_and_is_identical() {
+        let sample = measure_sweep_resume();
+        assert!(
+            sample.identical,
+            "warm resume must reproduce the cold report"
+        );
+        assert_eq!(sample.store_hit_rate, 1.0);
+        assert_eq!(sample.cells, 8);
+        assert!(sample.warm_vs_cold_ratio.is_finite() && sample.warm_vs_cold_ratio > 0.0);
     }
 }

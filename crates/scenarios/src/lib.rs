@@ -28,6 +28,16 @@
 //! [`SweepOptions::record_timing`] is set, so the default JSON/CSV artifacts
 //! are reproducible byte for byte.
 //!
+//! ## Crash safety
+//!
+//! Because cells are pure functions of *(spec fingerprint, cell key)* with
+//! byte-reproducible outputs, completed cells can be persisted and reused:
+//! the [`CellStore`] checkpoints every completed cell atomically (with an
+//! embedded integrity checksum), [`run_sweep_durable`]
+//! resumes an interrupted sweep from the store, [`ShardSpec`] partitions a
+//! grid across processes, and [`merge_stores`] fuses shard stores into the
+//! exact artifacts of an unsharded run.
+//!
 //! ## Example
 //!
 //! ```
@@ -53,6 +63,7 @@ mod family;
 mod report;
 mod runner;
 mod spec;
+mod store;
 mod stress;
 
 pub use check::{
@@ -64,8 +75,14 @@ pub use gdp_adversary::{
     AdversaryCatalogEntry, FairnessClass, ParseAdversaryError, ADVERSARY_CATALOG,
 };
 pub use report::{csv_header, SweepReport};
-pub use runner::{run_sweep, run_sweep_with, CellResult, SweepError, SweepOptions};
+pub use runner::{
+    run_sweep, run_sweep_durable, run_sweep_with, CellResult, SweepError, SweepOptions,
+};
 pub use spec::{AdversaryKind, AdversarySpec, ScenarioCell, ScenarioSpec, SeedPolicy};
+pub use store::{
+    merge_stores, stable_digest64, CellStore, MergeError, ParseShardError, ShardSpec, StoreLookup,
+    StoreStats, STORE_FORMAT,
+};
 pub use stress::{
     run_stress, stress_csv_header, StressLoad, StressReport, StressSpec, StressTiming,
 };

@@ -223,6 +223,164 @@ impl SweepReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cell-record payload codec (the durable half of the serialization layer).
+//
+// The cell store (`crate::store`) persists one completed `CellResult` per
+// record.  The payload is a strict line-oriented `field value` format in a
+// fixed field order; floating-point fields are stored as the **exact bit
+// pattern** (`f64::to_bits`, 16 hex digits) so a resumed sweep reproduces
+// the JSON/CSV artifacts byte for byte — the `%.6f` rendering above would
+// round-trip the *printed* value but not the summary statistics feeding it.
+// The wall-clock `steps_per_sec` field is deliberately not persisted:
+// stored cells are always the reproducible, timing-free shape.
+// ---------------------------------------------------------------------------
+
+/// Renders the exact bit pattern of an `f64` as 16 hex digits.
+fn f64_bits(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Serializes the deterministic fields of a [`CellResult`] as a cell-record
+/// payload.
+pub(crate) fn encode_cell_payload(c: &CellResult) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = writeln!(out, "cell {}", c.cell);
+    let _ = writeln!(out, "family {}", c.family);
+    let _ = writeln!(out, "size {}", c.size);
+    let _ = writeln!(out, "philosophers {}", c.philosophers);
+    let _ = writeln!(out, "forks {}", c.forks);
+    let _ = writeln!(out, "algorithm {}", c.algorithm);
+    let _ = writeln!(out, "adversary {}", c.adversary);
+    let _ = writeln!(out, "trials {}", c.trials);
+    let _ = writeln!(out, "max_steps {}", c.max_steps);
+    let _ = writeln!(out, "seed {}", c.seed);
+    let _ = writeln!(out, "deadlock_rate {}", f64_bits(c.deadlock_rate));
+    let _ = writeln!(out, "lockout_rate {}", f64_bits(c.lockout_rate));
+    let _ = writeln!(out, "mean_hunger {}", f64_bits(c.mean_hunger));
+    let _ = writeln!(out, "min_meals_mean {}", f64_bits(c.min_meals_mean));
+    let _ = writeln!(out, "fairness_mean {}", f64_bits(c.fairness_mean));
+    let _ = writeln!(out, "stuck_trials {}", c.stuck_trials);
+    let _ = writeln!(out, "unsafe_trials {}", c.unsafe_trials);
+    match &c.exact {
+        Some(exact) => {
+            let _ = writeln!(
+                out,
+                "exact {} {} {}",
+                exact.verdict,
+                f64_bits(exact.progress_probability),
+                exact.states
+            );
+        }
+        None => {
+            let _ = writeln!(out, "exact none");
+        }
+    }
+    out
+}
+
+/// Parses a cell-record payload back into a [`CellResult`].
+///
+/// Parsing is strict — fixed field order, no extra or missing lines — so
+/// any torn or hand-edited payload is rejected rather than guessed at.
+pub(crate) fn decode_cell_payload(payload: &str) -> Result<CellResult, String> {
+    let mut lines = payload.lines();
+    let mut field = |name: &str| -> Result<String, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("payload truncated before field {name:?}"))?;
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed payload line {line:?}"))?;
+        if key != name {
+            return Err(format!("expected field {name:?}, found {key:?}"));
+        }
+        Ok(value.to_string())
+    };
+    fn int<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
+        value
+            .parse()
+            .map_err(|_| format!("field {name:?} has invalid value {value:?}"))
+    }
+    fn bits(name: &str, value: &str) -> Result<f64, String> {
+        let raw = u64::from_str_radix(value, 16)
+            .map_err(|_| format!("field {name:?} has invalid f64 bits {value:?}"))?;
+        if value.len() != 16 {
+            return Err(format!("field {name:?} has invalid f64 bits {value:?}"));
+        }
+        Ok(f64::from_bits(raw))
+    }
+
+    let cell = field("cell")?;
+    let family = field("family")?;
+    let size = int("size", &field("size")?)?;
+    let philosophers = int("philosophers", &field("philosophers")?)?;
+    let forks = int("forks", &field("forks")?)?;
+    let algorithm = field("algorithm")?;
+    let adversary = field("adversary")?;
+    let trials = int("trials", &field("trials")?)?;
+    let max_steps = int("max_steps", &field("max_steps")?)?;
+    let seed = int("seed", &field("seed")?)?;
+    let deadlock_rate = bits("deadlock_rate", &field("deadlock_rate")?)?;
+    let lockout_rate = bits("lockout_rate", &field("lockout_rate")?)?;
+    let mean_hunger = bits("mean_hunger", &field("mean_hunger")?)?;
+    let min_meals_mean = bits("min_meals_mean", &field("min_meals_mean")?)?;
+    let fairness_mean = bits("fairness_mean", &field("fairness_mean")?)?;
+    let stuck_trials = int("stuck_trials", &field("stuck_trials")?)?;
+    let unsafe_trials = int("unsafe_trials", &field("unsafe_trials")?)?;
+    let exact_line = field("exact")?;
+    let exact = if exact_line == "none" {
+        None
+    } else {
+        let mut parts = exact_line.split(' ');
+        let verdict = parts
+            .next()
+            .filter(|v| !v.is_empty())
+            .ok_or("exact field missing verdict")?
+            .to_string();
+        let probability = bits(
+            "exact probability",
+            parts.next().ok_or("exact field missing probability")?,
+        )?;
+        let states = int(
+            "exact states",
+            parts.next().ok_or("exact field missing states")?,
+        )?;
+        if parts.next().is_some() {
+            return Err("exact field has trailing tokens".to_string());
+        }
+        Some(crate::check::ExactCellVerdict {
+            verdict,
+            progress_probability: probability,
+            states,
+        })
+    };
+    if lines.next().is_some() {
+        return Err("payload has trailing lines".to_string());
+    }
+    Ok(CellResult {
+        cell,
+        family,
+        size,
+        philosophers,
+        forks,
+        algorithm,
+        adversary,
+        trials,
+        max_steps,
+        seed,
+        deadlock_rate,
+        lockout_rate,
+        mean_hunger,
+        min_meals_mean,
+        fairness_mean,
+        steps_per_sec: None,
+        stuck_trials,
+        unsafe_trials,
+        exact,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +438,48 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), columns, "row: {line}");
         }
+    }
+
+    #[test]
+    fn cell_payload_round_trips_bit_exactly() {
+        let mut report = small_report();
+        report.cells[0].exact = Some(crate::check::ExactCellVerdict {
+            verdict: "certified".to_string(),
+            progress_probability: 1.0_f64 / 3.0,
+            states: 12_345,
+        });
+        // A wall-clock field is deliberately dropped by the codec.
+        report.cells[1].steps_per_sec = Some(123.456);
+        for cell in &report.cells {
+            let decoded = decode_cell_payload(&encode_cell_payload(cell)).unwrap();
+            let mut expected = cell.clone();
+            expected.steps_per_sec = None;
+            assert_eq!(decoded, expected);
+            assert_eq!(
+                encode_cell_payload(&decoded),
+                encode_cell_payload(cell),
+                "re-encoding must be a fixed point"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_payload_decode_rejects_torn_and_tampered_input() {
+        let payload = encode_cell_payload(&small_report().cells[0]);
+        // Truncation at every line boundary fails loudly.
+        let lines: Vec<&str> = payload.lines().collect();
+        for keep in 0..lines.len() {
+            let torn = lines[..keep].join("\n");
+            assert!(decode_cell_payload(&torn).is_err(), "kept {keep} lines");
+        }
+        // Trailing garbage, reordered fields and bad floats fail too.
+        assert!(decode_cell_payload(&format!("{payload}junk 1\n")).is_err());
+        let mut reordered: Vec<&str> = payload.lines().collect();
+        reordered.swap(0, 1);
+        assert!(decode_cell_payload(&reordered.join("\n")).is_err());
+        assert!(
+            decode_cell_payload(&payload.replace("deadlock_rate ", "deadlock_rate zz")).is_err()
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::check::{exact_cell_verdict, ExactCellVerdict};
 use crate::report::SweepReport;
 use crate::spec::{ScenarioCell, ScenarioSpec};
+use crate::store::{CellStore, ShardSpec, StoreLookup, StoreStats};
 use gdp_analysis::montecarlo::estimate_liveness;
 use gdp_analysis::TrialConfig;
 use gdp_sim::SimConfig;
@@ -153,6 +154,13 @@ pub enum SweepError {
     },
     /// The spec expands to an empty grid.
     EmptyGrid,
+    /// A completed cell could not be persisted to the attached store.
+    Store {
+        /// The cell whose record failed to persist.
+        cell: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -162,6 +170,9 @@ impl fmt::Display for SweepError {
                 write!(f, "cell {cell}: {source}")
             }
             SweepError::EmptyGrid => write!(f, "the scenario grid is empty"),
+            SweepError::Store { cell, message } => {
+                write!(f, "cell {cell}: store write failed: {message}")
+            }
         }
     }
 }
@@ -264,8 +275,44 @@ fn run_cell(
 pub fn run_sweep_with<F>(
     spec: &ScenarioSpec,
     options: &SweepOptions,
-    mut on_cell: F,
+    on_cell: F,
 ) -> Result<SweepReport, SweepError>
+where
+    F: FnMut(&CellResult),
+{
+    run_sweep_durable(spec, options, None, false, None, on_cell).map(|(report, _)| report)
+}
+
+/// The durable variant of [`run_sweep_with`]: the crash-safe sweep loop
+/// behind `gdp sweep --store/--resume/--shard`.
+///
+/// * With a `store` attached, every computed cell is persisted atomically
+///   the moment it completes, so an interrupted run loses at most the cell
+///   in flight.
+/// * With `resume` additionally set, each cell is first looked up in the
+///   store; verified-complete records are reused bit-for-bit (the report is
+///   indistinguishable from recomputing) and invalid ones are quarantined
+///   and recomputed.
+/// * With a `shard`, only the cells the shard owns are processed.  A shard
+///   of a nonempty grid may legitimately own zero cells and yields an empty
+///   report; [`SweepError::EmptyGrid`] still flags a spec whose *full*
+///   expansion is empty.
+///
+/// Cached cells flow through `on_cell` and the progress printer exactly
+/// like computed ones.
+///
+/// # Errors
+///
+/// As [`run_sweep_with`], plus [`SweepError::Store`] when a record cannot
+/// be persisted.
+pub fn run_sweep_durable<F>(
+    spec: &ScenarioSpec,
+    options: &SweepOptions,
+    store: Option<&CellStore>,
+    resume: bool,
+    shard: Option<ShardSpec>,
+    mut on_cell: F,
+) -> Result<(SweepReport, StoreStats), SweepError>
 where
     F: FnMut(&CellResult),
 {
@@ -273,16 +320,47 @@ where
     if cells.is_empty() {
         return Err(SweepError::EmptyGrid);
     }
-    let mut results = Vec::with_capacity(cells.len());
-    for cell in &cells {
-        let result = run_cell(spec, cell, options)?;
+    let shard = shard.unwrap_or_else(ShardSpec::full);
+    let mut stats = StoreStats::default();
+    let mut results = Vec::with_capacity(cells.len().div_ceil(shard.count));
+    for (position, cell) in cells.iter().enumerate() {
+        if !shard.owns(position) {
+            continue;
+        }
+        let mut cached = None;
+        if resume {
+            if let Some(store) = store {
+                match store.lookup(&cell.key) {
+                    StoreLookup::Hit(result) => cached = Some(*result),
+                    StoreLookup::Quarantined { .. } => stats.quarantined += 1,
+                    StoreLookup::Absent => {}
+                }
+            }
+        }
+        let result = match cached {
+            Some(result) => {
+                stats.reused += 1;
+                result
+            }
+            None => {
+                let result = run_cell(spec, cell, options)?;
+                if let Some(store) = store {
+                    store.save(&result).map_err(|e| SweepError::Store {
+                        cell: cell.key.clone(),
+                        message: e.to_string(),
+                    })?;
+                }
+                stats.computed += 1;
+                result
+            }
+        };
         if options.progress {
             println!("{}", result.row());
         }
         on_cell(&result);
         results.push(result);
     }
-    Ok(SweepReport::new(spec, results))
+    Ok((SweepReport::new(spec, results), stats))
 }
 
 /// [`run_sweep_with`] without a streaming hook.

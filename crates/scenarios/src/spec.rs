@@ -252,6 +252,34 @@ impl ScenarioSpec {
         cells
     }
 
+    /// The canonical **store context** of this spec: the exact set of
+    /// parameters a completed cell's result is a pure function of (besides
+    /// the cell key itself), rendered as one stable line.  The cell store
+    /// (`crate::store`) digests this string into the spec fingerprint that
+    /// content-addresses every persisted record.
+    ///
+    /// Deliberately **included**: adversary, trial budget, step budget, seed
+    /// policy, and the exact-check budget (all of which change cell
+    /// results).  Deliberately **excluded**: the sweep `name` (report
+    /// header only), `threads` (results are bitwise thread-count
+    /// independent), and the `families`/`sizes`/`algorithms` axes (each
+    /// cell key pins its own family, size and algorithm) — so two sweeps
+    /// that merely slice the grid differently share one store.
+    #[must_use]
+    pub fn store_context(&self, exact_check: Option<usize>) -> String {
+        format!(
+            "gdp-cell-store v1 | adversary={} | trials={} | max_steps={} | seed_policy={} | exact_check={}",
+            self.adversary.name(),
+            self.trials,
+            self.max_steps,
+            self.seed_policy.name(),
+            match exact_check {
+                Some(budget) => budget.to_string(),
+                None => "none".to_string(),
+            },
+        )
+    }
+
     /// One-line human summary of the grid shape.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -326,6 +354,44 @@ mod tests {
         assert_eq!(a, policy.cell_seed("ring/n4/LR1"));
         assert_eq!(SeedPolicy::Shared(7).cell_seed("anything"), 7);
         assert_eq!(policy.base(), 7);
+    }
+
+    #[test]
+    fn store_context_tracks_result_parameters_only() {
+        let base = ScenarioSpec::new("a");
+        // Name, thread count and grid slicing do not change cell results,
+        // so they must not change the store context either.
+        assert_eq!(
+            base.store_context(None),
+            ScenarioSpec::new("b")
+                .with_threads(7)
+                .with_families_str("ring")
+                .unwrap()
+                .with_sizes([4])
+                .store_context(None)
+        );
+        // Everything a cell's bytes depend on does change it.
+        assert_ne!(
+            base.store_context(None),
+            base.clone().with_trials(21).store_context(None)
+        );
+        assert_ne!(
+            base.store_context(None),
+            base.clone().with_max_steps(1).store_context(None)
+        );
+        assert_ne!(
+            base.store_context(None),
+            base.clone()
+                .with_adversary(AdversarySpec::RoundRobin)
+                .store_context(None)
+        );
+        assert_ne!(
+            base.store_context(None),
+            base.clone()
+                .with_seed_policy(SeedPolicy::Shared(0))
+                .store_context(None)
+        );
+        assert_ne!(base.store_context(None), base.store_context(Some(400_000)));
     }
 
     #[test]

@@ -1,0 +1,719 @@
+//! The durable, content-addressed **cell store** behind crash-safe sweeps.
+//!
+//! Sweep cells are pure functions of *(spec fingerprint, cell key)* with
+//! byte-reproducible outputs, which makes them exactly the shape of a
+//! content-addressed work queue: each completed [`CellResult`] persists as
+//! one small record file whose **address** is the digest of the pair, whose
+//! **integrity** is guarded by an embedded payload checksum, and whose
+//! **write** is atomic (temp file + rename) — a crash at any instant leaves
+//! either a fully valid record or nothing the next run will trust.
+//!
+//! On top of the store sit three protocols (all surfaced by the `gdp` CLI
+//! and documented in `docs/SCENARIOS.md`):
+//!
+//! * **resume** — `gdp sweep --store <dir> --resume` looks every cell up
+//!   before computing it; verified-complete records are reused, missing or
+//!   invalid ones are recomputed, and the final artifacts are byte-identical
+//!   to an uninterrupted run (enforced by the kill-and-resume fault-injection
+//!   suite in `tests/sweep_resume_fault_injection.rs`);
+//! * **sharding** — [`ShardSpec`] (`--shard i/n`) deterministically
+//!   partitions the expanded grid by cell position, so `n` processes or CI
+//!   jobs fill one shared (or per-shard) store cooperatively;
+//! * **merge** — [`merge_stores`] (`gdp merge`) fuses shard stores back
+//!   into the same [`SweepReport`] an unsharded run would have produced,
+//!   byte for byte, without recomputing anything.
+//!
+//! ## Integrity model
+//!
+//! Records that fail **any** validation step are never trusted and never
+//! fatal: they are moved into the store's `quarantine/` directory (tagged
+//! with the failure reason) and the cell is transparently recomputed.
+//! Validation layers, in order:
+//!
+//! 1. the format banner (`gdp-cell-store v1`) — foreign or future files;
+//! 2. the spec fingerprint — records from a *stale or different spec*
+//!    (other adversary, trial budget, step budget, seed policy or
+//!    exact-check budget) are invisible to this spec's lookups by
+//!    addressing, and quarantined if a hash collision or hand-rename ever
+//!    routes one here;
+//! 3. the declared payload byte length — truncated (torn) writes;
+//! 4. the FNV-1a payload checksum — bit flips anywhere in the payload;
+//! 5. strict payload parsing plus a cell-key cross-check — tampered or
+//!    mis-addressed records.
+//!
+//! The digests are deliberately **not** [`gdp_sim::fingerprint64`]: store
+//! records persist across builds, so they sit on a fixed, documented
+//! FNV-1a implementation in this module rather than on whatever the
+//! in-memory state-fingerprint hasher evolves into (the same reasoning that
+//! keeps sweep seed derivation on `SipHash`, see `crate::spec`).
+
+use crate::report::{decode_cell_payload, encode_cell_payload, SweepReport};
+use crate::runner::CellResult;
+use crate::spec::ScenarioSpec;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The format banner every record starts with; bump the version when the
+/// record layout or payload schema changes and old records become
+/// untrustworthy.
+pub const STORE_FORMAT: &str = "gdp-cell-store v1";
+
+/// 64-bit FNV-1a over raw bytes: the store's persistent digest for record
+/// addresses, spec fingerprints and payload checksums.  Chosen for being
+/// trivially reimplementable from its spec (the store outlives any one
+/// build of this workspace) and strong enough for its two jobs here —
+/// corruption *detection* (not tamper resistance) and address dispersion.
+#[must_use]
+pub fn stable_digest64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Counters describing how a store-backed sweep or merge sourced its
+/// cells.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Cells satisfied by a verified-complete store record.
+    pub reused: u64,
+    /// Cells computed (and, when a store is attached, persisted).
+    pub computed: u64,
+    /// Invalid records detected, quarantined and *not* trusted.
+    pub quarantined: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reused, {} computed, {} quarantined",
+            self.reused, self.computed, self.quarantined
+        )
+    }
+}
+
+/// The outcome of one store lookup.
+#[derive(Debug)]
+pub enum StoreLookup {
+    /// No record exists for this cell.
+    Absent,
+    /// A fully verified record was found.
+    Hit(Box<CellResult>),
+    /// A record existed but failed validation; it has been moved to the
+    /// quarantine directory and must be recomputed.
+    Quarantined {
+        /// Which validation layer rejected it.
+        reason: &'static str,
+    },
+}
+
+/// A durable, content-addressed store of completed sweep cells.
+///
+/// Open one with [`CellStore::open`]; the directory layout is
+///
+/// ```text
+/// <dir>/
+///   cells/<cell-key-sanitized>-<16-hex address>.cell   one record per cell
+///   quarantine/<record name>.<reason>                  rejected records
+///   spec-<16-hex fingerprint>.context                  human-readable context
+/// ```
+///
+/// Records of *different* spec fingerprints coexist in one directory
+/// without interference (the fingerprint is part of every address), so
+/// shards — and even unrelated sweeps — may share a store.
+#[derive(Debug)]
+pub struct CellStore {
+    cells_dir: PathBuf,
+    quarantine_dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl CellStore {
+    /// Opens (creating if needed) the store at `dir` for the given spec and
+    /// exact-check budget, and records the spec's store context alongside
+    /// the records for debuggability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and context-write I/O errors.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        spec: &ScenarioSpec,
+        exact_check: Option<usize>,
+    ) -> std::io::Result<CellStore> {
+        let root = dir.as_ref().to_path_buf();
+        let cells_dir = root.join("cells");
+        let quarantine_dir = root.join("quarantine");
+        std::fs::create_dir_all(&cells_dir)?;
+        std::fs::create_dir_all(&quarantine_dir)?;
+        let context = spec.store_context(exact_check);
+        let fingerprint = stable_digest64(context.as_bytes());
+        // A per-fingerprint context note: deterministic bytes, atomically
+        // written, so concurrent shards racing on it are harmless.
+        let context_path = root.join(format!("spec-{fingerprint:016x}.context"));
+        if !context_path.exists() {
+            write_atomically(&context_path, format!("{context}\n").as_bytes())?;
+        }
+        Ok(CellStore {
+            cells_dir,
+            quarantine_dir,
+            fingerprint,
+        })
+    }
+
+    /// The spec fingerprint this store handle addresses records under.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The quarantine directory (rejected records end up here).
+    #[must_use]
+    pub fn quarantine_dir(&self) -> &Path {
+        &self.quarantine_dir
+    }
+
+    /// The record path for `cell_key` under this store's fingerprint.
+    #[must_use]
+    pub fn record_path(&self, cell_key: &str) -> PathBuf {
+        let address = stable_digest64(format!("{:016x}|{cell_key}", self.fingerprint).as_bytes());
+        let sanitized: String = cell_key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.cells_dir
+            .join(format!("{sanitized}-{address:016x}.cell"))
+    }
+
+    /// Persists one completed cell **atomically**: the full record is
+    /// written to a temp file in the same directory and renamed into place,
+    /// so a crash at any instant leaves either the previous state or the
+    /// complete new record — never a half-written one under the final name.
+    ///
+    /// The wall-clock `steps_per_sec` field is not persisted (stored cells
+    /// are always the byte-reproducible shape).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the write or the rename.
+    pub fn save(&self, result: &CellResult) -> std::io::Result<PathBuf> {
+        let payload = encode_cell_payload(result);
+        let record = format!(
+            "{STORE_FORMAT}\nspec {:016x}\ncell {}\npayload {} {:016x}\n---\n{payload}",
+            self.fingerprint,
+            result.cell,
+            payload.len(),
+            stable_digest64(payload.as_bytes()),
+        );
+        let path = self.record_path(&result.cell);
+        write_atomically(&path, record.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Looks `cell_key` up, verifying every integrity layer; invalid
+    /// records are quarantined (moved, tagged with the reason) and reported
+    /// as [`StoreLookup::Quarantined`] so the caller recomputes.
+    #[must_use]
+    pub fn lookup(&self, cell_key: &str) -> StoreLookup {
+        let path = self.record_path(cell_key);
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return StoreLookup::Absent,
+            // Unreadable (permissions, non-UTF-8, ...): treat as invalid.
+            Err(_) => return self.quarantine(&path, "unreadable"),
+        };
+        match verify_record(&raw, self.fingerprint, cell_key) {
+            Ok(result) => StoreLookup::Hit(Box::new(result)),
+            Err(reason) => self.quarantine(&path, reason),
+        }
+    }
+
+    /// Moves a rejected record out of the addressable space.  Best-effort:
+    /// if the move fails the record is deleted instead, and if even that
+    /// fails the next lookup will simply re-reject it.
+    fn quarantine(&self, path: &Path, reason: &'static str) -> StoreLookup {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "record".to_string());
+        let target = self.quarantine_dir.join(format!("{name}.{reason}"));
+        if std::fs::rename(path, &target).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        StoreLookup::Quarantined { reason }
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the target directory,
+/// flush, then rename over the final name.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.flush()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Runs every validation layer over one raw record.  Returns the decoded
+/// result or the (static) reason the record must be quarantined.
+fn verify_record(raw: &str, fingerprint: u64, cell_key: &str) -> Result<CellResult, &'static str> {
+    let Some((header, payload)) = raw.split_once("\n---\n") else {
+        return Err("truncated-header");
+    };
+    let mut lines = header.lines();
+    if lines.next() != Some(STORE_FORMAT) {
+        return Err("format");
+    }
+    let Some(spec_line) = lines.next().and_then(|l| l.strip_prefix("spec ")) else {
+        return Err("format");
+    };
+    if u64::from_str_radix(spec_line, 16) != Ok(fingerprint) {
+        return Err("stale-spec");
+    }
+    let Some(cell_line) = lines.next().and_then(|l| l.strip_prefix("cell ")) else {
+        return Err("format");
+    };
+    if cell_line != cell_key {
+        return Err("cell-key");
+    }
+    let Some((len, digest)) = lines
+        .next()
+        .and_then(|l| l.strip_prefix("payload "))
+        .and_then(|l| l.split_once(' '))
+    else {
+        return Err("format");
+    };
+    if lines.next().is_some() {
+        return Err("format");
+    }
+    if len.parse() != Ok(payload.len()) {
+        return Err("truncated-payload");
+    }
+    if u64::from_str_radix(digest, 16) != Ok(stable_digest64(payload.as_bytes())) {
+        return Err("checksum");
+    }
+    let result = decode_cell_payload(payload).map_err(|_| "payload")?;
+    if result.cell != cell_key {
+        return Err("cell-key");
+    }
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+/// A deterministic 1-based partition of the expanded grid: shard `i/n` owns
+/// every cell whose expansion position `p` satisfies `p % n == i - 1`.
+/// Partitioning is by *position*, not by key hash, so the `n` shards are
+/// balanced to within one cell and their union is exactly the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard index, `1 ..= count`.
+    pub index: usize,
+    /// Total number of shards (≥ 1).
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The trivial partition that owns every cell.
+    #[must_use]
+    pub fn full() -> Self {
+        ShardSpec { index: 1, count: 1 }
+    }
+
+    /// Whether this shard owns the cell at expansion position `position`
+    /// (0-based).
+    #[must_use]
+    pub fn owns(&self, position: usize) -> bool {
+        position % self.count == self.index - 1
+    }
+
+    /// The canonical `i/n` spec string.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+}
+
+/// Error parsing a `--shard i/n` spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseShardError(String);
+
+impl fmt::Display for ParseShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}; usage: --shard <i>/<n> with 1 <= i <= n", self.0)
+    }
+}
+
+impl std::error::Error for ParseShardError {}
+
+impl std::str::FromStr for ShardSpec {
+    type Err = ParseShardError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let Some((index, count)) = s.split_once('/') else {
+            return Err(ParseShardError(format!(
+                "shard spec {s:?} is not of the form i/n"
+            )));
+        };
+        let index: usize = index
+            .parse()
+            .map_err(|_| ParseShardError(format!("shard index {index:?} is not a number")))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| ParseShardError(format!("shard count {count:?} is not a number")))?;
+        if count == 0 {
+            return Err(ParseShardError("shard count must be >= 1".to_string()));
+        }
+        if index == 0 || index > count {
+            return Err(ParseShardError(format!(
+                "shard index {index} is outside 1..={count} (shards are 1-based)"
+            )));
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+/// Error produced by [`merge_stores`].
+#[derive(Debug)]
+pub enum MergeError {
+    /// The spec expands to an empty grid.
+    EmptyGrid,
+    /// At least one cell of the grid has no valid record in any store.
+    Missing {
+        /// The missing cell keys, in expansion order.
+        cells: Vec<String>,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::EmptyGrid => write!(f, "the scenario grid is empty"),
+            MergeError::Missing { cells } => {
+                let shown: Vec<&str> = cells.iter().take(8).map(String::as_str).collect();
+                write!(
+                    f,
+                    "{} of the grid's cells have no valid store record: {}{}",
+                    cells.len(),
+                    shown.join(", "),
+                    if cells.len() > shown.len() {
+                        format!(" (+{} more)", cells.len() - shown.len())
+                    } else {
+                        String::new()
+                    }
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Fuses one or more (shard) stores into the [`SweepReport`] the equivalent
+/// unsharded run would have produced — byte for byte, without recomputing
+/// anything.  Every cell of the spec's expansion is looked up in each store
+/// in turn; the first verified record wins (records are pure functions of
+/// the address, so any two valid candidates are identical).  Invalid
+/// records are quarantined as usual and the next store is consulted.
+///
+/// # Errors
+///
+/// [`MergeError::Missing`] when any cell has no valid record anywhere;
+/// [`MergeError::EmptyGrid`] when the spec expands to nothing.
+pub fn merge_stores(
+    spec: &ScenarioSpec,
+    stores: &[CellStore],
+) -> Result<(SweepReport, StoreStats), MergeError> {
+    let cells = spec.expand();
+    if cells.is_empty() {
+        return Err(MergeError::EmptyGrid);
+    }
+    let mut stats = StoreStats::default();
+    let mut results = Vec::with_capacity(cells.len());
+    let mut missing = Vec::new();
+    for cell in &cells {
+        let mut found = None;
+        for store in stores {
+            match store.lookup(&cell.key) {
+                StoreLookup::Hit(result) => {
+                    found = Some(*result);
+                    break;
+                }
+                StoreLookup::Quarantined { .. } => stats.quarantined += 1,
+                StoreLookup::Absent => {}
+            }
+        }
+        match found {
+            Some(result) => {
+                stats.reused += 1;
+                results.push(result);
+            }
+            None => missing.push(cell.key.clone()),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(MergeError::Missing { cells: missing });
+    }
+    Ok((SweepReport::new(spec, results), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep, run_sweep_durable, SweepOptions};
+    use crate::spec::SeedPolicy;
+
+    fn test_spec(tag: &str) -> ScenarioSpec {
+        ScenarioSpec::new(tag)
+            .with_families_str("ring,star")
+            .unwrap()
+            .with_sizes([4])
+            .with_algorithms_str("gdp1,lr1")
+            .unwrap()
+            .with_trials(3)
+            .with_max_steps(4_000)
+            .with_seed_policy(SeedPolicy::PerCell(9))
+    }
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gdp_store_test_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn completed_store(tag: &str) -> (ScenarioSpec, CellStore, PathBuf) {
+        let spec = test_spec(tag);
+        let dir = temp_store_dir(tag);
+        let store = CellStore::open(&dir, &spec, None).unwrap();
+        let (_, stats) = run_sweep_durable(
+            &spec,
+            &SweepOptions::quiet(),
+            Some(&store),
+            true,
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(stats.computed, 4);
+        (spec, store, dir)
+    }
+
+    #[test]
+    fn save_lookup_round_trip_is_exact_and_atomic() {
+        let (spec, store, dir) = completed_store("roundtrip");
+        let reference = run_sweep(&spec, &SweepOptions::quiet()).unwrap();
+        for cell in &reference.cells {
+            match store.lookup(&cell.cell) {
+                StoreLookup::Hit(stored) => assert_eq!(*stored, *cell),
+                other => panic!("expected hit for {}: {other:?}", cell.cell),
+            }
+        }
+        // No temp files survive a clean save.
+        let stray: Vec<_> = std::fs::read_dir(dir.join("cells"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| !name.ends_with(".cell"))
+            .collect();
+        assert!(stray.is_empty(), "stray files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_is_absent_for_unknown_cells_and_other_fingerprints() {
+        let (spec, store, dir) = completed_store("absent");
+        assert!(matches!(store.lookup("ring/n99/GDP1"), StoreLookup::Absent));
+        // A store handle opened for a *different* spec sees nothing: the
+        // fingerprint participates in every address.
+        let other = CellStore::open(&dir, &spec.clone().with_trials(99), None).unwrap();
+        assert!(matches!(other.lookup("ring/n4/GDP1"), StoreLookup::Absent));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The corruption gauntlet: truncation, bit flips, fingerprint
+    /// mismatches and stale-spec records are each detected, quarantined
+    /// (never silently reused) and then transparently recomputed.
+    #[test]
+    fn corrupt_records_are_quarantined_and_recomputed_never_reused() {
+        type Corruption<'a> = (&'a str, &'a dyn Fn(&Path));
+        let cases: &[Corruption] = &[
+            ("truncate", &|path| {
+                let raw = std::fs::read(path).unwrap();
+                std::fs::write(path, &raw[..raw.len() / 2]).unwrap();
+            }),
+            ("bitflip", &|path| {
+                let mut raw = std::fs::read(path).unwrap();
+                let target = raw.len() - 20; // somewhere inside the payload
+                raw[target] ^= 0x04;
+                std::fs::write(path, raw).unwrap();
+            }),
+            ("fingerprint", &|path| {
+                let raw = std::fs::read_to_string(path).unwrap();
+                let stale = raw
+                    .lines()
+                    .map(|l| {
+                        if l.starts_with("spec ") {
+                            "spec 00000000deadbeef".to_string()
+                        } else {
+                            l.to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+                    + "\n";
+                std::fs::write(path, stale).unwrap();
+            }),
+        ];
+        for (tag, corrupt) in cases {
+            let (spec, store, dir) = completed_store(&format!("corrupt_{tag}"));
+            let key = "ring/n4/GDP1";
+            let path = store.record_path(key);
+            corrupt(&path);
+            // The resumed sweep itself detects the damage, quarantines the
+            // record, recomputes exactly that cell, and ends up identical
+            // to a clean run.
+            let (report, stats) = run_sweep_durable(
+                &spec,
+                &SweepOptions::quiet(),
+                Some(&store),
+                true,
+                None,
+                |_| {},
+            )
+            .unwrap();
+            assert!(
+                std::fs::read_dir(store.quarantine_dir()).unwrap().count() >= 1,
+                "{tag}: quarantine must hold the rejected record"
+            );
+            assert_eq!(stats.reused, 3, "{tag}");
+            assert_eq!(stats.computed, 1, "{tag}");
+            assert_eq!(stats.quarantined, 1, "{tag}");
+            assert_eq!(
+                report,
+                run_sweep(&spec, &SweepOptions::quiet()).unwrap(),
+                "{tag}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn records_renamed_onto_the_wrong_address_are_rejected() {
+        let (_, store, dir) = completed_store("wrongkey");
+        // Rename LR1's record onto GDP1's address: the embedded cell key no
+        // longer matches the lookup.
+        std::fs::rename(
+            store.record_path("ring/n4/LR1"),
+            store.record_path("ring/n4/GDP1"),
+        )
+        .unwrap();
+        assert!(matches!(
+            store.lookup("ring/n4/GDP1"),
+            StoreLookup::Quarantined { reason: "cell-key" }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_specs_parse_partition_and_reject_malformed_input() {
+        let shard: ShardSpec = "2/3".parse().unwrap();
+        assert_eq!(shard, ShardSpec { index: 2, count: 3 });
+        assert_eq!(shard.name(), "2/3");
+        // Every position is owned by exactly one shard of the partition.
+        for count in 1..=4usize {
+            for position in 0..24 {
+                let owners = (1..=count)
+                    .filter(|&index| ShardSpec { index, count }.owns(position))
+                    .count();
+                assert_eq!(owners, 1, "position {position} of {count} shards");
+            }
+        }
+        for bad in ["", "3", "0/4", "5/4", "a/b", "1/0", "-1/2", "1/2/3"] {
+            let err = bad.parse::<ShardSpec>().unwrap_err();
+            assert!(err.to_string().contains("usage: --shard"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn merge_reconstructs_the_unsharded_report_and_names_missing_cells() {
+        let spec = test_spec("merge");
+        let reference = run_sweep(&spec, &SweepOptions::quiet()).unwrap();
+        let dir_a = temp_store_dir("merge_a");
+        let dir_b = temp_store_dir("merge_b");
+        let store_a = CellStore::open(&dir_a, &spec, None).unwrap();
+        let store_b = CellStore::open(&dir_b, &spec, None).unwrap();
+        let shard = |i| Some(ShardSpec { index: i, count: 2 });
+        run_sweep_durable(
+            &spec,
+            &SweepOptions::quiet(),
+            Some(&store_a),
+            false,
+            shard(1),
+            |_| {},
+        )
+        .unwrap();
+        // Merging half the grid fails loudly, naming what is missing.
+        let err =
+            merge_stores(&spec, &[CellStore::open(&dir_a, &spec, None).unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("ring/n4/LR1"), "{err}");
+        run_sweep_durable(
+            &spec,
+            &SweepOptions::quiet(),
+            Some(&store_b),
+            false,
+            shard(2),
+            |_| {},
+        )
+        .unwrap();
+        let (merged, stats) = merge_stores(
+            &spec,
+            &[
+                CellStore::open(&dir_a, &spec, None).unwrap(),
+                CellStore::open(&dir_b, &spec, None).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged, reference);
+        assert_eq!(merged.to_json(), reference.to_json());
+        assert_eq!(merged.to_csv(), reference.to_csv());
+        assert_eq!(stats.reused, 4);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn stable_digest_is_pinned_across_builds() {
+        // FNV-1a test vectors: the digest addresses on-disk records, so it
+        // must never drift between builds.
+        assert_eq!(stable_digest64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_digest64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_digest64(b"foobar"), 0x85944171f73967e8);
+    }
+}

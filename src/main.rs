@@ -1,14 +1,19 @@
 //! `gdp` — the command-line workbench for the generalized dining
 //! philosophers workspace.
 //!
-//! Five subcommands make the whole repo drivable without writing Rust:
+//! Six subcommands make the whole repo drivable without writing Rust:
 //!
 //! * `gdp list` — the catalog of topology families, algorithms and
 //!   adversaries a sweep can name;
 //! * `gdp run` — one detailed simulation of a single *family × size ×
 //!   algorithm × adversary* cell;
 //! * `gdp sweep` — a full scenario grid through the parallel Monte-Carlo
-//!   machinery, streamed to the console and written to JSON + CSV;
+//!   machinery, streamed to the console and written to JSON + CSV; with
+//!   `--store` every completed cell checkpoints to a durable
+//!   content-addressed store, `--resume` skips verified-complete cells and
+//!   `--shard i/n` runs one deterministic partition of the grid;
+//! * `gdp merge` — fuse shard stores into the artifacts an unsharded sweep
+//!   would have written, byte for byte, without recomputing;
 //! * `gdp check` — the **exact** model checker (`gdp-mcheck`): worst-case
 //!   verdicts over every fair adversary and every random draw, emitted as
 //!   byte-reproducible certificates (see `docs/VERIFICATION.md`);
@@ -26,9 +31,10 @@
 
 use gdp::prelude::*;
 use gdp_scenarios::{
-    run_check, run_stress, run_sweep_with, AdversaryKind, CheckAdversarySpec, CheckSpec,
-    CheckTargetSpec, CheckVerdict, ScenarioSpec, SeedPolicy, StressLoad, StressSpec, SweepOptions,
-    TopologyFamily, ADVERSARY_CATALOG, FAMILY_CATALOG,
+    merge_stores, run_check, run_stress, run_sweep_durable, run_sweep_with, AdversaryKind,
+    CellStore, CheckAdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict, MergeError,
+    ScenarioSpec, SeedPolicy, ShardSpec, StressLoad, StressSpec, SweepOptions, TopologyFamily,
+    ADVERSARY_CATALOG, FAMILY_CATALOG,
 };
 use std::process::ExitCode;
 
@@ -107,14 +113,33 @@ USAGE:
           --steps <n>            steps per trial  [default: 40000]
           --seed <n>             base seed        [default: 0]
           --seed-policy <p>      per-cell|shared  [default: per-cell]
-          --threads <n>          0 = all cores    [default: 0]
+          --threads <n>          worker threads, n >= 1 (omit for all cores)
           --json <path>          JSON output      [default: gdp_sweep.json]
           --csv <path>           CSV output       [default: gdp_sweep.csv]
           --name <name>          sweep name       [default: sweep]
           --timing               embed wall-clock steps/sec in the artifacts
+                                 (incompatible with --store)
           --quiet                no per-cell console rows
           --check                attach exact worst-case progress verdicts
           --check-states <n>     state budget per exact verdict [default: 400000]
+          --store <dir>          checkpoint every completed cell to a durable
+                                 content-addressed store (crash-safe)
+          --resume               reuse verified-complete store cells; corrupt
+                                 records are quarantined and recomputed
+                                 (requires --store)
+          --shard <i>/<n>        run only the i-th of n deterministic grid
+                                 partitions, 1-based (requires --store)
+
+    gdp merge [OPTIONS]
+        Fuse shard stores into the exact JSON + CSV artifacts the unsharded
+        sweep would have written, byte for byte, without recomputing.  Pass
+        the same grid flags as the original sweep (--name, --families,
+        --sizes, --algorithms, --adversary, --trials, --steps, --seed,
+        --seed-policy, --check/--check-states) plus one --store per shard.
+          --store <dir>          a shard's store directory (repeatable)
+          --json <path>          JSON output      [default: gdp_sweep.json]
+          --csv <path>           CSV output       [default: gdp_sweep.csv]
+          --quiet                no console summary
 
 Adversary specs (the full catalog, see `gdp list` / docs/ADVERSARIES.md):
 round-robin | uniform-random | max-wait | kbounded:<k> | blocking |
@@ -124,8 +149,10 @@ contract); by default the JSON/CSV artifacts are also byte-reproducible
 across runs — pass --timing to trade that for embedded throughput figures.
 
 run and sweep exit 1 when a trial ends in a true deadlock or breaks a
-safety invariant; check exits 1 on a violated objective and 3 when the
-state budget truncated the model before a verdict.
+safety invariant; merge exits 1 when cells are missing from every store;
+check exits 1 on a violated objective and 3 when the state budget
+truncated the model before a verdict.  See docs/SCENARIOS.md for the
+crash-safe store layout and the resume/shard/merge walkthrough.
 ";
 
 /// A tiny hand-rolled flag parser: `--flag value` pairs plus boolean flags.
@@ -151,6 +178,15 @@ impl Args {
                 Ok(Some(value))
             }
         }
+    }
+
+    /// Consumes every occurrence of `--flag value`, in order.
+    fn values_of(&mut self, flag: &str) -> Result<Vec<String>, String> {
+        let mut values = Vec::new();
+        while let Some(value) = self.value_of(flag)? {
+            values.push(value);
+        }
+        Ok(values)
     }
 
     /// Consumes a boolean `--flag`.
@@ -554,7 +590,10 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
     Ok(CommandOutcome::Ok)
 }
 
-fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
+/// Parses the scenario-grid flags shared by `gdp sweep` and `gdp merge`
+/// (`gdp merge` must rebuild the *same* spec to address the shard stores
+/// and reproduce the report header byte for byte).
+fn scenario_spec_from_args(args: &mut Args) -> Result<ScenarioSpec, String> {
     let mut spec = ScenarioSpec::new(
         args.value_of("--name")?
             .unwrap_or_else(|| "sweep".to_string()),
@@ -578,7 +617,15 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
         spec.max_steps = parse("step budget", &steps)?;
     }
     if let Some(threads) = args.value_of("--threads")? {
-        spec.threads = parse("thread count", &threads)?;
+        let threads: usize = parse("thread count", &threads)?;
+        if threads == 0 {
+            return Err(
+                "--threads 0 is not a thread count; pass --threads <n> with n >= 1, \
+                 or omit the flag to use all cores"
+                    .to_string(),
+            );
+        }
+        spec.threads = threads;
     }
     let base_seed: u64 = parse(
         "seed",
@@ -597,22 +644,54 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
             ))
         }
     };
+    Ok(spec)
+}
+
+/// Parses `--check` / `--check-states` into the exact-check budget shared
+/// by `gdp sweep` and `gdp merge`.
+fn exact_check_from_args(args: &mut Args) -> Result<Option<usize>, String> {
+    if args.has("--check") {
+        Ok(Some(parse(
+            "exact-check state budget",
+            &args
+                .value_of("--check-states")?
+                .unwrap_or_else(|| "400000".into()),
+        )?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Maps a sweep/merge report onto the process outcome: exit 1 when any
+/// cell observed a hard violation.
+fn report_outcome(report: &gdp_scenarios::SweepReport) -> CommandOutcome {
+    if report.violation_detected() {
+        let offenders: Vec<&str> = report
+            .cells
+            .iter()
+            .filter(|c| c.violation_detected())
+            .map(|c| c.cell.as_str())
+            .collect();
+        return CommandOutcome::Violation(format!(
+            "deadlock or safety violation detected in: {}",
+            offenders.join(", ")
+        ));
+    }
+    CommandOutcome::Ok
+}
+
+fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
+    let spec = scenario_spec_from_args(&mut args)?;
     let json_path = args
         .value_of("--json")?
         .unwrap_or_else(|| "gdp_sweep.json".into());
     let csv_path = args
         .value_of("--csv")?
         .unwrap_or_else(|| "gdp_sweep.csv".into());
-    let exact_check = if args.has("--check") {
-        Some(parse(
-            "exact-check state budget",
-            &args
-                .value_of("--check-states")?
-                .unwrap_or_else(|| "400000".into()),
-        )?)
-    } else {
-        None
-    };
+    let exact_check = exact_check_from_args(&mut args)?;
+    let store_dir = args.value_of("--store")?;
+    let resume = args.has("--resume");
+    let shard_arg = args.value_of("--shard")?;
     let options = SweepOptions {
         record_timing: args.has("--timing"),
         progress: !args.has("--quiet"),
@@ -620,9 +699,38 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
     };
     args.finish()?;
 
+    if resume && store_dir.is_none() {
+        return Err("--resume needs a store; usage: gdp sweep --store <dir> --resume".to_string());
+    }
+    if shard_arg.is_some() && store_dir.is_none() {
+        return Err("--shard needs a store to deposit its partition in; \
+             usage: gdp sweep --store <dir> --shard <i>/<n>"
+            .to_string());
+    }
+    if options.record_timing && store_dir.is_some() {
+        return Err(
+            "--timing embeds wall-clock figures, which would break the store's \
+             byte-reproducibility; drop --timing or --store"
+                .to_string(),
+        );
+    }
+    let shard: Option<ShardSpec> = shard_arg.map(|s| parse("shard spec", &s)).transpose()?;
+
     println!("{}", spec.summary());
-    let report =
-        run_sweep_with(&spec, &options, |_| {}).map_err(|e| format!("sweep failed: {e}"))?;
+    let report = match &store_dir {
+        Some(dir) => {
+            let store = CellStore::open(dir, &spec, options.exact_check)
+                .map_err(|e| format!("opening store {dir}: {e}"))?;
+            let (report, stats) =
+                run_sweep_durable(&spec, &options, Some(&store), resume, shard, |_| {})
+                    .map_err(|e| format!("sweep failed: {e}"))?;
+            println!("store    {stats} ({dir})");
+            report
+        }
+        None => {
+            run_sweep_with(&spec, &options, |_| {}).map_err(|e| format!("sweep failed: {e}"))?
+        }
+    };
     report
         .write_json(&json_path)
         .map_err(|e| format!("writing {json_path}: {e}"))?;
@@ -633,19 +741,63 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
         "wrote {json_path} and {csv_path} ({} cells)",
         report.cells.len()
     );
-    if report.violation_detected() {
-        let offenders: Vec<&str> = report
-            .cells
-            .iter()
-            .filter(|c| c.violation_detected())
-            .map(|c| c.cell.as_str())
-            .collect();
-        return Ok(CommandOutcome::Violation(format!(
-            "deadlock or safety violation detected in: {}",
-            offenders.join(", ")
-        )));
+    Ok(report_outcome(&report))
+}
+
+fn cmd_merge(mut args: Args) -> Result<CommandOutcome, String> {
+    let spec = scenario_spec_from_args(&mut args)?;
+    let json_path = args
+        .value_of("--json")?
+        .unwrap_or_else(|| "gdp_sweep.json".into());
+    let csv_path = args
+        .value_of("--csv")?
+        .unwrap_or_else(|| "gdp_sweep.csv".into());
+    let exact_check = exact_check_from_args(&mut args)?;
+    let store_dirs = args.values_of("--store")?;
+    // Accepted so a sweep argv can be replayed verbatim as a merge argv;
+    // suppresses the console summary.
+    let quiet = args.has("--quiet");
+    args.finish()?;
+    if store_dirs.is_empty() {
+        return Err(
+            "gdp merge needs at least one store; usage: gdp merge --store <dir> [--store <dir> ...]"
+                .to_string(),
+        );
     }
-    Ok(CommandOutcome::Ok)
+
+    let stores: Vec<CellStore> = store_dirs
+        .iter()
+        .map(|dir| {
+            CellStore::open(dir, &spec, exact_check)
+                .map_err(|e| format!("opening store {dir}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if !quiet {
+        println!("{}", spec.summary());
+    }
+    let (report, stats) = match merge_stores(&spec, &stores) {
+        Ok(merged) => merged,
+        Err(err @ MergeError::Missing { .. }) => {
+            return Ok(CommandOutcome::Violation(format!(
+                "merge incomplete: {err}"
+            )));
+        }
+        Err(err) => return Err(format!("merge failed: {err}")),
+    };
+    if !quiet {
+        println!("merged   {} stores: {stats}", store_dirs.len());
+    }
+    report
+        .write_json(&json_path)
+        .map_err(|e| format!("writing {json_path}: {e}"))?;
+    report
+        .write_csv(&csv_path)
+        .map_err(|e| format!("writing {csv_path}: {e}"))?;
+    println!(
+        "wrote {json_path} and {csv_path} ({} cells)",
+        report.cells.len()
+    );
+    Ok(report_outcome(&report))
 }
 
 fn main() -> ExitCode {
@@ -663,6 +815,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(args),
         "sweep" => cmd_sweep(args),
+        "merge" => cmd_merge(args),
         "check" => cmd_check(args),
         "stress" => cmd_stress(args),
         other => Err(format!("unknown command {other:?}; try `gdp --help`")),

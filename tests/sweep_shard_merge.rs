@@ -1,0 +1,235 @@
+//! Shard-equivalence and CLI-hardening coverage for crash-safe sweeps.
+//!
+//! For the 24-cell default grid, every partition in {1/1, 2-way, 3-way} —
+//! with the shards run at *different* `--threads` values — must merge via
+//! `gdp merge` into artifacts byte-identical to the unsharded sweep.  And
+//! the argument hardening contract: malformed `--shard` specs,
+//! `--threads 0`, and `--resume`/`--shard` without `--store` exit 2 with a
+//! one-line usage hint instead of panicking or silently defaulting.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The default sweep grid (6 families x 2 sizes x 2 algorithms = 24 cells)
+/// at a small trial/step budget.  LR1 deadlocks off the ring, so sweep and
+/// merge legitimately exit 1 (violation); byte-identity is the assertion.
+const GRID: &[&str] = &[
+    "--sizes", "6,12", "--trials", "3", "--steps", "4000", "--quiet",
+];
+
+fn gdp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gdp"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("gdp binary runs")
+}
+
+fn gdp_strings(args: &[String]) -> Output {
+    gdp(&args.iter().map(String::as_str).collect::<Vec<_>>())
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("utf-8 stderr")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdp_shard_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn grid_args(head: &[&str], tail: &[(&str, &Path)]) -> Vec<String> {
+    let mut args: Vec<String> = head.iter().map(|s| s.to_string()).collect();
+    args.extend(GRID.iter().map(|s| s.to_string()));
+    for (flag, path) in tail {
+        args.push(flag.to_string());
+        args.push(path.to_string_lossy().into_owned());
+    }
+    args
+}
+
+#[test]
+fn every_partition_merges_byte_identically_to_the_unsharded_sweep() {
+    let work = temp_dir("equivalence");
+
+    // The unsharded reference artifacts.
+    let ref_json = work.join("ref.json");
+    let ref_csv = work.join("ref.csv");
+    let reference = gdp_strings(&grid_args(
+        &["sweep"],
+        &[("--json", &ref_json), ("--csv", &ref_csv)],
+    ));
+    assert!(
+        ref_json.exists() && ref_csv.exists(),
+        "reference sweep must write artifacts (exit {:?})",
+        reference.status.code()
+    );
+
+    for (way, threads) in [(1usize, &[1usize][..]), (2, &[2, 1]), (3, &[1, 4, 2])] {
+        // Run each shard into its own store, each at a different thread
+        // count: store records are thread-count-independent by the PR-1
+        // determinism contract.
+        let mut store_dirs = Vec::new();
+        for index in 1..=way {
+            let store = work.join(format!("store_{way}way_{index}"));
+            let shard_json = work.join(format!("shard_{way}way_{index}.json"));
+            let shard_csv = work.join(format!("shard_{way}way_{index}.csv"));
+            let mut args = grid_args(
+                &["sweep"],
+                &[
+                    ("--store", &store),
+                    ("--json", &shard_json),
+                    ("--csv", &shard_csv),
+                ],
+            );
+            args.extend([
+                "--shard".to_string(),
+                format!("{index}/{way}"),
+                "--threads".to_string(),
+                threads[index - 1].to_string(),
+            ]);
+            let shard_run = gdp_strings(&args);
+            assert!(
+                matches!(shard_run.status.code(), Some(0 | 1)),
+                "shard {index}/{way} must complete: {}",
+                stderr(&shard_run)
+            );
+            store_dirs.push(store);
+        }
+
+        // Merge the shard stores and compare bytes with the reference.
+        let merged_json = work.join(format!("merged_{way}way.json"));
+        let merged_csv = work.join(format!("merged_{way}way.csv"));
+        let mut merge_pairs: Vec<(&str, &Path)> = store_dirs
+            .iter()
+            .map(|dir| ("--store", dir.as_path()))
+            .collect();
+        merge_pairs.push(("--json", &merged_json));
+        merge_pairs.push(("--csv", &merged_csv));
+        let merge_run = gdp_strings(&grid_args(&["merge"], &merge_pairs));
+        assert!(
+            matches!(merge_run.status.code(), Some(0 | 1)),
+            "{way}-way merge must complete: {}",
+            stderr(&merge_run)
+        );
+        assert_eq!(
+            read(&merged_json),
+            read(&ref_json),
+            "{way}-way merged JSON must be byte-identical to the unsharded sweep"
+        );
+        assert_eq!(
+            read(&merged_csv),
+            read(&ref_csv),
+            "{way}-way merged CSV must be byte-identical to the unsharded sweep"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn merging_an_incomplete_partition_names_the_missing_cells() {
+    let work = temp_dir("incomplete");
+    let store = work.join("store");
+    let mut args = grid_args(
+        &["sweep"],
+        &[
+            ("--store", &store),
+            ("--json", &work.join("p.json")),
+            ("--csv", &work.join("p.csv")),
+        ],
+    );
+    args.extend(["--shard".to_string(), "1/2".to_string()]);
+    let shard_run = gdp_strings(&args);
+    assert!(matches!(shard_run.status.code(), Some(0 | 1)));
+
+    let merge_run = gdp_strings(&grid_args(
+        &["merge"],
+        &[
+            ("--store", &store),
+            ("--json", &work.join("m.json")),
+            ("--csv", &work.join("m.csv")),
+        ],
+    ));
+    assert_eq!(
+        merge_run.status.code(),
+        Some(1),
+        "half a grid must not merge silently"
+    );
+    let text = stderr(&merge_run);
+    assert!(
+        text.contains("merge incomplete") && text.contains("12 of the grid's cells"),
+        "missing cells must be named: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+/// The satellite hardening contract: every malformed invocation exits 2
+/// with a one-line hint on stderr.
+#[test]
+fn malformed_arguments_exit_2_with_a_usage_hint() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["sweep", "--threads", "0"],
+            "pass --threads <n> with n >= 1",
+        ),
+        (
+            &["merge", "--threads", "0", "--store", "s"],
+            "pass --threads <n> with n >= 1",
+        ),
+        (
+            &["sweep", "--resume"],
+            "usage: gdp sweep --store <dir> --resume",
+        ),
+        (
+            &["sweep", "--shard", "1/2"],
+            "usage: gdp sweep --store <dir> --shard <i>/<n>",
+        ),
+        (
+            &["sweep", "--store", "s", "--shard", "0/4"],
+            "usage: --shard <i>/<n> with 1 <= i <= n",
+        ),
+        (
+            &["sweep", "--store", "s", "--shard", "5/4"],
+            "usage: --shard <i>/<n> with 1 <= i <= n",
+        ),
+        (
+            &["sweep", "--store", "s", "--shard", "a/b"],
+            "usage: --shard <i>/<n> with 1 <= i <= n",
+        ),
+        (
+            &["sweep", "--store", "s", "--shard", "12"],
+            "usage: --shard <i>/<n> with 1 <= i <= n",
+        ),
+        (
+            &["sweep", "--store", "s", "--timing"],
+            "drop --timing or --store",
+        ),
+        (&["merge"], "usage: gdp merge --store <dir>"),
+    ];
+    for (argv, hint) in cases {
+        let output = gdp(argv);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{argv:?} must exit 2: {}",
+            stderr(&output)
+        );
+        let text = stderr(&output);
+        assert!(
+            text.starts_with("error: ") && text.contains(hint),
+            "{argv:?} must hint {hint:?}, got: {text}"
+        );
+        assert_eq!(
+            text.trim_end().lines().count(),
+            1,
+            "{argv:?} must print a one-line hint, got: {text}"
+        );
+    }
+}
