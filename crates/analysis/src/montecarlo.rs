@@ -151,8 +151,12 @@ pub struct ProgressEstimate {
     pub first_meal_mean: f64,
     /// Median first-meal step over the progressing trials.
     pub first_meal_p50: f64,
+    /// 90th-percentile first-meal step over the progressing trials.
+    pub first_meal_p90: f64,
     /// 95th-percentile first-meal step over the progressing trials.
     pub first_meal_p95: f64,
+    /// 99th-percentile first-meal step over the progressing trials.
+    pub first_meal_p99: f64,
     /// Mean total meals per trial (all trials).
     pub meals_mean: f64,
 }
@@ -239,7 +243,9 @@ where
         confidence: stats::wilson_interval(progressed, config.trials),
         first_meal_mean: stats::mean(&first_meals),
         first_meal_p50: stats::percentile(&first_meals, 50.0),
+        first_meal_p90: stats::percentile(&first_meals, 90.0),
         first_meal_p95: stats::percentile(&first_meals, 95.0),
+        first_meal_p99: stats::percentile(&first_meals, 99.0),
         meals_mean: stats::mean(&meals),
     }
 }
@@ -415,7 +421,9 @@ where
             confidence: stats::wilson_interval(progressed, config.trials),
             first_meal_mean: stats::mean(&first_meals),
             first_meal_p50: stats::percentile(&first_meals, 50.0),
+            first_meal_p90: stats::percentile(&first_meals, 90.0),
             first_meal_p95: stats::percentile(&first_meals, 95.0),
+            first_meal_p99: stats::percentile(&first_meals, 99.0),
             meals_mean: stats::mean(&meals),
         },
         lockout: LockoutEstimate {
@@ -450,7 +458,9 @@ mod tests {
         assert_eq!(estimate.progressed, estimate.trials);
         assert_eq!(estimate.progress_fraction, 1.0);
         assert!(estimate.confidence.0 > 0.8);
-        assert!(estimate.first_meal_p95 >= estimate.first_meal_p50);
+        assert!(estimate.first_meal_p90 >= estimate.first_meal_p50);
+        assert!(estimate.first_meal_p95 >= estimate.first_meal_p90);
+        assert!(estimate.first_meal_p99 >= estimate.first_meal_p95);
         assert!(estimate.first_meal_mean > 0.0);
     }
 

@@ -1,0 +1,194 @@
+//! The structured event vocabulary.
+
+/// One observable event, keyed by a layer-defined deterministic logical
+/// clock (see the crate docs for what `clock` means per layer).
+///
+/// Actor and fork ids are plain `u32`s — the raw values of
+/// `PhilosopherId`/`ForkId` in the simulator and seat indices in the
+/// runtime — so this crate stays a dependency-free leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// An actor was scheduled for one atomic step.
+    Schedule {
+        /// Logical clock.
+        clock: u64,
+        /// The scheduled actor.
+        actor: u32,
+    },
+    /// An actor acquired a fork (a successful take).
+    Acquire {
+        /// Logical clock.
+        clock: u64,
+        /// The acquiring actor.
+        actor: u32,
+        /// The fork acquired.
+        fork: u32,
+    },
+    /// An actor released a fork.
+    Release {
+        /// Logical clock.
+        clock: u64,
+        /// The releasing actor.
+        actor: u32,
+        /// The fork released.
+        fork: u32,
+    },
+    /// An actor started eating (entered its critical section).
+    MealStart {
+        /// Logical clock.
+        clock: u64,
+        /// The eater.
+        actor: u32,
+    },
+    /// An actor finished a meal.
+    MealFinish {
+        /// Logical clock.
+        clock: u64,
+        /// The eater.
+        actor: u32,
+    },
+    /// An actor crash-stopped (runtime crash-stop adversary).
+    Crash {
+        /// Logical clock.
+        clock: u64,
+        /// The crashed actor.
+        actor: u32,
+    },
+    /// A watchdog tripped while waiting on an actor.
+    Watchdog {
+        /// Logical clock.
+        clock: u64,
+        /// The actor the watchdog was guarding.
+        actor: u32,
+    },
+    /// A sweep cell started computing.
+    CellStart {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
+    /// A sweep cell finished (computed or served from the store).
+    CellFinish {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
+    /// A store lookup found a valid record.
+    StoreHit {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
+    /// A store lookup found nothing.
+    StoreMiss {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
+    /// A store record failed verification and was quarantined.
+    StoreQuarantine {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
+}
+
+impl Event {
+    /// The event's logical clock.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        match self {
+            Event::Schedule { clock, .. }
+            | Event::Acquire { clock, .. }
+            | Event::Release { clock, .. }
+            | Event::MealStart { clock, .. }
+            | Event::MealFinish { clock, .. }
+            | Event::Crash { clock, .. }
+            | Event::Watchdog { clock, .. }
+            | Event::CellStart { clock, .. }
+            | Event::CellFinish { clock, .. }
+            | Event::StoreHit { clock, .. }
+            | Event::StoreMiss { clock, .. }
+            | Event::StoreQuarantine { clock, .. } => *clock,
+        }
+    }
+
+    /// The stable type tag used by the JSONL codec.
+    #[must_use]
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Event::Schedule { .. } => "schedule",
+            Event::Acquire { .. } => "acquire",
+            Event::Release { .. } => "release",
+            Event::MealStart { .. } => "meal_start",
+            Event::MealFinish { .. } => "meal_finish",
+            Event::Crash { .. } => "crash",
+            Event::Watchdog { .. } => "watchdog",
+            Event::CellStart { .. } => "cell_start",
+            Event::CellFinish { .. } => "cell_finish",
+            Event::StoreHit { .. } => "store_hit",
+            Event::StoreMiss { .. } => "store_miss",
+            Event::StoreQuarantine { .. } => "store_quarantine",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_and_tag_cover_every_variant() {
+        let events = [
+            Event::Schedule { clock: 1, actor: 2 },
+            Event::Acquire {
+                clock: 2,
+                actor: 0,
+                fork: 3,
+            },
+            Event::Release {
+                clock: 3,
+                actor: 0,
+                fork: 3,
+            },
+            Event::MealStart { clock: 4, actor: 1 },
+            Event::MealFinish { clock: 5, actor: 1 },
+            Event::Crash { clock: 6, actor: 2 },
+            Event::Watchdog { clock: 7, actor: 2 },
+            Event::CellStart {
+                clock: 0,
+                cell: "a".into(),
+            },
+            Event::CellFinish {
+                clock: 0,
+                cell: "a".into(),
+            },
+            Event::StoreHit {
+                clock: 1,
+                cell: "b".into(),
+            },
+            Event::StoreMiss {
+                clock: 2,
+                cell: "c".into(),
+            },
+            Event::StoreQuarantine {
+                clock: 3,
+                cell: "d".into(),
+            },
+        ];
+        let tags: Vec<&str> = events.iter().map(Event::type_tag).collect();
+        assert_eq!(tags.len(), 12);
+        let mut unique = tags.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 12, "type tags are distinct");
+        assert_eq!(events[0].clock(), 1);
+        assert_eq!(events[11].clock(), 3);
+    }
+}

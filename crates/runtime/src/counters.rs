@@ -9,7 +9,13 @@
 //! struct; the alignment is asserted by a unit test, and the measured effect
 //! is recorded as the `runtime_stress` padding figures in
 //! `BENCH_results.json` (see `gdp-bench::perf`).
+//!
+//! The wait histogram is the shared [`gdp_observe::AtomicLog2Histogram`] —
+//! the same bucketing that powers the simulator's step-denominated meal
+//! histograms and the p50/p90/p99 estimates in stress reports; this module
+//! only fixes its unit (nanoseconds) and keeps the historical API.
 
+use gdp_observe::AtomicLog2Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One philosopher's meal and wait counters, padded to a full cache line so
@@ -19,6 +25,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct SeatCounters {
     meals: AtomicU64,
     wait_nanos: AtomicU64,
+    /// Hungry-to-eating latency of the *first* meal, in nanoseconds,
+    /// offset by +1 so 0 still means "never ate" (set-once).
+    first_wait_nanos_plus_one: AtomicU64,
 }
 
 impl SeatCounters {
@@ -33,9 +42,18 @@ impl SeatCounters {
         self.meals.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Adds `nanos` to the total time spent hungry before eating.
+    /// Adds `nanos` to the total time spent hungry before eating, and
+    /// captures it as the time-to-first-meal if none was captured yet.
     pub fn record_wait_nanos(&self, nanos: u64) {
         self.wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+        // Set-once: only this seat's thread writes, so a relaxed
+        // compare-exchange from 0 suffices.
+        let _ = self.first_wait_nanos_plus_one.compare_exchange(
+            0,
+            nanos.saturating_add(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     /// Completed meals so far.
@@ -49,12 +67,23 @@ impl SeatCounters {
     pub fn wait_nanos(&self) -> u64 {
         self.wait_nanos.load(Ordering::Relaxed)
     }
+
+    /// Hungry-to-eating latency of the first meal in nanoseconds, if any
+    /// meal completed its wait yet.
+    #[must_use]
+    pub fn first_wait_nanos(&self) -> Option<u64> {
+        match self.first_wait_nanos_plus_one.load(Ordering::Relaxed) {
+            0 => None,
+            stored => Some(stored - 1),
+        }
+    }
 }
 
 /// Number of buckets in a [`WaitHistogram`]: one per power of two of
 /// nanoseconds, which comfortably spans sub-microsecond spins to
-/// multi-second stalls.
-pub const WAIT_HISTOGRAM_BUCKETS: usize = 32;
+/// multi-second stalls.  Equal to [`gdp_observe::LOG2_BUCKETS`] — the
+/// histogram *is* the shared observe type.
+pub const WAIT_HISTOGRAM_BUCKETS: usize = gdp_observe::LOG2_BUCKETS;
 
 /// A log2 histogram of per-meal wait times in nanoseconds.
 ///
@@ -63,9 +92,13 @@ pub const WAIT_HISTOGRAM_BUCKETS: usize = 32;
 /// absorbs everything longer).  One shared array for the whole table: meals
 /// are orders of magnitude rarer than protocol steps, so the occasional
 /// shared-line bump is noise, unlike the per-step counters above.
+///
+/// This is a nanosecond-unit wrapper over the workspace-shared
+/// [`AtomicLog2Histogram`]; bucket layout and quantile estimation live in
+/// `gdp-observe` so the simulator and the runtime can never drift.
 #[derive(Debug, Default)]
 pub struct WaitHistogram {
-    buckets: [AtomicU64; WAIT_HISTOGRAM_BUCKETS],
+    inner: AtomicLog2Histogram,
 }
 
 impl WaitHistogram {
@@ -78,26 +111,18 @@ impl WaitHistogram {
     /// The bucket index for a wait of `nanos` nanoseconds.
     #[must_use]
     pub fn bucket_of(nanos: u64) -> usize {
-        if nanos == 0 {
-            0
-        } else {
-            (63 - nanos.leading_zeros() as usize).min(WAIT_HISTOGRAM_BUCKETS - 1)
-        }
+        gdp_observe::bucket_of(nanos)
     }
 
     /// Records one wait.
     pub fn record(&self, nanos: u64) {
-        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.inner.record(nanos);
     }
 
     /// A snapshot of all bucket counts.
     #[must_use]
     pub fn snapshot(&self) -> [u64; WAIT_HISTOGRAM_BUCKETS] {
-        let mut out = [0u64; WAIT_HISTOGRAM_BUCKETS];
-        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
-            *slot = bucket.load(Ordering::Relaxed);
-        }
-        out
+        self.inner.snapshot()
     }
 }
 
@@ -143,6 +168,20 @@ mod tests {
         c.record_wait_nanos(2);
         assert_eq!(c.meals(), 2);
         assert_eq!(c.wait_nanos(), 42);
+    }
+
+    #[test]
+    fn first_wait_is_set_once() {
+        let c = SeatCounters::new();
+        assert_eq!(c.first_wait_nanos(), None);
+        c.record_wait_nanos(40);
+        c.record_wait_nanos(2);
+        assert_eq!(c.first_wait_nanos(), Some(40));
+        // A genuine zero-nanosecond first wait is still distinguishable
+        // from "never ate".
+        let c = SeatCounters::new();
+        c.record_wait_nanos(0);
+        assert_eq!(c.first_wait_nanos(), Some(0));
     }
 
     #[test]

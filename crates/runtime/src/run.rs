@@ -18,12 +18,14 @@ use crate::counters::{jain_fairness_index, WAIT_HISTOGRAM_BUCKETS};
 use crate::seat::Seat;
 use crate::table::DiningTable;
 use gdp_algorithms::AlgorithmKind;
+use gdp_observe::SharedSink;
 use gdp_topology::{PhilosopherId, Topology};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Options for [`run_with`] and [`run_for_duration`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// The algorithm every seat interprets.
     pub algorithm: AlgorithmKind,
@@ -51,6 +53,28 @@ pub struct RunOptions {
     /// `active − 1` (somebody always survives); victims and crash points
     /// derive from [`seed`](Self::seed) alone, so crash runs replay.
     pub crash_seats: usize,
+    /// Structured-event sink shared by every seat (see
+    /// [`Seat::set_event_sink`](crate::Seat::set_event_sink)).  Events are
+    /// stamped with per-seat sequence numbers; real-thread interleaving
+    /// makes the merged stream run-dependent, so exporters sort by
+    /// `(actor, clock)`.  `None` (the default) compiles the hot path down
+    /// to a branch on a `None` — effectively free.
+    pub sink: Option<SharedSink>,
+}
+
+impl fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("algorithm", &self.algorithm)
+            .field("meals_per_seat", &self.meals_per_seat)
+            .field("active_seats", &self.active_seats)
+            .field("watchdog", &self.watchdog)
+            .field("seed", &self.seed)
+            .field("nr_range", &self.nr_range)
+            .field("crash_seats", &self.crash_seats)
+            .field("sink", &self.sink.as_ref().map(|_| "<EventSink>"))
+            .finish()
+    }
 }
 
 impl Default for RunOptions {
@@ -63,6 +87,7 @@ impl Default for RunOptions {
             seed: 0,
             nr_range: None,
             crash_seats: 0,
+            sink: None,
         }
     }
 }
@@ -79,6 +104,10 @@ pub struct RunTiming {
     pub throughput_meals_per_sec: f64,
     /// Total time each philosopher spent waiting for forks.
     pub wait: Vec<Duration>,
+    /// Hungry-to-eating latency of each philosopher's first meal in
+    /// nanoseconds (`None` if the philosopher never started eating) — the
+    /// runtime's wall-clock time-to-first-meal figure.
+    pub first_wait_nanos: Vec<Option<u64>>,
     /// Table-wide log2 histogram of per-meal wait times in nanoseconds
     /// (bucket `i` counts waits in `[2^i, 2^(i+1))` ns).
     pub wait_histogram: [u64; WAIT_HISTOGRAM_BUCKETS],
@@ -168,6 +197,7 @@ fn crash_stop(seat: &mut Seat) {
         seat.step_once();
     }
     seat.reset_trying();
+    seat.note_crash();
 }
 
 fn finish_report(
@@ -194,6 +224,7 @@ fn finish_report(
                 0.0
             },
             wait: stats.wait_times(),
+            first_wait_nanos: stats.first_wait_nanos().to_vec(),
             wait_histogram: *stats.wait_histogram(),
         }),
     }
@@ -226,6 +257,7 @@ where
     std::thread::scope(|scope| {
         for (p, share) in plan.iter().enumerate() {
             let mut seat = table.seat(PhilosopherId::new(p as u32));
+            seat.set_event_sink(options.sink.clone());
             // Victims complete a seeded share of the budget (at least one
             // meal), then crash mid-protocol and recover their forks.
             let budget = match *share {
@@ -241,6 +273,7 @@ where
                         }
                         Some(d) => {
                             if seat.try_dine_until(d, critical_ref).is_none() {
+                                seat.note_watchdog();
                                 tripped_ref.store(true, Ordering::SeqCst);
                                 return;
                             }
@@ -301,6 +334,7 @@ where
     std::thread::scope(|scope| {
         for (p, share) in plan.iter().enumerate() {
             let mut seat = table.seat(PhilosopherId::new(p as u32));
+            seat.set_event_sink(options.sink.clone());
             // Victims run until a seeded share of the wall clock, then
             // crash mid-protocol and recover their forks.
             let my_deadline = match *share {
@@ -360,6 +394,52 @@ mod tests {
         assert!(timing.throughput_meals_per_sec > 0.0);
         assert_eq!(timing.wait.len(), 5);
         assert_eq!(timing.wait_histogram.iter().sum::<u64>(), 250);
+        // Everyone ate, so everyone has a time-to-first-meal sample.
+        assert_eq!(timing.first_wait_nanos.len(), 5);
+        assert!(timing.first_wait_nanos.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn event_sink_sees_per_seat_sequenced_protocol_events() {
+        use gdp_observe::{Event, MemorySink};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let report = run_with(
+            classic_ring(4).unwrap(),
+            &RunOptions {
+                meals_per_seat: 5,
+                sink: Some(sink.clone()),
+                ..RunOptions::default()
+            },
+            || {},
+        );
+        assert_eq!(report.total_meals(), 20);
+        let events = sink.take();
+        let meal_finishes = events
+            .iter()
+            .filter(|e| matches!(e, Event::MealFinish { .. }))
+            .count();
+        assert_eq!(meal_finishes as u64, 20, "one meal_finish per meal");
+        // Per-actor sequence numbers are the runtime's logical clock: within
+        // one actor, clocks must be strictly increasing in emission order
+        // (MemorySink preserves arrival order per lock acquisition, and each
+        // actor's events arrive in its own program order).
+        let mut last: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for event in &events {
+            let actor = match event {
+                Event::Schedule { actor, .. } => *actor,
+                _ => continue,
+            };
+            let clock = event.clock();
+            assert!(
+                last.get(&actor).is_none_or(|&prev| clock > prev),
+                "actor {actor}: clock {clock} after {:?}",
+                last.get(&actor)
+            );
+            last.insert(actor, clock);
+        }
+        assert_eq!(last.len(), 4, "every seat emitted schedule events");
     }
 
     #[test]

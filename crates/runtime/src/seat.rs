@@ -15,6 +15,7 @@
 
 use crate::table::DiningTable;
 use gdp_algorithms::{AlgorithmKind, AnyProgram, AnyState};
+use gdp_observe::{Event, SharedSink};
 use gdp_sim::{Action, HungerModel, Phase, Program, ProgramObservation, StepCtx};
 use gdp_topology::{ForkEnds, ForkId, PhilosopherId};
 use rand::SeedableRng;
@@ -39,7 +40,6 @@ const MAX_BACKOFF: Duration = Duration::from_micros(256);
 /// The seat carries the philosopher's *private* program state across meals,
 /// exactly like the simulator keeps one state per philosopher; obtain at
 /// most one seat per philosopher and drive it from one thread.
-#[derive(Debug)]
 pub struct Seat {
     table: Arc<DiningTable>,
     me: PhilosopherId,
@@ -49,6 +49,21 @@ pub struct Seat {
     rng: ChaCha8Rng,
     hungry_since: Option<Instant>,
     stall: u32,
+    sink: Option<SharedSink>,
+    seq: u64,
+}
+
+impl std::fmt::Debug for Seat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Seat")
+            .field("me", &self.me)
+            .field("ends", &self.ends)
+            .field("state", &self.state)
+            .field("stall", &self.stall)
+            .field("seq", &self.seq)
+            .field("sink", &self.sink.as_ref().map(|_| "<EventSink>"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Seat {
@@ -71,6 +86,45 @@ impl Seat {
             rng: ChaCha8Rng::seed_from_u64(seed),
             hungry_since: None,
             stall: 0,
+            sink: None,
+            seq: 0,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a structured-event sink.
+    ///
+    /// Each subsequent [`step_once`](Seat::step_once) emits one
+    /// [`Event::Schedule`] plus at most one protocol event (acquire,
+    /// release, meal start/finish), all stamped with this seat's private
+    /// **sequence number** — the runtime's logical clock.  Real threads have
+    /// no global step order, so clocks are only comparable *per actor*;
+    /// merged traces are therefore sorted by `(actor, clock)` and are not
+    /// byte-reproducible across runs (unlike the simulator's).
+    pub fn set_event_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Emits a watchdog event for this seat at its next sequence number.
+    pub(crate) fn note_watchdog(&mut self) {
+        if let Some(sink) = &self.sink {
+            self.seq += 1;
+            let event = Event::Watchdog {
+                clock: self.seq,
+                actor: self.me.raw(),
+            };
+            sink.record(&event);
+        }
+    }
+
+    /// Emits a crash-stop event for this seat at its next sequence number.
+    pub(crate) fn note_crash(&mut self) {
+        if let Some(sink) = &self.sink {
+            self.seq += 1;
+            let event = Event::Crash {
+                clock: self.seq,
+                actor: self.me.raw(),
+            };
+            sink.record(&event);
         }
     }
 
@@ -196,6 +250,44 @@ impl Seat {
         }
         if phase_before == Phase::Eating && phase_after != Phase::Eating {
             self.table.counters(self.me).record_meal();
+        }
+
+        // Structured events, mirroring the simulator's vocabulary: one
+        // schedule event per step plus the action's protocol event, all at
+        // this seat's next sequence number.  Releases folded into
+        // `FinishEating` are not synthesized, exactly as in the simulator.
+        if let Some(sink) = &self.sink {
+            self.seq += 1;
+            let clock = self.seq;
+            let actor = self.me.raw();
+            sink.record(&Event::Schedule { clock, actor });
+            match action {
+                Action::TakeFirst {
+                    fork,
+                    success: true,
+                }
+                | Action::TakeSecond {
+                    fork,
+                    success: true,
+                } => sink.record(&Event::Acquire {
+                    clock,
+                    actor,
+                    fork: fork.raw(),
+                }),
+                Action::Release { fork } => sink.record(&Event::Release {
+                    clock,
+                    actor,
+                    fork: fork.raw(),
+                }),
+                Action::FinishEating => sink.record(&Event::MealFinish { clock, actor }),
+                _ => {}
+            }
+            // Eating starts implicitly when the second fork lands (no
+            // algorithm emits a dedicated action), so the meal-start event
+            // comes from the phase transition, as in the simulator.
+            if phase_before != Phase::Eating && phase_after == Phase::Eating {
+                sink.record(&Event::MealStart { clock, actor });
+            }
         }
         action
     }

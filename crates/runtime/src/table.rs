@@ -14,6 +14,7 @@ use std::time::Duration;
 pub struct TableStats {
     meals: Vec<u64>,
     wait_nanos: Vec<u64>,
+    first_wait_nanos: Vec<Option<u64>>,
     wait_histogram: [u64; WAIT_HISTOGRAM_BUCKETS],
 }
 
@@ -37,6 +38,15 @@ impl TableStats {
             .iter()
             .map(|&n| Duration::from_nanos(n))
             .collect()
+    }
+
+    /// Hungry-to-eating latency of each philosopher's *first* meal, in
+    /// nanoseconds; `None` for philosophers that never started eating.
+    /// This is the runtime's time-to-first-meal figure, the wall-clock
+    /// analogue of the simulator's step-denominated first-meal histogram.
+    #[must_use]
+    pub fn first_wait_nanos(&self) -> &[Option<u64>] {
+        &self.first_wait_nanos
     }
 
     /// The table-wide log2 histogram of per-meal wait times: bucket `i`
@@ -206,6 +216,11 @@ impl DiningTable {
         TableStats {
             meals: self.counters.iter().map(SeatCounters::meals).collect(),
             wait_nanos: self.counters.iter().map(SeatCounters::wait_nanos).collect(),
+            first_wait_nanos: self
+                .counters
+                .iter()
+                .map(SeatCounters::first_wait_nanos)
+                .collect(),
             wait_histogram: self.wait_histogram.snapshot(),
         }
     }

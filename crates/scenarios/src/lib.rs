@@ -84,5 +84,6 @@ pub use store::{
     StoreStats, STORE_FORMAT,
 };
 pub use stress::{
-    run_stress, stress_csv_header, StressLoad, StressReport, StressSpec, StressTiming,
+    run_stress, run_stress_observed, stress_csv_header, StressLoad, StressReport, StressSpec,
+    StressTiming,
 };

@@ -75,7 +75,8 @@ fn json_str(value: &str) -> String {
 #[must_use]
 pub fn csv_header() -> &'static str {
     "cell,family,size,philosophers,forks,algorithm,adversary,trials,max_steps,seed,\
-     deadlock_rate,lockout_rate,mean_hunger,min_meals_mean,fairness_mean,\
+     deadlock_rate,lockout_rate,mean_hunger,first_meal_p50,first_meal_p90,first_meal_p99,\
+     min_meals_mean,fairness_mean,\
      stuck_trials,unsafe_trials,exact_verdict,exact_progress_prob,exact_states,steps_per_sec"
 }
 
@@ -128,6 +129,7 @@ impl SweepReport {
                  \"philosophers\": {}, \"forks\": {}, \"algorithm\": {}, \
                  \"adversary\": {}, \"trials\": {}, \"max_steps\": {}, \"seed\": {}, \
                  \"deadlock_rate\": {}, \"lockout_rate\": {}, \"mean_hunger\": {}, \
+                 \"first_meal_p50\": {}, \"first_meal_p90\": {}, \"first_meal_p99\": {}, \
                  \"min_meals_mean\": {}, \"fairness_mean\": {}, \
                  \"stuck_trials\": {}, \"unsafe_trials\": {}, \
                  \"exact_verdict\": {}, \"exact_progress_prob\": {}, \
@@ -145,6 +147,9 @@ impl SweepReport {
                 num(c.deadlock_rate),
                 num(c.lockout_rate),
                 num(c.mean_hunger),
+                num(c.first_meal_p50),
+                num(c.first_meal_p90),
+                num(c.first_meal_p99),
                 num(c.min_meals_mean),
                 num(c.fairness_mean),
                 c.stuck_trials,
@@ -177,7 +182,7 @@ impl SweepReport {
             };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 c.cell,
                 c.family,
                 c.size,
@@ -191,6 +196,9 @@ impl SweepReport {
                 num(c.deadlock_rate),
                 num(c.lockout_rate),
                 num(c.mean_hunger),
+                num(c.first_meal_p50),
+                num(c.first_meal_p90),
+                num(c.first_meal_p99),
                 num(c.min_meals_mean),
                 num(c.fairness_mean),
                 c.stuck_trials,
@@ -258,6 +266,9 @@ pub(crate) fn encode_cell_payload(c: &CellResult) -> String {
     let _ = writeln!(out, "deadlock_rate {}", f64_bits(c.deadlock_rate));
     let _ = writeln!(out, "lockout_rate {}", f64_bits(c.lockout_rate));
     let _ = writeln!(out, "mean_hunger {}", f64_bits(c.mean_hunger));
+    let _ = writeln!(out, "first_meal_p50 {}", f64_bits(c.first_meal_p50));
+    let _ = writeln!(out, "first_meal_p90 {}", f64_bits(c.first_meal_p90));
+    let _ = writeln!(out, "first_meal_p99 {}", f64_bits(c.first_meal_p99));
     let _ = writeln!(out, "min_meals_mean {}", f64_bits(c.min_meals_mean));
     let _ = writeln!(out, "fairness_mean {}", f64_bits(c.fairness_mean));
     let _ = writeln!(out, "stuck_trials {}", c.stuck_trials);
@@ -324,6 +335,9 @@ pub(crate) fn decode_cell_payload(payload: &str) -> Result<CellResult, String> {
     let deadlock_rate = bits("deadlock_rate", &field("deadlock_rate")?)?;
     let lockout_rate = bits("lockout_rate", &field("lockout_rate")?)?;
     let mean_hunger = bits("mean_hunger", &field("mean_hunger")?)?;
+    let first_meal_p50 = bits("first_meal_p50", &field("first_meal_p50")?)?;
+    let first_meal_p90 = bits("first_meal_p90", &field("first_meal_p90")?)?;
+    let first_meal_p99 = bits("first_meal_p99", &field("first_meal_p99")?)?;
     let min_meals_mean = bits("min_meals_mean", &field("min_meals_mean")?)?;
     let fairness_mean = bits("fairness_mean", &field("fairness_mean")?)?;
     let stuck_trials = int("stuck_trials", &field("stuck_trials")?)?;
@@ -372,6 +386,9 @@ pub(crate) fn decode_cell_payload(payload: &str) -> Result<CellResult, String> {
         deadlock_rate,
         lockout_rate,
         mean_hunger,
+        first_meal_p50,
+        first_meal_p90,
+        first_meal_p99,
         min_meals_mean,
         fairness_mean,
         steps_per_sec: None,

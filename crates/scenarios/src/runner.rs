@@ -50,6 +50,13 @@ pub struct CellResult {
     /// lasts before the system first serves a meal); `0` when no trial
     /// progressed.
     pub mean_hunger: f64,
+    /// Median first-meal step over the progressing trials (step-denominated;
+    /// exact nearest-rank percentile, so bitwise thread-independent).
+    pub first_meal_p50: f64,
+    /// 90th-percentile first-meal step over the progressing trials.
+    pub first_meal_p90: f64,
+    /// 99th-percentile first-meal step over the progressing trials.
+    pub first_meal_p99: f64,
     /// Mean over trials of the minimum meal count across philosophers.
     pub min_meals_mean: f64,
     /// Mean Jain fairness index of the per-philosopher meal counts.
@@ -109,7 +116,7 @@ impl CellResult {
 }
 
 /// Options controlling a sweep run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct SweepOptions {
     /// Record wall-clock throughput per cell.  Timing makes the JSON/CSV
     /// artifacts non-reproducible across machines and runs, so it is off by
@@ -122,6 +129,23 @@ pub struct SweepOptions {
     /// exceeds the budget report `inconclusive`.  The verdicts are a pure
     /// function of the spec, so reproducibility is preserved.
     pub exact_check: Option<usize>,
+    /// Structured-event sink for cell lifecycle and store events
+    /// (`cell_start`/`cell_finish`/`store_hit`/`store_miss`/
+    /// `store_quarantine`).  The sweep's logical clock is the cell's
+    /// position in the deterministic grid expansion, so with a fixed spec
+    /// the emitted stream is the same for every thread count.
+    pub sink: Option<gdp_observe::SharedSink>,
+}
+
+impl fmt::Debug for SweepOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("record_timing", &self.record_timing)
+            .field("progress", &self.progress)
+            .field("exact_check", &self.exact_check)
+            .field("sink", &self.sink.as_ref().map(|_| "<EventSink>"))
+            .finish()
+    }
 }
 
 impl SweepOptions {
@@ -137,7 +161,7 @@ impl SweepOptions {
         SweepOptions {
             record_timing: true,
             progress: true,
-            exact_check: None,
+            ..SweepOptions::default()
         }
     }
 }
@@ -252,6 +276,9 @@ fn run_cell(
         deadlock_rate: 1.0 - progress.progress_fraction,
         lockout_rate: 1.0 - lockout.lockout_free_fraction,
         mean_hunger: progress.first_meal_mean,
+        first_meal_p50: progress.first_meal_p50,
+        first_meal_p90: progress.first_meal_p90,
+        first_meal_p99: progress.first_meal_p99,
         min_meals_mean: lockout.min_meals_mean,
         fairness_mean: lockout.fairness_mean,
         steps_per_sec,
@@ -323,17 +350,44 @@ where
     let shard = shard.unwrap_or_else(ShardSpec::full);
     let mut stats = StoreStats::default();
     let mut results = Vec::with_capacity(cells.len().div_ceil(shard.count));
+    let emit = |event: gdp_observe::Event| {
+        if let Some(sink) = &options.sink {
+            sink.record(&event);
+        }
+    };
     for (position, cell) in cells.iter().enumerate() {
         if !shard.owns(position) {
             continue;
         }
+        let clock = position as u64;
+        emit(gdp_observe::Event::CellStart {
+            clock,
+            cell: cell.key.clone(),
+        });
         let mut cached = None;
         if resume {
             if let Some(store) = store {
                 match store.lookup(&cell.key) {
-                    StoreLookup::Hit(result) => cached = Some(*result),
-                    StoreLookup::Quarantined { .. } => stats.quarantined += 1,
-                    StoreLookup::Absent => {}
+                    StoreLookup::Hit(result) => {
+                        emit(gdp_observe::Event::StoreHit {
+                            clock,
+                            cell: cell.key.clone(),
+                        });
+                        cached = Some(*result);
+                    }
+                    StoreLookup::Quarantined { .. } => {
+                        emit(gdp_observe::Event::StoreQuarantine {
+                            clock,
+                            cell: cell.key.clone(),
+                        });
+                        stats.quarantined += 1;
+                    }
+                    StoreLookup::Absent => {
+                        emit(gdp_observe::Event::StoreMiss {
+                            clock,
+                            cell: cell.key.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -357,6 +411,10 @@ where
         if options.progress {
             println!("{}", result.row());
         }
+        emit(gdp_observe::Event::CellFinish {
+            clock,
+            cell: cell.key.clone(),
+        });
         on_cell(&result);
         results.push(result);
     }
@@ -400,7 +458,48 @@ mod tests {
                 cell.steps_per_sec.is_none(),
                 "quiet sweeps record no timing"
             );
+            // First-meal percentiles are exact nearest-rank figures over the
+            // progressing trials, so they must be ordered and positive here.
+            assert!(cell.first_meal_p50 > 0.0, "{}", cell.cell);
+            assert!(cell.first_meal_p90 >= cell.first_meal_p50, "{}", cell.cell);
+            assert!(cell.first_meal_p99 >= cell.first_meal_p90, "{}", cell.cell);
         }
+    }
+
+    #[test]
+    fn sweep_sink_sees_cell_lifecycle_events_keyed_by_grid_position() {
+        use gdp_observe::{Event, MemorySink};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let options = SweepOptions {
+            sink: Some(sink.clone()),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&tiny_spec(), &options).unwrap();
+        let events = sink.take();
+        // One cell_start + one cell_finish per cell, clocked by grid
+        // position; no store events without a store attached.
+        let starts: Vec<(u64, String)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::CellStart { clock, cell } => Some((*clock, cell.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            starts,
+            vec![
+                (0, "ring/n4/GDP1".to_string()),
+                (1, "star/n4/GDP1".to_string())
+            ]
+        );
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, Event::CellFinish { .. }))
+            .count();
+        assert_eq!(finishes, report.cells.len());
+        assert_eq!(events.len(), 2 * report.cells.len());
     }
 
     #[test]
@@ -436,8 +535,7 @@ mod tests {
             &spec,
             &SweepOptions {
                 record_timing: true,
-                progress: false,
-                exact_check: None,
+                ..SweepOptions::default()
             },
         )
         .unwrap();

@@ -30,7 +30,8 @@
 //! with the failure reason) and the cell is transparently recomputed.
 //! Validation layers, in order:
 //!
-//! 1. the format banner (`gdp-cell-store v1`) — foreign or future files;
+//! 1. the format banner (`gdp-cell-store v2`) — foreign, stale-format or
+//!    future files;
 //! 2. the spec fingerprint — records from a *stale or different spec*
 //!    (other adversary, trial budget, step budget, seed policy or
 //!    exact-check budget) are invisible to this spec's lookups by
@@ -56,8 +57,9 @@ use std::path::{Path, PathBuf};
 
 /// The format banner every record starts with; bump the version when the
 /// record layout or payload schema changes and old records become
-/// untrustworthy.
-pub const STORE_FORMAT: &str = "gdp-cell-store v1";
+/// untrustworthy.  v2 added the `first_meal_p50/p90/p99` payload fields;
+/// v1 records quarantine and recompute, by design.
+pub const STORE_FORMAT: &str = "gdp-cell-store v2";
 
 /// 64-bit FNV-1a over raw bytes: the store's persistent digest for record
 /// addresses, spec fingerprints and payload checksums.  Chosen for being

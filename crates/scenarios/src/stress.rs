@@ -125,6 +125,15 @@ pub struct StressTiming {
     pub meals_per_sec: f64,
     /// Mean hungry-to-eating latency in microseconds (over all meals).
     pub mean_wait_micros: f64,
+    /// Median time-to-first-meal in nanoseconds, estimated from the log2
+    /// bucket histogram of per-seat first waits (`gdp-observe`'s
+    /// nearest-rank bucket-floor estimator, so for a true value `t` the
+    /// reported `e` satisfies `e <= t < max(2e, 2)`).
+    pub first_meal_p50: f64,
+    /// 90th-percentile time-to-first-meal in nanoseconds (same estimator).
+    pub first_meal_p90: f64,
+    /// 99th-percentile time-to-first-meal in nanoseconds (same estimator).
+    pub first_meal_p99: f64,
     /// Table-wide log2 histogram of per-meal wait times: bucket `i` counts
     /// meals whose wait fell in `[2^i, 2^(i+1))` nanoseconds.
     pub wait_histogram: [u64; WAIT_HISTOGRAM_BUCKETS],
@@ -195,6 +204,13 @@ fn from_run_report(spec: &StressSpec, report: &RunReport, record_timing: bool) -
         .map(|t| {
             let total = report.total_meals();
             let wait_nanos: u128 = t.wait.iter().map(|w| w.as_nanos()).sum();
+            // Time-to-first-meal percentiles over the seats that ate,
+            // through the shared log2-bucket estimator (the runtime face of
+            // the simulator's step-denominated first-meal histogram).
+            let mut first_waits = gdp_observe::Log2Histogram::new();
+            for nanos in t.first_wait_nanos.iter().flatten() {
+                first_waits.record(*nanos);
+            }
             StressTiming {
                 elapsed_secs: t.elapsed.as_secs_f64(),
                 meals_per_sec: t.throughput_meals_per_sec,
@@ -203,6 +219,9 @@ fn from_run_report(spec: &StressSpec, report: &RunReport, record_timing: bool) -
                 } else {
                     0.0
                 },
+                first_meal_p50: first_waits.quantile(50.0),
+                first_meal_p90: first_waits.quantile(90.0),
+                first_meal_p99: first_waits.quantile(99.0),
                 wait_histogram: t.wait_histogram,
             }
         });
@@ -247,6 +266,24 @@ fn from_run_report(spec: &StressSpec, report: &RunReport, record_timing: bool) -
 ///
 /// Returns a message when the topology cannot be built at this size.
 pub fn run_stress(spec: &StressSpec, record_timing: bool) -> Result<StressReport, String> {
+    run_stress_observed(spec, record_timing, None)
+}
+
+/// [`run_stress`] with a structured-event sink attached to every driven
+/// seat: each seat emits `schedule`/`acquire`/`release`/`meal_start`/
+/// `meal_finish` (plus `crash`/`watchdog`) events stamped with its private
+/// sequence number.  Real threads interleave OS-dependently, so the merged
+/// stream is a *measurement*; exporters sort it by `(actor, clock)` before
+/// writing (see `gdp stress --trace`).
+///
+/// # Errors
+///
+/// As [`run_stress`].
+pub fn run_stress_observed(
+    spec: &StressSpec,
+    record_timing: bool,
+    sink: Option<gdp_observe::SharedSink>,
+) -> Result<StressReport, String> {
     let topology = spec.family.build(spec.size, spec.seed).map_err(|e| {
         format!(
             "cannot build {} at n={}: {e}",
@@ -266,6 +303,7 @@ pub fn run_stress(spec: &StressSpec, record_timing: bool) -> Result<StressReport
         seed: spec.seed,
         nr_range: None,
         crash_seats: spec.crash_seats,
+        sink,
     };
     let spin = spec.spin;
     let critical = move || {
@@ -290,7 +328,8 @@ pub fn stress_csv_header() -> &'static str {
     "cell,family,size,philosophers,forks,algorithm,threads,load,watchdog_ms,seed,spin,\
      crash_seats,crashed_seats,\
      total_meals,min_meals,max_meals,everyone_ate,watchdog_tripped,jain_fairness,\
-     elapsed_secs,meals_per_sec,mean_wait_micros"
+     elapsed_secs,meals_per_sec,mean_wait_micros,\
+     first_meal_p50,first_meal_p90,first_meal_p99"
 }
 
 fn num(value: f64) -> String {
@@ -337,12 +376,18 @@ impl StressReport {
                 let _ = writeln!(out, "  \"elapsed_secs\": null,");
                 let _ = writeln!(out, "  \"meals_per_sec\": null,");
                 let _ = writeln!(out, "  \"mean_wait_micros\": null,");
+                let _ = writeln!(out, "  \"first_meal_p50\": null,");
+                let _ = writeln!(out, "  \"first_meal_p90\": null,");
+                let _ = writeln!(out, "  \"first_meal_p99\": null,");
                 let _ = writeln!(out, "  \"wait_histogram_ns\": null");
             }
             Some(t) => {
                 let _ = writeln!(out, "  \"elapsed_secs\": {},", num(t.elapsed_secs));
                 let _ = writeln!(out, "  \"meals_per_sec\": {},", num(t.meals_per_sec));
                 let _ = writeln!(out, "  \"mean_wait_micros\": {},", num(t.mean_wait_micros));
+                let _ = writeln!(out, "  \"first_meal_p50\": {},", num(t.first_meal_p50));
+                let _ = writeln!(out, "  \"first_meal_p90\": {},", num(t.first_meal_p90));
+                let _ = writeln!(out, "  \"first_meal_p99\": {},", num(t.first_meal_p99));
                 // Sparse form: only non-empty buckets, as [lo_ns, hi_ns, count].
                 // Bucket 0 also absorbs 0-ns waits and the top bucket absorbs
                 // everything longer, so the serialized bounds reflect that.
@@ -373,20 +418,30 @@ impl StressReport {
     /// row.  Timing columns are empty when timing was not recorded.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let (elapsed, mps, wait) = match &self.timing {
+        let (elapsed, mps, wait, p50, p90, p99) = match &self.timing {
             Some(t) => (
                 num(t.elapsed_secs),
                 num(t.meals_per_sec),
                 num(t.mean_wait_micros),
+                num(t.first_meal_p50),
+                num(t.first_meal_p90),
+                num(t.first_meal_p99),
             ),
-            None => (String::new(), String::new(), String::new()),
+            None => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
         };
         let crashed: Vec<String> = self.crashed_seats.iter().map(u64::to_string).collect();
         let mut out = String::from(stress_csv_header());
         out.push('\n');
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.cell,
             self.family,
             self.size,
@@ -409,6 +464,9 @@ impl StressReport {
             elapsed,
             mps,
             wait,
+            p50,
+            p90,
+            p99,
         );
         out
     }
@@ -470,6 +528,12 @@ mod tests {
         assert!(timing.elapsed_secs > 0.0);
         assert!(timing.meals_per_sec > 0.0);
         assert_eq!(timing.wait_histogram.iter().sum::<u64>(), 32);
+        // Everyone ate, so the first-meal percentiles come from 4 real
+        // samples; the bucket-floor estimator keeps them ordered.
+        assert!(timing.first_meal_p50 >= 0.0);
+        assert!(timing.first_meal_p90 >= timing.first_meal_p50);
+        assert!(timing.first_meal_p99 >= timing.first_meal_p90);
+        assert!(report.to_json().contains("\"first_meal_p50\": "));
         assert!(report.to_json().contains("\"wait_histogram_ns\": ["));
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.lines().collect();

@@ -6,10 +6,11 @@ use crate::draws::DrawTape;
 use crate::fork::ForkCell;
 use crate::hash::fingerprint64;
 use crate::outcome::{RunOutcome, StopCondition, StopReason};
-use crate::program::{Phase, Program, StepCtx, StepRandomness};
+use crate::program::{Action, Phase, Program, StepCtx, StepRandomness};
 use crate::snapshot::EngineState;
 use crate::trace::{StepRecord, Trace};
 use crate::view::{make_view, Holding, PhilosopherView, SystemView};
+use gdp_observe::{Event, Log2Histogram, SharedSink};
 use gdp_topology::{ForkId, PhilosopherId, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -52,6 +53,19 @@ pub struct Engine<P: Program> {
     hungry_since: Vec<Option<u64>>,
     waiting_times: Vec<Vec<u64>>,
     trace: Option<Trace>,
+    /// Step at which each philosopher last *started* eating — feeds the
+    /// inter-meal histogram.
+    last_meal_start: Vec<Option<u64>>,
+    /// Step-denominated time-to-first-meal per philosopher (one sample per
+    /// philosopher that ever eats).
+    first_meal_hist: Log2Histogram,
+    /// Step-denominated gaps between consecutive meal starts of the same
+    /// philosopher.
+    inter_meal_hist: Log2Histogram,
+    /// Optional structured-event sink (see `gdp-observe`).  `None` — the
+    /// default — costs one branch per step; this is *not* captured by
+    /// snapshots and survives `reset`/`restore`, like the trace config.
+    sink: Option<SharedSink>,
     /// Persistent adversary-facing views, kept in sync incrementally:
     /// `views[i]` always equals the view rebuilt from scratch for
     /// philosopher `i` (test-enforced, see `rebuilt_views`).
@@ -80,6 +94,10 @@ impl<P: Program> Engine<P> {
             hungry_since: vec![None; n],
             waiting_times: vec![Vec::new(); n],
             trace,
+            last_meal_start: vec![None; n],
+            first_meal_hist: Log2Histogram::new(),
+            inter_meal_hist: Log2Histogram::new(),
+            sink: None,
             views: Vec::with_capacity(n),
             topology,
             program,
@@ -162,6 +180,41 @@ impl<P: Program> Engine<P> {
     #[must_use]
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Attaches (or with `None`, detaches) a structured-event sink.
+    ///
+    /// While attached, every atomic step emits `gdp-observe` events keyed by
+    /// the step index as the logical clock: a `Schedule` for the stepped
+    /// philosopher plus `Acquire`/`Release`/`MealStart`/`MealFinish` derived
+    /// from the step's [`Action`] (fork releases folded into `FinishEating`
+    /// by an algorithm's action vocabulary are not synthesized).  Detached —
+    /// the default — the cost is a single branch per step (bench-enforced by
+    /// the `trace_overhead` sample).
+    ///
+    /// The sink is engine configuration, not semantic state: it survives
+    /// [`reset`](Self::reset) and [`restore`](Self::restore), and snapshots
+    /// never capture it.  Note that exploration entry points
+    /// ([`for_each_step_outcome`](Self::for_each_step_outcome),
+    /// [`is_stuck`](Self::is_stuck)) execute probe steps that emit like any
+    /// other step — detach or drain the sink before exploring.
+    pub fn set_event_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// The step-denominated time-to-first-meal histogram: one sample per
+    /// philosopher that ever started eating, valued at the step index of its
+    /// first meal start.
+    #[must_use]
+    pub fn first_meal_histogram(&self) -> &Log2Histogram {
+        &self.first_meal_hist
+    }
+
+    /// The step-denominated inter-meal histogram: gaps between consecutive
+    /// meal starts of the same philosopher.
+    #[must_use]
+    pub fn inter_meal_histogram(&self) -> &Log2Histogram {
+        &self.inter_meal_hist
     }
 
     /// The effective priority-number range `m` used by GDP1/GDP2 in this run.
@@ -349,6 +402,11 @@ impl<P: Program> Engine<P> {
             if let Some(since) = self.hungry_since[idx] {
                 self.waiting_times[idx].push(self.step_count - since);
             }
+            match self.last_meal_start[idx] {
+                None => self.first_meal_hist.record(self.step_count),
+                Some(prev) => self.inter_meal_hist.record(self.step_count - prev),
+            }
+            self.last_meal_start[idx] = Some(self.step_count);
         }
         if phase_before == Phase::Eating && phase_after != Phase::Eating {
             self.meals_completed[idx] += 1;
@@ -361,6 +419,43 @@ impl<P: Program> Engine<P> {
         // Keep the persistent view buffer exact: only the stepped
         // philosopher's observable state can have changed.
         self.refresh_view(idx);
+
+        // Structured-event emission (disabled: one branch).  The logical
+        // clock is the step index, so the event stream is as deterministic
+        // as the trace.
+        if let Some(sink) = &self.sink {
+            let clock = self.step_count;
+            let actor = philosopher.raw();
+            sink.record(&Event::Schedule { clock, actor });
+            match action {
+                Action::TakeFirst {
+                    fork,
+                    success: true,
+                }
+                | Action::TakeSecond {
+                    fork,
+                    success: true,
+                } => sink.record(&Event::Acquire {
+                    clock,
+                    actor,
+                    fork: fork.raw(),
+                }),
+                Action::Release { fork } => sink.record(&Event::Release {
+                    clock,
+                    actor,
+                    fork: fork.raw(),
+                }),
+                Action::FinishEating => sink.record(&Event::MealFinish { clock, actor }),
+                _ => {}
+            }
+            // Eating starts *implicitly* when the second fork lands (no
+            // algorithm emits a dedicated action for it), so the meal-start
+            // event comes from the phase transition, exactly like the
+            // histogram accounting above.
+            if phase_before != Phase::Eating && phase_after == Phase::Eating {
+                sink.record(&Event::MealStart { clock, actor });
+            }
+        }
 
         let record = StepRecord {
             step: self.step_count,
@@ -471,6 +566,9 @@ impl<P: Program> Engine<P> {
         self.max_scheduling_gap = 0;
         self.hungry_since.iter_mut().for_each(|h| *h = None);
         self.waiting_times.iter_mut().for_each(Vec::clear);
+        self.last_meal_start.iter_mut().for_each(|l| *l = None);
+        self.first_meal_hist.clear();
+        self.inter_meal_hist.clear();
         self.trace = self.config.record_trace.then(|| Trace::new(n));
         for idx in 0..n {
             self.refresh_view(idx);
@@ -540,6 +638,9 @@ impl<P: Program> Engine<P> {
         self.max_scheduling_gap = 0;
         self.hungry_since.iter_mut().for_each(|h| *h = None);
         self.waiting_times.iter_mut().for_each(Vec::clear);
+        self.last_meal_start.iter_mut().for_each(|l| *l = None);
+        self.first_meal_hist.clear();
+        self.inter_meal_hist.clear();
         self.trace = self.config.record_trace.then(|| Trace::new(n));
         for idx in 0..n {
             self.refresh_view(idx);
@@ -1095,6 +1196,82 @@ mod tests {
         let twice = snapshot.relabelled_fingerprint(&p2, &f2, &mut scratch);
         assert_ne!(once, snapshot.fingerprint());
         assert_ne!(once, twice);
+    }
+
+    #[test]
+    fn event_sink_mirrors_the_trace_and_survives_reset() {
+        use gdp_observe::{Event, MemorySink};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let mut e = engine(5, 7);
+        e.set_event_sink(Some(sink.clone()));
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(400),
+        );
+        let events = sink.take();
+        let schedules: Vec<&Event> = events
+            .iter()
+            .filter(|ev| matches!(ev, Event::Schedule { .. }))
+            .collect();
+        assert_eq!(schedules.len(), 400, "one schedule event per step");
+        let meal_starts: Vec<(u64, u32)> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::MealStart { clock, actor } => Some((*clock, *actor)),
+                _ => None,
+            })
+            .collect();
+        let from_trace: Vec<(u64, u32)> = e
+            .trace()
+            .unwrap()
+            .meals_started()
+            .iter()
+            .map(|&(step, p)| (step, p.raw()))
+            .collect();
+        assert_eq!(meal_starts, from_trace, "meal events mirror the trace");
+        // Clocks are non-decreasing step indices.
+        let clocks: Vec<u64> = events.iter().map(Event::clock).collect();
+        assert!(clocks.windows(2).all(|w| w[0] <= w[1]));
+
+        // The sink survives reset and keeps recording.
+        e.reset_with_seed(8);
+        e.run(&mut RoundRobinAdversary::new(), StopCondition::MaxSteps(10));
+        assert_eq!(
+            sink.take()
+                .iter()
+                .filter(|ev| matches!(ev, Event::Schedule { .. }))
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn meal_histograms_are_step_denominated_and_cleared_on_reset() {
+        let mut e = engine(5, 3);
+        e.run(
+            &mut RoundRobinAdversary::new(),
+            StopCondition::MaxSteps(2_000),
+        );
+        let eaters = e
+            .topology()
+            .philosopher_ids()
+            .filter(|&p| e.meals_of(p) > 0)
+            .count() as u64;
+        assert!(eaters > 0);
+        // One first-meal sample per philosopher that ever ate; every later
+        // meal start is an inter-meal sample.
+        assert_eq!(e.first_meal_histogram().total(), eaters);
+        let total_starts = e.trace().unwrap().meals_started().len() as u64;
+        assert_eq!(e.inter_meal_histogram().total(), total_starts - eaters);
+        // The earliest possible first meal needs a few steps, so the p50
+        // estimate is positive and below the step budget.
+        let p50 = e.first_meal_histogram().quantile(50.0);
+        assert!(p50 > 0.0 && p50 < 2_000.0);
+
+        e.reset();
+        assert!(e.first_meal_histogram().is_empty());
+        assert!(e.inter_meal_histogram().is_empty());
     }
 
     #[test]

@@ -30,13 +30,31 @@
 //! spec format and `README.md` for a quickstart.
 
 use gdp::prelude::*;
+use gdp_observe::{jsonl, Event, MemorySink, MetricsRegistry, SharedSink};
 use gdp_scenarios::{
-    merge_stores, run_check, run_stress, run_sweep_durable, run_sweep_with, AdversaryKind,
+    merge_stores, run_check, run_stress_observed, run_sweep_durable, run_sweep_with, AdversaryKind,
     CellStore, CheckAdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict, MergeError,
     ScenarioSpec, SeedPolicy, ShardSpec, StressLoad, StressSpec, SweepOptions, TopologyFamily,
     ADVERSARY_CATALOG, FAMILY_CATALOG,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The actor an event belongs to, for the `(actor, clock)` export order of
+/// real-thread traces; actor-free events (the sweep's cell/store lifecycle)
+/// sort last.
+fn event_actor(event: &Event) -> u32 {
+    match event {
+        Event::Schedule { actor, .. }
+        | Event::Acquire { actor, .. }
+        | Event::Release { actor, .. }
+        | Event::MealStart { actor, .. }
+        | Event::MealFinish { actor, .. }
+        | Event::Crash { actor, .. }
+        | Event::Watchdog { actor, .. } => *actor,
+        _ => u32::MAX,
+    }
+}
 
 /// What a successfully parsed-and-executed command asks the process to
 /// report.
@@ -64,6 +82,10 @@ USAGE:
           --adversary <spec>     scheduler spec              [default: uniform-random]
           --steps <n>            step budget                 [default: 40000]
           --seed <n>             random seed                 [default: 0]
+          --trace <path>         write the JSONL event trace; bytes are a pure
+                                 function of the spec (see docs/OBSERVABILITY.md)
+          --threads <n>          trace-encoding workers, 0 = all cores; the
+                                 trace bytes are identical for every value [default: 0]
 
     gdp check [OPTIONS]
         Exactly model-check one cell: build the MDP of the probabilistic
@@ -101,7 +123,11 @@ USAGE:
           --json <path>          JSON output                 [default: gdp_stress.json]
           --csv <path>           CSV output                  [default: gdp_stress.csv]
           --timing               embed wall-clock fields (throughput, wait
-                                 histogram) in the artifacts
+                                 histogram, first-meal percentiles) in the
+                                 artifacts
+          --trace <path>         write a JSONL event trace, sorted by
+                                 (actor, clock); real-thread interleaving makes
+                                 it a measurement, not a reproducible fixture
 
     gdp sweep [OPTIONS]
         Run a scenario grid (families x sizes x algorithms) and write JSON + CSV.
@@ -295,6 +321,11 @@ fn cmd_run(mut args: Args) -> Result<CommandOutcome, String> {
         "seed",
         &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
     )?;
+    let trace_path = args.value_of("--trace")?;
+    let trace_threads: usize = parse(
+        "thread count",
+        &args.value_of("--threads")?.unwrap_or_else(|| "0".into()),
+    )?;
     args.finish()?;
 
     let topology = family
@@ -310,6 +341,11 @@ fn cmd_run(mut args: Args) -> Result<CommandOutcome, String> {
         algorithm.program(),
         SimConfig::default().with_seed(seed),
     );
+    let sink = trace_path.as_ref().map(|_| Arc::new(MemorySink::new()));
+    if let Some(sink) = &sink {
+        let shared: SharedSink = sink.clone();
+        engine.set_event_sink(Some(shared));
+    }
     let mut adv = adversary.build(seed, 0);
     let outcome = engine.run(&mut adv, StopCondition::MaxSteps(steps));
     let metrics = RunMetrics::from_outcome(&outcome);
@@ -322,6 +358,57 @@ fn cmd_run(mut args: Args) -> Result<CommandOutcome, String> {
     for (i, meals) in outcome.meals_per_philosopher.iter().enumerate() {
         println!("         P{i}: {meals} meals");
     }
+
+    // Observability: registry + trace export happen *before* the safety and
+    // deadlock probes below — `is_stuck` explores by stepping scratch
+    // copies of the engine, and those probe steps must not leak into the
+    // trace.  The sink is detached for the same reason.
+    let total_meals: u64 = outcome.meals_per_philosopher.iter().sum();
+    let mut registry = MetricsRegistry::new();
+    registry.counter_add("sim.steps", engine.step_count());
+    registry.counter_add("sim.meals", total_meals);
+    registry.install_histogram(
+        "sim.first_meal_steps",
+        engine.first_meal_histogram().clone(),
+    );
+    registry.install_histogram(
+        "sim.inter_meal_steps",
+        engine.inter_meal_histogram().clone(),
+    );
+    let first_meal = registry
+        .histogram("sim.first_meal_steps")
+        .expect("installed above");
+    if !first_meal.is_empty() {
+        println!(
+            "observe  first-meal steps p50={:.0} p90={:.0} p99={:.0} over {} eater(s) \
+             (log2-bucket floor estimate, e <= t < max(2e, 2))",
+            first_meal.quantile(50.0),
+            first_meal.quantile(90.0),
+            first_meal.quantile(99.0),
+            first_meal.total(),
+        );
+    }
+    engine.set_event_sink(None);
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        let events = sink.take();
+        let mut body = jsonl::encode_events_chunked(&events, trace_threads);
+        // A self-describing footer: the final state fingerprint lets a
+        // replay (ReplayAdversary over the schedule events) verify it
+        // reached the same state.
+        body.push_str(&format!(
+            "{{\"clock\":{},\"type\":\"summary\",\"algorithm\":\"{}\",\"seed\":{},\
+             \"steps\":{},\"meals\":{},\"fingerprint\":\"{:016x}\"}}\n",
+            engine.step_count(),
+            algorithm.name(),
+            seed,
+            engine.step_count(),
+            total_meals,
+            engine.state_fingerprint(),
+        ));
+        std::fs::write(path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} trace events to {path}", events.len());
+    }
+
     let safe = state_is_safe(&engine);
     let stuck = engine.is_stuck();
     if !safe {
@@ -509,6 +596,7 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
         .value_of("--csv")?
         .unwrap_or_else(|| "gdp_stress.csv".into());
     let timing = args.has("--timing");
+    let trace_path = args.value_of("--trace")?;
     args.finish()?;
 
     let spec = StressSpec {
@@ -544,7 +632,12 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
              threads; only crash:<f> shapes a stress load (see docs/ADVERSARIES.md)"
         );
     }
-    let report = run_stress(&spec, timing)?;
+    let sink = trace_path.as_ref().map(|_| Arc::new(MemorySink::new()));
+    let report = run_stress_observed(
+        &spec,
+        timing,
+        sink.as_ref().map(|s| s.clone() as SharedSink),
+    )?;
     println!(
         "result   {} philosophers / {} forks on real threads: {} meals total, \
          everyone_ate={}, watchdog_tripped={}, jain={:.4}{}",
@@ -562,8 +655,14 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
     );
     if let Some(t) = &report.timing {
         println!(
-            "timing   {:.3}s elapsed, {:.0} meals/s, mean wait {:.1}us",
-            t.elapsed_secs, t.meals_per_sec, t.mean_wait_micros
+            "timing   {:.3}s elapsed, {:.0} meals/s, mean wait {:.1}us, \
+             first meal p50={:.0}ns p90={:.0}ns p99={:.0}ns",
+            t.elapsed_secs,
+            t.meals_per_sec,
+            t.mean_wait_micros,
+            t.first_meal_p50,
+            t.first_meal_p90,
+            t.first_meal_p99,
         );
     }
     for (i, m) in report.meals.iter().enumerate() {
@@ -576,6 +675,16 @@ fn cmd_stress(mut args: Args) -> Result<CommandOutcome, String> {
         .write_csv(&csv_path)
         .map_err(|e| format!("writing {csv_path}: {e}"))?;
     println!("wrote {json_path} and {csv_path}");
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        // Real threads interleave nondeterministically, so the merged stream
+        // is a measurement, not a fixture: sort by (actor, clock) so each
+        // seat's per-seat sequence reads contiguously and in order.
+        let mut events = sink.take();
+        events.sort_by_key(|e| (event_actor(e), e.clock()));
+        let body = jsonl::encode_events(&events);
+        std::fs::write(path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} trace events to {path}", events.len());
+    }
     if !report.succeeded() {
         return Ok(CommandOutcome::Violation(format!(
             "stress cell {} {}",
@@ -696,6 +805,7 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
         record_timing: args.has("--timing"),
         progress: !args.has("--quiet"),
         exact_check,
+        sink: None,
     };
     args.finish()?;
 
@@ -785,7 +895,10 @@ fn cmd_merge(mut args: Args) -> Result<CommandOutcome, String> {
         Err(err) => return Err(format!("merge failed: {err}")),
     };
     if !quiet {
-        println!("merged   {} stores: {stats}", store_dirs.len());
+        // Same shape as the `store` line `gdp sweep --store` prints, so the
+        // fused StoreStats of a sharded run reads exactly like the stats of
+        // the unsharded sweep it reproduces.
+        println!("store    {stats} ({})", store_dirs.join(", "));
     }
     report
         .write_json(&json_path)
