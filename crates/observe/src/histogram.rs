@@ -84,6 +84,15 @@ impl Log2Histogram {
         Log2Histogram::default()
     }
 
+    /// A histogram over pre-recorded bucket populations — the bridge from an
+    /// [`AtomicLog2Histogram`] snapshot (or any other recorder sharing the
+    /// log2 bucket layout) into a [`MetricsRegistry`](crate::MetricsRegistry)
+    /// export.
+    #[must_use]
+    pub fn from_counts(counts: [u64; LOG2_BUCKETS]) -> Self {
+        Log2Histogram { buckets: counts }
+    }
+
     /// Records one value.
     #[inline]
     pub fn record(&mut self, value: u64) {

@@ -74,9 +74,10 @@ pub use family::{FamilyParseError, TopologyFamily, FAMILY_CATALOG};
 pub use gdp_adversary::{
     AdversaryCatalogEntry, FairnessClass, ParseAdversaryError, ADVERSARY_CATALOG,
 };
-pub use report::{csv_header, SweepReport};
+pub use report::{cell_json, csv_header, SweepReport};
 pub use runner::{
-    run_sweep, run_sweep_durable, run_sweep_with, CellResult, SweepError, SweepOptions,
+    compute_cell, run_sweep, run_sweep_durable, run_sweep_with, CellResult, SweepError,
+    SweepOptions,
 };
 pub use spec::{AdversaryKind, AdversarySpec, ScenarioCell, ScenarioSpec, SeedPolicy};
 pub use store::{

@@ -111,53 +111,10 @@ impl SweepReport {
         let _ = writeln!(out, "  \"max_steps\": {},", self.max_steps);
         let _ = writeln!(out, "  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
-            let steps_per_sec = match c.steps_per_sec {
-                Some(sps) => num(sps),
-                None => "null".to_string(),
-            };
-            let (exact_verdict, exact_prob, exact_states) = match &c.exact {
-                Some(exact) => (
-                    json_str(&exact.verdict),
-                    num(exact.progress_probability),
-                    exact.states.to_string(),
-                ),
-                None => ("null".to_string(), "null".to_string(), "null".to_string()),
-            };
             let _ = writeln!(
                 out,
-                "    {{\"cell\": {}, \"family\": {}, \"size\": {}, \
-                 \"philosophers\": {}, \"forks\": {}, \"algorithm\": {}, \
-                 \"adversary\": {}, \"trials\": {}, \"max_steps\": {}, \"seed\": {}, \
-                 \"deadlock_rate\": {}, \"lockout_rate\": {}, \"mean_hunger\": {}, \
-                 \"first_meal_p50\": {}, \"first_meal_p90\": {}, \"first_meal_p99\": {}, \
-                 \"min_meals_mean\": {}, \"fairness_mean\": {}, \
-                 \"stuck_trials\": {}, \"unsafe_trials\": {}, \
-                 \"exact_verdict\": {}, \"exact_progress_prob\": {}, \
-                 \"exact_states\": {}, \"steps_per_sec\": {}}}{}",
-                json_str(&c.cell),
-                json_str(&c.family),
-                c.size,
-                c.philosophers,
-                c.forks,
-                json_str(&c.algorithm),
-                json_str(&c.adversary),
-                c.trials,
-                c.max_steps,
-                c.seed,
-                num(c.deadlock_rate),
-                num(c.lockout_rate),
-                num(c.mean_hunger),
-                num(c.first_meal_p50),
-                num(c.first_meal_p90),
-                num(c.first_meal_p99),
-                num(c.min_meals_mean),
-                num(c.fairness_mean),
-                c.stuck_trials,
-                c.unsafe_trials,
-                exact_verdict,
-                exact_prob,
-                exact_states,
-                steps_per_sec,
+                "    {}{}",
+                cell_json(c),
                 if i + 1 < self.cells.len() { "," } else { "" },
             );
         }
@@ -229,6 +186,61 @@ impl SweepReport {
     pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_csv())
     }
+}
+
+/// Renders one cell as a single-line JSON object — the exact shape embedded
+/// in [`SweepReport::to_json`]'s `cells` array, and the per-cell object
+/// `gdp serve` streams over the wire (so a served sweep and a written
+/// artifact agree field for field, byte for byte).
+#[must_use]
+pub fn cell_json(c: &CellResult) -> String {
+    let steps_per_sec = match c.steps_per_sec {
+        Some(sps) => num(sps),
+        None => "null".to_string(),
+    };
+    let (exact_verdict, exact_prob, exact_states) = match &c.exact {
+        Some(exact) => (
+            json_str(&exact.verdict),
+            num(exact.progress_probability),
+            exact.states.to_string(),
+        ),
+        None => ("null".to_string(), "null".to_string(), "null".to_string()),
+    };
+    format!(
+        "{{\"cell\": {}, \"family\": {}, \"size\": {}, \
+         \"philosophers\": {}, \"forks\": {}, \"algorithm\": {}, \
+         \"adversary\": {}, \"trials\": {}, \"max_steps\": {}, \"seed\": {}, \
+         \"deadlock_rate\": {}, \"lockout_rate\": {}, \"mean_hunger\": {}, \
+         \"first_meal_p50\": {}, \"first_meal_p90\": {}, \"first_meal_p99\": {}, \
+         \"min_meals_mean\": {}, \"fairness_mean\": {}, \
+         \"stuck_trials\": {}, \"unsafe_trials\": {}, \
+         \"exact_verdict\": {}, \"exact_progress_prob\": {}, \
+         \"exact_states\": {}, \"steps_per_sec\": {}}}",
+        json_str(&c.cell),
+        json_str(&c.family),
+        c.size,
+        c.philosophers,
+        c.forks,
+        json_str(&c.algorithm),
+        json_str(&c.adversary),
+        c.trials,
+        c.max_steps,
+        c.seed,
+        num(c.deadlock_rate),
+        num(c.lockout_rate),
+        num(c.mean_hunger),
+        num(c.first_meal_p50),
+        num(c.first_meal_p90),
+        num(c.first_meal_p99),
+        num(c.min_meals_mean),
+        num(c.fairness_mean),
+        c.stuck_trials,
+        c.unsafe_trials,
+        exact_verdict,
+        exact_prob,
+        exact_states,
+        steps_per_sec,
+    )
 }
 
 // ---------------------------------------------------------------------------

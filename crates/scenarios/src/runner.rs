@@ -203,9 +203,21 @@ impl fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-/// Runs one cell: progress and lockout estimation over the cell's trial
-/// budget.
-fn run_cell(
+/// Computes one cell of a grid: progress and lockout estimation over the
+/// cell's trial budget (plus the exact verdict when
+/// [`SweepOptions::exact_check`] is set).
+///
+/// This is the single-cell work unit behind [`run_sweep_durable`] and the
+/// `gdp serve` worker pool: results are a pure function of `(spec store
+/// context, cell key)` — bitwise identical for every thread count and every
+/// scheduling of concurrent callers — which is what makes them cacheable in
+/// a shared [`CellStore`].
+///
+/// # Errors
+///
+/// [`SweepError::Topology`] when the cell's topology parameters are invalid
+/// for its family.
+pub fn compute_cell(
     spec: &ScenarioSpec,
     cell: &ScenarioCell,
     options: &SweepOptions,
@@ -397,7 +409,7 @@ where
                 result
             }
             None => {
-                let result = run_cell(spec, cell, options)?;
+                let result = compute_cell(spec, cell, options)?;
                 if let Some(store) = store {
                     store.save(&result).map_err(|e| SweepError::Store {
                         cell: cell.key.clone(),

@@ -54,6 +54,7 @@ use crate::spec::ScenarioSpec;
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The format banner every record starts with; bump the version when the
 /// record layout or payload schema changes and old records become
@@ -132,12 +133,21 @@ pub struct CellStore {
     cells_dir: PathBuf,
     quarantine_dir: PathBuf,
     fingerprint: u64,
+    swept_tmp: u64,
 }
 
 impl CellStore {
     /// Opens (creating if needed) the store at `dir` for the given spec and
     /// exact-check budget, and records the spec's store context alongside
     /// the records for debuggability.
+    ///
+    /// Opening also **sweeps stale temp files**: a SIGKILLed writer leaves
+    /// its `*.tmp.*` scratch file behind (invisible to lookups, but
+    /// accumulating forever), so every open deletes them.  A *live* writer
+    /// in another process whose temp file is swept out from under it is
+    /// still safe: [`save`](Self::save) falls back to the already-renamed
+    /// record when its rename loses the race (see the concurrent-writer
+    /// semantics on `save`).
     ///
     /// # Errors
     ///
@@ -152,6 +162,7 @@ impl CellStore {
         let quarantine_dir = root.join("quarantine");
         std::fs::create_dir_all(&cells_dir)?;
         std::fs::create_dir_all(&quarantine_dir)?;
+        let swept_tmp = sweep_stale_tmp_files(&root) + sweep_stale_tmp_files(&cells_dir);
         let context = spec.store_context(exact_check);
         let fingerprint = stable_digest64(context.as_bytes());
         // A per-fingerprint context note: deterministic bytes, atomically
@@ -164,7 +175,15 @@ impl CellStore {
             cells_dir,
             quarantine_dir,
             fingerprint,
+            swept_tmp,
         })
+    }
+
+    /// How many stale `*.tmp.*` files this handle's open swept away
+    /// (leftovers of SIGKILLed writers; see [`open`](Self::open)).
+    #[must_use]
+    pub fn swept_tmp(&self) -> u64 {
+        self.swept_tmp
     }
 
     /// The spec fingerprint this store handle addresses records under.
@@ -202,12 +221,27 @@ impl CellStore {
     /// so a crash at any instant leaves either the previous state or the
     /// complete new record — never a half-written one under the final name.
     ///
+    /// **Concurrent-writer semantics** (serve workers, shards and resumed
+    /// sweeps may share one store directory): records are pure functions of
+    /// the address, so two writers racing on the same cell must *converge*,
+    /// never error.  Temp names embed the pid **and** a process-wide
+    /// sequence number, so concurrent saves never collide on scratch files;
+    /// both renames land the same bytes (last one wins, harmlessly).  If
+    /// this writer's rename fails — e.g. a concurrent [`open`](Self::open)
+    /// swept its temp file — the save still succeeds when the final name
+    /// already holds the byte-identical record the race partner renamed
+    /// into place.  A valid record with *different* bytes is a determinism
+    /// violation and fails loudly instead.
+    ///
     /// The wall-clock `steps_per_sec` field is not persisted (stored cells
     /// are always the byte-reproducible shape).
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the write or the rename.
+    /// Propagates I/O errors from the write or the rename (unless the
+    /// convergence rule above resolves them), and reports
+    /// [`std::io::ErrorKind::InvalidData`] when a concurrent writer
+    /// deposited a valid record that disagrees byte-for-byte.
     pub fn save(&self, result: &CellResult) -> std::io::Result<PathBuf> {
         let payload = encode_cell_payload(result);
         let record = format!(
@@ -218,8 +252,29 @@ impl CellStore {
             stable_digest64(payload.as_bytes()),
         );
         let path = self.record_path(&result.cell);
-        write_atomically(&path, record.as_bytes())?;
-        Ok(path)
+        match write_atomically(&path, record.as_bytes()) {
+            Ok(()) => Ok(path),
+            Err(e) => match std::fs::read_to_string(&path) {
+                // A concurrent writer finished first.  Identical bytes:
+                // converged, the record is in place, nothing to do.
+                Ok(existing) if existing == record => Ok(path),
+                // A *valid* record that disagrees is a determinism
+                // violation — surface it, never shrug it off.
+                Ok(existing)
+                    if verify_record(&existing, self.fingerprint, &result.cell).is_ok() =>
+                {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "concurrent writer stored different bytes for cell {} \
+                             (determinism violation)",
+                            result.cell
+                        ),
+                    ))
+                }
+                _ => Err(e),
+            },
+        }
     }
 
     /// Looks `cell_key` up, verifying every integrity layer; invalid
@@ -240,15 +295,25 @@ impl CellStore {
         }
     }
 
-    /// Moves a rejected record out of the addressable space.  Best-effort:
-    /// if the move fails the record is deleted instead, and if even that
-    /// fails the next lookup will simply re-reject it.
+    /// Moves a rejected record out of the addressable space.  Repeat
+    /// quarantines of the same record name get a numeric suffix
+    /// (`<name>.<reason>`, `<name>.<reason>.2`, ...) so earlier evidence is
+    /// never silently overwritten.  Best-effort: if the move fails the
+    /// record is deleted instead, and if even that fails the next lookup
+    /// will simply re-reject it.
     fn quarantine(&self, path: &Path, reason: &'static str) -> StoreLookup {
         let name = path
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "record".to_string());
-        let target = self.quarantine_dir.join(format!("{name}.{reason}"));
+        let mut target = self.quarantine_dir.join(format!("{name}.{reason}"));
+        let mut attempt = 1u32;
+        while target.exists() && attempt < 10_000 {
+            attempt += 1;
+            target = self
+                .quarantine_dir
+                .join(format!("{name}.{reason}.{attempt}"));
+        }
         if std::fs::rename(path, &target).is_err() {
             let _ = std::fs::remove_file(path);
         }
@@ -256,10 +321,41 @@ impl CellStore {
     }
 }
 
+/// Deletes every stale `*.tmp.*` scratch file directly under `dir`
+/// (non-recursively) and returns how many were removed.  Scratch files are
+/// only ever meaningful to the writer that created them; any still on disk
+/// at open time belonged to a writer that died before its rename.
+fn sweep_stale_tmp_files(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+        if is_file && name.contains(".tmp.") && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+/// Process-wide counter distinguishing concurrent writers *within* one
+/// process (serve workers, test threads): the pid alone cannot.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Writes `bytes` to `path` atomically: temp file in the target directory,
-/// flush, then rename over the final name.
+/// flush, then rename over the final name.  The temp name embeds pid and a
+/// process-wide sequence number so concurrent writers never share scratch
+/// files (two threads interleaving writes into one temp file would tear
+/// it).
 fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(bytes)?;
@@ -409,6 +505,20 @@ pub enum MergeError {
         /// The missing cell keys, in expansion order.
         cells: Vec<String>,
     },
+    /// Two stores hold *valid* records for the same cell that disagree on
+    /// the payload bytes.  Cells are pure functions of their address, so
+    /// this is a determinism-violation signal (diverging builds, tampered
+    /// records that still checksum, or mismatched shard provenance) — never
+    /// something a merge may paper over by picking one.
+    Mismatch {
+        /// The cell whose records disagree.
+        cell: String,
+        /// 0-based index (into the `stores` argument) of the first store
+        /// consulted.
+        first_store: usize,
+        /// 0-based index of the store that disagreed with it.
+        other_store: usize,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -429,6 +539,18 @@ impl fmt::Display for MergeError {
                     }
                 )
             }
+            MergeError::Mismatch {
+                cell,
+                first_store,
+                other_store,
+            } => write!(
+                f,
+                "stores #{} and #{} hold valid records for cell {cell} that disagree \
+                 byte-for-byte — cells are pure functions of (spec, key), so this is a \
+                 determinism violation, not a cache conflict",
+                first_store + 1,
+                other_store + 1,
+            ),
         }
     }
 }
@@ -437,15 +559,18 @@ impl std::error::Error for MergeError {}
 
 /// Fuses one or more (shard) stores into the [`SweepReport`] the equivalent
 /// unsharded run would have produced — byte for byte, without recomputing
-/// anything.  Every cell of the spec's expansion is looked up in each store
-/// in turn; the first verified record wins (records are pure functions of
-/// the address, so any two valid candidates are identical).  Invalid
-/// records are quarantined as usual and the next store is consulted.
+/// anything.  Every cell of the spec's expansion is looked up in **every**
+/// store; records are pure functions of the address, so all valid
+/// candidates must be byte-identical — a disagreement aborts the merge with
+/// [`MergeError::Mismatch`] (a determinism-violation signal, never resolved
+/// by first-hit-wins).  Invalid records are quarantined as usual and do not
+/// count as candidates.
 ///
 /// # Errors
 ///
 /// [`MergeError::Missing`] when any cell has no valid record anywhere;
-/// [`MergeError::EmptyGrid`] when the spec expands to nothing.
+/// [`MergeError::Mismatch`] when two stores' valid records for one cell
+/// disagree; [`MergeError::EmptyGrid`] when the spec expands to nothing.
 pub fn merge_stores(
     spec: &ScenarioSpec,
     stores: &[CellStore],
@@ -458,19 +583,30 @@ pub fn merge_stores(
     let mut results = Vec::with_capacity(cells.len());
     let mut missing = Vec::new();
     for cell in &cells {
-        let mut found = None;
-        for store in stores {
+        let mut found: Option<(usize, CellResult, String)> = None;
+        for (index, store) in stores.iter().enumerate() {
             match store.lookup(&cell.key) {
                 StoreLookup::Hit(result) => {
-                    found = Some(*result);
-                    break;
+                    let payload = encode_cell_payload(&result);
+                    match &found {
+                        None => found = Some((index, *result, payload)),
+                        Some((first_store, _, first_payload)) => {
+                            if payload != *first_payload {
+                                return Err(MergeError::Mismatch {
+                                    cell: cell.key.clone(),
+                                    first_store: *first_store,
+                                    other_store: index,
+                                });
+                            }
+                        }
+                    }
                 }
                 StoreLookup::Quarantined { .. } => stats.quarantined += 1,
                 StoreLookup::Absent => {}
             }
         }
         match found {
-            Some(result) => {
+            Some((_, result, _)) => {
                 stats.reused += 1;
                 results.push(result);
             }
@@ -705,6 +841,181 @@ mod tests {
         assert_eq!(merged, reference);
         assert_eq!(merged.to_json(), reference.to_json());
         assert_eq!(merged.to_csv(), reference.to_csv());
+        assert_eq!(stats.reused, 4);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open_without_touching_records() {
+        let (spec, store, dir) = completed_store("tmpsweep");
+        // Leftovers of SIGKILLed writers: scratch files in the cells dir
+        // and next to the context note in the root.
+        let stale_cell_tmp = dir.join("cells").join("ring_n4_GDP1-feed.tmp.12345.0");
+        let stale_root_tmp = dir.join("spec-0000000000000000.tmp.12345.1");
+        std::fs::write(&stale_cell_tmp, b"half a record").unwrap();
+        std::fs::write(&stale_root_tmp, b"half a context").unwrap();
+        drop(store);
+        let reopened = CellStore::open(&dir, &spec, None).unwrap();
+        assert_eq!(reopened.swept_tmp(), 2, "both stale scratch files swept");
+        assert!(!stale_cell_tmp.exists());
+        assert!(!stale_root_tmp.exists());
+        // Real records are untouched and still verify.
+        assert!(matches!(
+            reopened.lookup("ring/n4/GDP1"),
+            StoreLookup::Hit(_)
+        ));
+        // A second open has nothing left to sweep.
+        assert_eq!(CellStore::open(&dir, &spec, None).unwrap().swept_tmp(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_on_the_same_cell_converge_without_error() {
+        let (_spec, store, dir) = completed_store("concurrent");
+        let result = match store.lookup("ring/n4/GDP1") {
+            StoreLookup::Hit(result) => *result,
+            other => panic!("expected hit: {other:?}"),
+        };
+        // Many threads hammering the same cell address: every save must
+        // succeed (identical bytes converge) and the record stays valid.
+        let store = std::sync::Arc::new(store);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let result = result.clone();
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        store.save(&result).expect("concurrent save converges");
+                    }
+                });
+            }
+        });
+        match store.lookup("ring/n4/GDP1") {
+            StoreLookup::Hit(stored) => assert_eq!(*stored, result),
+            other => panic!("record must survive the stampede: {other:?}"),
+        }
+        // A concurrent writer that would deposit *different* bytes for the
+        // same address is a determinism violation, not a convergence case.
+        let mut evil = result.clone();
+        evil.mean_hunger += 1.0;
+        let record_path = store.record_path("ring/n4/GDP1");
+        let spec_fp = store.fingerprint();
+        let evil_payload = crate::report::encode_cell_payload(&evil);
+        let evil_record = format!(
+            "{STORE_FORMAT}\nspec {spec_fp:016x}\ncell {}\npayload {} {:016x}\n---\n{evil_payload}",
+            evil.cell,
+            evil_payload.len(),
+            stable_digest64(evil_payload.as_bytes()),
+        );
+        std::fs::write(&record_path, evil_record).unwrap();
+        // Simulate "my rename lost" by making the scratch dir read-only?
+        // Portable shortcut: call the convergence check directly through
+        // save() after making the temp write fail is not portable, so
+        // instead assert the weaker, still-load-bearing property: saving
+        // over a valid-but-different record succeeds by *replacing* it
+        // (rename wins), restoring the canonical bytes.
+        store.save(&result).unwrap();
+        match store.lookup("ring/n4/GDP1") {
+            StoreLookup::Hit(stored) => assert_eq!(*stored, result),
+            other => panic!("canonical record must win: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeat_quarantines_of_one_record_name_keep_all_evidence() {
+        let (_, store, dir) = completed_store("requarantine");
+        let path = store.record_path("ring/n4/GDP1");
+        // First corruption: quarantined under <name>.<reason>.
+        std::fs::write(&path, "garbage one").unwrap();
+        assert!(matches!(
+            store.lookup("ring/n4/GDP1"),
+            StoreLookup::Quarantined { .. }
+        ));
+        // Second corruption of the same record name: a numeric suffix
+        // disambiguates instead of overwriting the earlier evidence.
+        std::fs::write(&path, "garbage two").unwrap();
+        assert!(matches!(
+            store.lookup("ring/n4/GDP1"),
+            StoreLookup::Quarantined { .. }
+        ));
+        let evidence: Vec<String> = std::fs::read_dir(store.quarantine_dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(
+            evidence.len(),
+            2,
+            "both corrupt snapshots must be preserved: {evidence:?}"
+        );
+        let contents: Vec<String> = evidence
+            .iter()
+            .map(|name| std::fs::read_to_string(store.quarantine_dir().join(name)).unwrap())
+            .collect();
+        assert!(
+            contents.contains(&"garbage one".to_string()),
+            "{contents:?}"
+        );
+        assert!(
+            contents.contains(&"garbage two".to_string()),
+            "{contents:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_detects_disagreeing_valid_records_as_determinism_violation() {
+        let spec = test_spec("mismatch");
+        let dir_a = temp_store_dir("mismatch_a");
+        let dir_b = temp_store_dir("mismatch_b");
+        for dir in [&dir_a, &dir_b] {
+            let store = CellStore::open(dir, &spec, None).unwrap();
+            run_sweep_durable(
+                &spec,
+                &SweepOptions::quiet(),
+                Some(&store),
+                false,
+                None,
+                |_| {},
+            )
+            .unwrap();
+        }
+        // Replace one of store B's records with a *valid* record whose
+        // payload disagrees — the shape a diverged build or tampered shard
+        // would produce.
+        let store_b = CellStore::open(&dir_b, &spec, None).unwrap();
+        let mut diverged = match store_b.lookup("ring/n4/GDP1") {
+            StoreLookup::Hit(result) => *result,
+            other => panic!("expected hit: {other:?}"),
+        };
+        diverged.mean_hunger += 1.0;
+        store_b.save(&diverged).unwrap();
+        let stores = [
+            CellStore::open(&dir_a, &spec, None).unwrap(),
+            CellStore::open(&dir_b, &spec, None).unwrap(),
+        ];
+        let err = merge_stores(&spec, &stores).unwrap_err();
+        match &err {
+            MergeError::Mismatch {
+                cell,
+                first_store,
+                other_store,
+            } => {
+                assert_eq!(cell, "ring/n4/GDP1");
+                assert_eq!((*first_store, *other_store), (0, 1));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("determinism violation"), "{err}");
+        // Repairing store B restores the merge.
+        let canonical = match stores[0].lookup("ring/n4/GDP1") {
+            StoreLookup::Hit(result) => *result,
+            other => panic!("expected hit: {other:?}"),
+        };
+        stores[1].save(&canonical).unwrap();
+        let (merged, stats) = merge_stores(&spec, &stores).unwrap();
+        assert_eq!(merged.cells.len(), 4);
         assert_eq!(stats.reused, 4);
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);

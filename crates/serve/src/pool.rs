@@ -1,0 +1,204 @@
+//! A fixed pool of `std::thread` workers with a **bounded** job queue.
+//!
+//! The bound is the service's admission control (the feedback-control view:
+//! requests are arrivals into a finite-buffer system): when the queue is
+//! full, [`WorkerPool::try_submit`] fails *immediately* and the server
+//! answers with a retryable `error` line instead of buffering unboundedly
+//! or blocking the accept loop.  Shutdown is graceful — workers finish
+//! every queued job before exiting, so a drained server never abandons a
+//! cell it admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Returned by [`WorkerPool::try_submit`] when the bounded queue is at
+/// capacity; the job is handed back untouched so the caller can report and
+/// drop it.
+pub struct QueueFull(pub Job);
+
+impl std::fmt::Debug for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("QueueFull").field(&"<job>").finish()
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    stopping: bool,
+}
+
+struct Inner {
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool over a bounded FIFO queue.
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("capacity", &self.inner.capacity)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1) over a queue bounded at
+    /// `capacity` jobs (at least 1).
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                stopping: false,
+            }),
+            work_ready: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|index| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("gdp-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a serve worker")
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues `job` unless the queue is full (or the pool is already
+    /// stopping, which rejects identically — a draining server admits
+    /// nothing new).  On success returns the queue depth *including* the
+    /// new job, the number the server's peak-depth gauge tracks.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`], carrying the rejected job back.
+    pub fn try_submit(&self, job: Job) -> Result<usize, QueueFull> {
+        let mut queue = self.inner.queue.lock().expect("pool queue lock");
+        if queue.stopping || queue.jobs.len() >= self.inner.capacity {
+            return Err(QueueFull(job));
+        }
+        queue.jobs.push_back(job);
+        let depth = queue.jobs.len();
+        drop(queue);
+        self.inner.work_ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Jobs currently waiting (not counting jobs already running).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("pool queue lock").jobs.len()
+    }
+
+    /// Graceful drain: stops admission, lets the workers finish every
+    /// queued job, and joins them.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.inner.queue.lock().expect("pool queue lock");
+            queue.stopping = true;
+        }
+        self.inner.work_ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("pool workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.stopping {
+                    return;
+                }
+                queue = inner
+                    .work_ready
+                    .wait(queue)
+                    .expect("pool queue lock poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_shutdown_drains_the_queue() {
+        let pool = WorkerPool::new(2, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = counter.clone();
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32, "drain runs every job");
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn the_queue_bound_rejects_without_blocking() {
+        let pool = WorkerPool::new(1, 2);
+        // Park the single worker so the queue genuinely fills.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap(); // worker is now busy, queue is empty
+        assert_eq!(pool.try_submit(Box::new(|| {})).unwrap(), 1);
+        assert_eq!(pool.try_submit(Box::new(|| {})).unwrap(), 2);
+        assert!(
+            matches!(pool.try_submit(Box::new(|| {})), Err(QueueFull(_))),
+            "third waiting job exceeds capacity 2"
+        );
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_stopping_pool_admits_nothing() {
+        let pool = WorkerPool::new(1, 8);
+        pool.shutdown();
+        assert!(matches!(
+            pool.try_submit(Box::new(|| {})),
+            Err(QueueFull(_))
+        ));
+    }
+}

@@ -1,7 +1,7 @@
 //! `gdp` — the command-line workbench for the generalized dining
 //! philosophers workspace.
 //!
-//! Six subcommands make the whole repo drivable without writing Rust:
+//! Seven subcommands make the whole repo drivable without writing Rust:
 //!
 //! * `gdp list` — the catalog of topology families, algorithms and
 //!   adversaries a sweep can name;
@@ -19,7 +19,11 @@
 //!   byte-reproducible certificates (see `docs/VERIFICATION.md`);
 //! * `gdp stress` — one cell on **real contending OS threads** through the
 //!   algorithm-generic `gdp-runtime`, with watchdog-bounded runs and
-//!   JSON/CSV stress reports (see `docs/RUNTIME.md`).
+//!   JSON/CSV stress reports (see `docs/RUNTIME.md`);
+//! * `gdp serve` — the long-running cache-answering service (`gdp-serve`):
+//!   sweep specs over a line-delimited JSON TCP protocol, cache hits
+//!   straight from a shared cell store, misses on a bounded worker pool,
+//!   graceful drain on SIGTERM/ctrl-c (see `docs/SERVE.md`).
 //!
 //! Exit codes: `0` success / certified, `1` violation detected (safety
 //! breach, true deadlock, or a failed liveness check), `2` usage error,
@@ -167,6 +171,23 @@ USAGE:
           --csv <path>           CSV output       [default: gdp_sweep.csv]
           --quiet                no console summary
 
+    gdp serve [OPTIONS]
+        Run the cache-answering sweep service: a line-delimited JSON TCP
+        protocol (ping | metrics | sweep | shutdown) answering cache hits
+        from the cell store and computing misses on a bounded worker pool.
+        Streams per-cell results in deterministic grid order with a
+        digest-carrying summary footer; drains gracefully (exit 0) on
+        SIGTERM/ctrl-c or a shutdown request.  See docs/SERVE.md.
+          --addr <host:port>     bind address     [default: 127.0.0.1:7878]
+                                 (port 0 picks a free port; the resolved
+                                 address is printed on the listening line)
+          --store <dir>          shared cell-store directory
+                                 [default: gdp_serve_store]
+          --workers <n>          compute workers, 0 = all cores [default: 0]
+          --queue <n>            bound on queued compute jobs; beyond it,
+                                 sweep requests get a retryable error
+                                 [default: 256]
+
 Adversary specs (the full catalog, see `gdp list` / docs/ADVERSARIES.md):
 round-robin | uniform-random | max-wait | kbounded:<k> | blocking |
 blocking:<bound> | greedy-conflict | greedy-conflict:<bound> | crash:<f>.
@@ -175,10 +196,12 @@ contract); by default the JSON/CSV artifacts are also byte-reproducible
 across runs — pass --timing to trade that for embedded throughput figures.
 
 run and sweep exit 1 when a trial ends in a true deadlock or breaks a
-safety invariant; merge exits 1 when cells are missing from every store;
-check exits 1 on a violated objective and 3 when the state budget
-truncated the model before a verdict.  See docs/SCENARIOS.md for the
-crash-safe store layout and the resume/shard/merge walkthrough.
+safety invariant; merge exits 1 when cells are missing from every store or
+when two stores hold valid records that disagree byte-for-byte (a
+determinism violation); check exits 1 on a violated objective and 3 when
+the state budget truncated the model before a verdict.  See
+docs/SCENARIOS.md for the crash-safe store layout and the
+resume/shard/merge walkthrough.
 ";
 
 /// A tiny hand-rolled flag parser: `--flag value` pairs plus boolean flags.
@@ -892,6 +915,23 @@ fn cmd_merge(mut args: Args) -> Result<CommandOutcome, String> {
                 "merge incomplete: {err}"
             )));
         }
+        // Valid records that disagree byte-for-byte are a determinism
+        // violation (exit 1, like a failed check), not a usage error:
+        // name the offending store directories so the operator knows
+        // which shards to re-examine.
+        Err(MergeError::Mismatch {
+            cell,
+            first_store,
+            other_store,
+        }) => {
+            return Ok(CommandOutcome::Violation(format!(
+                "stores {} and {} hold valid records for cell {cell} that disagree \
+                 byte-for-byte — cells are pure functions of (spec, key), so this is \
+                 a determinism violation; re-run the offending shard or quarantine \
+                 the bad record before merging",
+                store_dirs[first_store], store_dirs[other_store],
+            )));
+        }
         Err(err) => return Err(format!("merge failed: {err}")),
     };
     if !quiet {
@@ -913,6 +953,35 @@ fn cmd_merge(mut args: Args) -> Result<CommandOutcome, String> {
     Ok(report_outcome(&report))
 }
 
+fn cmd_serve(mut args: Args) -> Result<CommandOutcome, String> {
+    let addr = args
+        .value_of("--addr")?
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let store_dir = args
+        .value_of("--store")?
+        .unwrap_or_else(|| "gdp_serve_store".into());
+    let workers: usize = parse(
+        "worker count",
+        &args.value_of("--workers")?.unwrap_or_else(|| "0".into()),
+    )?;
+    let queue_capacity: usize = parse(
+        "queue capacity",
+        &args.value_of("--queue")?.unwrap_or_else(|| "256".into()),
+    )?;
+    args.finish()?;
+    if queue_capacity == 0 {
+        return Err("--queue must be >= 1 (the bound is what makes rejection meaningful)".into());
+    }
+    gdp_serve::run_serve(gdp_serve::ServeConfig {
+        addr,
+        store_dir: store_dir.into(),
+        workers,
+        queue_capacity,
+    })
+    .map_err(|e| format!("serve failed: {e}"))?;
+    Ok(CommandOutcome::Ok)
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
@@ -931,6 +1000,7 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(args),
         "check" => cmd_check(args),
         "stress" => cmd_stress(args),
+        "serve" => cmd_serve(args),
         other => Err(format!("unknown command {other:?}; try `gdp --help`")),
     };
     match result {

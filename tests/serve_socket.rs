@@ -1,0 +1,265 @@
+//! End-to-end `gdp serve` exercises over a real TCP socket.
+//!
+//! The acceptance gate of the cache-answering service:
+//!
+//! * the **cache proof over the wire** — the default 24-cell spec submitted
+//!   twice to one running server yields byte-identical cell payloads, with
+//!   the second pass served entirely from the store (`reused == cells`,
+//!   `computed == 0`) and a summary digest the client can re-derive from
+//!   the stream it received;
+//! * the **kill -9 / restart cycle** — a server SIGKILLed mid-sweep loses
+//!   at most the cells in flight; a fresh server on the same store resumes
+//!   (cells already streamed come back as hits) with **zero quarantines**
+//!   from the dead server's own scratch files, which the restart sweeps.
+
+use gdp_scenarios::stable_digest64;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// The stock 24-cell grid with a test-sized budget (the default 20 x 40 000
+/// would dominate the suite's runtime without proving anything extra).
+const SWEEP_REQUEST: &str = r#"{"type": "sweep", "trials": 3, "steps": 8000}"#;
+const CELLS: u64 = 24;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdp_serve_socket_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `gdp serve` child plus a connected client.
+struct Server {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    client: TcpStream,
+    responses: BufReader<TcpStream>,
+}
+
+impl Server {
+    /// Spawns `gdp serve` on a free port over `store`, waits for the
+    /// `listening` line, and connects.
+    fn start(store: &Path) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gdp"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--store",
+                &store.to_string_lossy(),
+                "--workers",
+                "2",
+                "--queue",
+                "64",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("serve child spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("listening line");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"));
+        let client = TcpStream::connect(addr).expect("connect to serve");
+        client
+            .set_read_timeout(Some(Duration::from_secs(300)))
+            .unwrap();
+        let responses = BufReader::new(client.try_clone().unwrap());
+        Server {
+            child,
+            stdout,
+            client,
+            responses,
+        }
+    }
+
+    fn send(&mut self, request: &str) {
+        self.client.write_all(request.as_bytes()).unwrap();
+        self.client.write_all(b"\n").unwrap();
+        self.client.flush().unwrap();
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.responses.read_line(&mut line).expect("response line");
+        assert!(!line.is_empty(), "server closed the stream unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    /// Reads one full sweep response: (cell lines in order, summary line).
+    fn read_sweep(&mut self) -> (Vec<String>, String) {
+        let start = self.read_line();
+        assert!(start.contains("\"type\":\"sweep_start\""), "{start}");
+        let mut cells = Vec::new();
+        loop {
+            let line = self.read_line();
+            if line.contains("\"type\":\"summary\"") {
+                return (cells, line);
+            }
+            assert!(line.contains("\"type\":\"cell\""), "{line}");
+            cells.push(line);
+        }
+    }
+
+    /// Sends `shutdown`, expects `bye`, and asserts the graceful exit 0.
+    fn shutdown(mut self) {
+        self.send("{\"type\": \"shutdown\"}");
+        assert_eq!(self.read_line(), "{\"type\":\"bye\"}");
+        let status = self.child.wait().expect("serve child exits");
+        assert!(
+            status.success(),
+            "graceful shutdown must exit 0, got {status:?}"
+        );
+        // The drain banner is part of the contract (workers finished).
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).unwrap();
+        assert!(rest.contains("gdp serve stopped"), "{rest}");
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    let tagged = format!("\"{key}\":");
+    let rest = &line[line
+        .find(&tagged)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + tagged.len()..];
+    rest.trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Every `*.tmp.*` scratch file under `dir` (recursively).
+fn tmp_files(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            found.extend(tmp_files(&path));
+        } else if path.to_string_lossy().contains(".tmp.") {
+            found.push(path);
+        }
+    }
+    found
+}
+
+fn quarantine_count(store: &Path) -> usize {
+    std::fs::read_dir(store.join("quarantine")).map_or(0, |entries| entries.count())
+}
+
+#[test]
+fn second_submission_is_served_entirely_from_the_store_byte_for_byte() {
+    let work = temp_dir("cache_proof");
+    let store = work.join("store");
+    let mut server = Server::start(&store);
+
+    // Cold pass: the full default grid computes.
+    server.send(SWEEP_REQUEST);
+    let (first_cells, first_summary) = server.read_sweep();
+    assert_eq!(first_cells.len() as u64, CELLS);
+    assert_eq!(field_u64(&first_summary, "cells"), CELLS);
+    assert_eq!(field_u64(&first_summary, "computed"), CELLS);
+    assert_eq!(field_u64(&first_summary, "reused"), 0);
+
+    // Warm pass: reused == cells, computed == 0, payloads byte-identical.
+    server.send(SWEEP_REQUEST);
+    let (second_cells, second_summary) = server.read_sweep();
+    assert_eq!(field_u64(&second_summary, "reused"), CELLS);
+    assert_eq!(field_u64(&second_summary, "computed"), 0);
+    assert_eq!(field_u64(&second_summary, "quarantined"), 0);
+    for (position, (first, second)) in first_cells.iter().zip(&second_cells).enumerate() {
+        assert!(second.contains("\"source\":\"store\""), "{second}");
+        assert_eq!(
+            first.replace("\"source\":\"computed\"", "\"source\":\"store\""),
+            *second,
+            "cell payload at position {position} must be byte-identical"
+        );
+    }
+
+    // The summary digest is re-derivable from the received stream.
+    let mut streamed = String::new();
+    for line in &second_cells {
+        streamed.push_str(line);
+        streamed.push('\n');
+    }
+    let digest = format!(
+        "\"digest\":\"{:016x}\"",
+        stable_digest64(streamed.as_bytes())
+    );
+    assert!(second_summary.contains(&digest), "{second_summary}");
+
+    // The metrics endpoint saw both passes.
+    server.send("{\"type\": \"metrics\"}");
+    let metrics = server.read_line();
+    assert!(metrics.contains("\"type\":\"metrics\""), "{metrics}");
+    assert_eq!(field_u64(&metrics, "serve.store_hits"), CELLS);
+    assert_eq!(field_u64(&metrics, "serve.cells_computed"), CELLS);
+    assert_eq!(field_u64(&metrics, "serve.cells_streamed"), 2 * CELLS);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn a_sigkilled_server_resumes_from_its_store_without_quarantines() {
+    let work = temp_dir("kill9");
+    let store = work.join("store");
+    let mut server = Server::start(&store);
+
+    // Start the sweep and wait for some cells to stream (each streamed
+    // cell was saved to the store before it was emitted), then SIGKILL the
+    // server mid-sweep — no drain, no cleanup.
+    server.send(SWEEP_REQUEST);
+    let start = server.read_line();
+    assert!(start.contains("\"type\":\"sweep_start\""), "{start}");
+    let mut streamed = 0u64;
+    while streamed < 6 {
+        let line = server.read_line();
+        if line.contains("\"type\":\"cell\"") {
+            streamed += 1;
+        }
+    }
+    server.child.kill().expect("SIGKILL serve");
+    let _ = server.child.wait();
+
+    // A fresh server on the same store resumes: everything already
+    // persisted comes back as a hit, nothing the dead server left behind
+    // (scratch files included) quarantines.
+    let mut server = Server::start(&store);
+    server.send(SWEEP_REQUEST);
+    let (cells, summary) = server.read_sweep();
+    assert_eq!(cells.len() as u64, CELLS);
+    let reused = field_u64(&summary, "reused");
+    let computed = field_u64(&summary, "computed");
+    assert!(
+        reused >= streamed,
+        "at least the {streamed} streamed cells must resume as hits, got {reused}"
+    );
+    assert_eq!(reused + computed, CELLS, "{summary}");
+    assert_eq!(
+        field_u64(&summary, "quarantined"),
+        0,
+        "the server's own scratch files must never quarantine: {summary}"
+    );
+    assert_eq!(quarantine_count(&store), 0);
+    assert_eq!(
+        tmp_files(&store),
+        Vec::<PathBuf>::new(),
+        "restart must sweep stale scratch files"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&work);
+}
