@@ -27,6 +27,10 @@
 //!   test-enforced) and the measured **wall-clock speedup** (smaller,
 //!   since both explorers share the per-state fingerprinting/safety
 //!   analysis; grows with fragment depth);
+//! * **cold vs warm certificate cache** of `gdp check --store`: an exact
+//!   GDP1 check of the classic 5-ring computed and persisted as a
+//!   certificate record, then re-answered from the store, with the
+//!   bitwise identity of the two rendered reports;
 //! * **tracing overhead** of the gdp-observe event layer: the hot loop
 //!   with the sink detached vs attached to a counting sink.  The
 //!   detached figure must stay within the `engine_hot_loop` budget — the
@@ -125,6 +129,29 @@ pub struct SweepResumeSample {
     /// Whether the cold and warm reports were bitwise-identical (must be
     /// `true`).
     pub identical: bool,
+}
+
+/// Certificate-cache measurement: a cold exact check (computed and
+/// persisted as a certificate record) vs a warm `--resume` of the same
+/// check answered entirely from the store.
+#[derive(Clone, Debug)]
+pub struct CheckCacheSample {
+    /// The cached cell's store key (family/size/algorithm@seed).
+    pub cell: String,
+    /// Wall-clock seconds of the cold check (state space explored,
+    /// certificates computed and persisted).
+    pub cold_secs: f64,
+    /// Wall-clock seconds of the warm check (certificates decoded from the
+    /// store, nothing explored).
+    pub warm_secs: f64,
+    /// `warm / cold` wall-clock ratio — how cheap a cache hit is.
+    pub warm_vs_cold_ratio: f64,
+    /// Fraction of the warm run's certificates served from the store
+    /// (must be 1).
+    pub hit_rate: f64,
+    /// Whether the cold and warm rendered reports were bitwise-identical
+    /// (must be `true`).
+    pub bitwise_identical: bool,
 }
 
 /// Exact-model-checking throughput measurement.
@@ -230,6 +257,8 @@ pub struct PerfReport {
     pub runtime_stress: RuntimeStressSample,
     /// The tracing-overhead sample (sink detached vs attached).
     pub trace_overhead: TraceOverheadSample,
+    /// The certificate-cache cold-vs-warm check sample.
+    pub check_cache: CheckCacheSample,
 }
 
 /// Runs `steps` adversary-driven steps of GDP1 on a fresh classic `n`-ring
@@ -421,6 +450,51 @@ pub fn measure_sweep_resume() -> SweepResumeSample {
     }
 }
 
+/// Measures the certificate cache behind `gdp check --store`: a cold
+/// exact check of GDP1 on the classic 5-ring against a warm `--resume`
+/// answered entirely from the persisted certificate record, with the
+/// bitwise identity of the two rendered reports.
+///
+/// The warm figure is the floor cost of re-asking a question the store
+/// has already answered — decode-and-verify instead of state-space
+/// exploration.
+///
+/// # Panics
+///
+/// Panics when the store directory cannot be created or a check fails —
+/// both are defects of the bench environment.
+#[must_use]
+pub fn measure_check_cache() -> CheckCacheSample {
+    use gdp_scenarios::{run_check_cached, CellStore, CheckSpec, TopologyFamily};
+    let spec = CheckSpec::new(TopologyFamily::Ring, 5, AlgorithmKind::Gdp1);
+    let dir = std::env::temp_dir().join(format!("gdp_bench_checkcache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CellStore::open_bare(&dir).expect("bench cert store opens");
+
+    let started = Instant::now();
+    let (cold, cold_stats) =
+        run_check_cached(&spec, &store, true).expect("perf check (cold cache)");
+    let cold_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let (warm, warm_stats) =
+        run_check_cached(&spec, &store, true).expect("perf check (warm cache)");
+    let warm_secs = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        cold_stats.computed, 1,
+        "cold check must compute its certificate"
+    );
+    CheckCacheSample {
+        cell: spec.cert_key(),
+        cold_secs,
+        warm_secs,
+        warm_vs_cold_ratio: warm_secs / cold_secs,
+        hit_rate: warm_stats.reused as f64,
+        bitwise_identical: cold.render() == warm.render(),
+    }
+}
+
 /// Budget for the snapshot-vs-replay exploration comparison: the full
 /// per-seed GDP1 state space of the 4-ring fits comfortably.
 const EXPLORE_BUDGET: (usize, usize) = (200_000, 400);
@@ -595,6 +669,7 @@ pub fn run_perf_suite() -> PerfReport {
     let mcheck_state_space = measure_mcheck(4);
     let runtime_stress = measure_runtime_stress(8, 400);
     let trace_overhead = measure_trace_overhead(50, 400_000);
+    let check_cache = measure_check_cache();
     PerfReport {
         hot_loop,
         hot_loop_rebuild,
@@ -604,6 +679,7 @@ pub fn run_perf_suite() -> PerfReport {
         mcheck_state_space,
         runtime_stress,
         trace_overhead,
+        check_cache,
     }
 }
 
@@ -751,13 +827,27 @@ impl PerfReport {
             "  \"trace_overhead\": {{\n    \"topology\": \"classic-ring-{}\",\n    \
              \"algorithm\": \"GDP1\",\n    \"steps\": {},\n    \
              \"off_steps_per_sec\": {},\n    \"on_steps_per_sec\": {},\n    \
-             \"tracing_cost_ratio\": {},\n    \"events\": {}\n  }}\n}}\n",
+             \"tracing_cost_ratio\": {},\n    \"events\": {}\n  }},\n",
             trace.n,
             trace.steps,
             json_f64(trace.off_steps_per_sec),
             json_f64(trace.on_steps_per_sec),
             json_f64(trace.tracing_cost_ratio),
             trace.events,
+        );
+        let cache = &self.check_cache;
+        let _ = write!(
+            out,
+            "  \"check_cache\": {{\n    \"cell\": \"{}\",\n    \
+             \"cold_secs\": {},\n    \"warm_secs\": {},\n    \
+             \"warm_vs_cold_ratio\": {},\n    \"hit_rate\": {},\n    \
+             \"bitwise_identical\": {}\n  }}\n}}\n",
+            cache.cell,
+            json_f64(cache.cold_secs),
+            json_f64_fine(cache.warm_secs),
+            json_f64_fine(cache.warm_vs_cold_ratio),
+            json_f64(cache.hit_rate),
+            cache.bitwise_identical,
         );
         out
     }
@@ -860,6 +950,17 @@ impl PerfReport {
             trace.tracing_cost_ratio,
             trace.events,
         );
+        let cache = &self.check_cache;
+        println!(
+            "perf: check_cache {}: cold {:.3}s vs warm {:.4}s ({:.4}x), \
+             hit rate {:.2}, bitwise_identical={}",
+            cache.cell,
+            cache.cold_secs,
+            cache.warm_secs,
+            cache.warm_vs_cold_ratio,
+            cache.hit_rate,
+            cache.bitwise_identical,
+        );
         Ok(())
     }
 }
@@ -919,6 +1020,14 @@ mod tests {
                 tracing_cost_ratio: 1.11,
                 events: 540_000,
             },
+            check_cache: CheckCacheSample {
+                cell: "ring/n5/GDP1@s0".to_string(),
+                cold_secs: 0.5,
+                warm_secs: 0.001,
+                warm_vs_cold_ratio: 0.002,
+                hit_rate: 1.0,
+                bitwise_identical: true,
+            },
         };
         let json = report.to_json();
         assert!(json.contains("\"engine_hot_loop\""));
@@ -933,6 +1042,8 @@ mod tests {
         assert!(json.contains("\"padding_speedup\""));
         assert!(json.contains("\"trace_overhead\""));
         assert!(json.contains("\"tracing_cost_ratio\""));
+        assert!(json.contains("\"check_cache\""));
+        assert!(json.contains("\"hit_rate\""));
         assert!(json.contains("\"bitwise_identical\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.montecarlo.identical);
@@ -1018,6 +1129,21 @@ mod tests {
         );
         assert_eq!(sample.store_hit_rate, 1.0);
         assert_eq!(sample.cells, 8);
+        assert!(sample.warm_vs_cold_ratio.is_finite() && sample.warm_vs_cold_ratio > 0.0);
+    }
+
+    /// The tentpole acceptance contract of the certificate cache sample:
+    /// the warm check is served entirely from the store (hit rate 1) and
+    /// renders bitwise-identically to the cold computation.
+    #[test]
+    fn check_cache_sample_hits_the_store_and_is_bitwise_identical() {
+        let sample = measure_check_cache();
+        assert!(
+            sample.bitwise_identical,
+            "warm check must reproduce the cold report byte for byte"
+        );
+        assert_eq!(sample.hit_rate, 1.0);
+        assert_eq!(sample.cell, "ring/n5/GDP1@s0");
         assert!(sample.warm_vs_cold_ratio.is_finite() && sample.warm_vs_cold_ratio > 0.0);
     }
 }

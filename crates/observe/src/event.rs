@@ -97,6 +97,20 @@ pub enum Event {
         /// The cell name.
         cell: String,
     },
+    /// A certificate-cache lookup answered an exact check from disk.
+    CertHit {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
+    /// A certificate-cache lookup found nothing; the check was computed.
+    CertMiss {
+        /// Cell position in the deterministic grid expansion.
+        clock: u64,
+        /// The cell name.
+        cell: String,
+    },
 }
 
 impl Event {
@@ -115,7 +129,9 @@ impl Event {
             | Event::CellFinish { clock, .. }
             | Event::StoreHit { clock, .. }
             | Event::StoreMiss { clock, .. }
-            | Event::StoreQuarantine { clock, .. } => *clock,
+            | Event::StoreQuarantine { clock, .. }
+            | Event::CertHit { clock, .. }
+            | Event::CertMiss { clock, .. } => *clock,
         }
     }
 
@@ -135,6 +151,8 @@ impl Event {
             Event::StoreHit { .. } => "store_hit",
             Event::StoreMiss { .. } => "store_miss",
             Event::StoreQuarantine { .. } => "store_quarantine",
+            Event::CertHit { .. } => "cert_hit",
+            Event::CertMiss { .. } => "cert_miss",
         }
     }
 }
@@ -181,14 +199,22 @@ mod tests {
                 clock: 3,
                 cell: "d".into(),
             },
+            Event::CertHit {
+                clock: 4,
+                cell: "e".into(),
+            },
+            Event::CertMiss {
+                clock: 5,
+                cell: "f".into(),
+            },
         ];
         let tags: Vec<&str> = events.iter().map(Event::type_tag).collect();
-        assert_eq!(tags.len(), 12);
+        assert_eq!(tags.len(), 14);
         let mut unique = tags.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 12, "type tags are distinct");
+        assert_eq!(unique.len(), 14, "type tags are distinct");
         assert_eq!(events[0].clock(), 1);
-        assert_eq!(events[11].clock(), 3);
+        assert_eq!(events[13].clock(), 5);
     }
 }

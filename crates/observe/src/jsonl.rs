@@ -49,7 +49,9 @@ pub fn encode_event(event: &Event) -> String {
         | Event::CellFinish { cell, .. }
         | Event::StoreHit { cell, .. }
         | Event::StoreMiss { cell, .. }
-        | Event::StoreQuarantine { cell, .. } => {
+        | Event::StoreQuarantine { cell, .. }
+        | Event::CertHit { cell, .. }
+        | Event::CertMiss { cell, .. } => {
             format!(
                 "{{\"clock\":{clock},\"type\":\"{tag}\",\"cell\":\"{}\"}}",
                 escape_json(cell)
@@ -153,6 +155,14 @@ mod tests {
         assert_eq!(
             line,
             "{\"clock\":1,\"type\":\"store_quarantine\",\"cell\":\"a\\\"b\"}"
+        );
+        let line = encode_event(&Event::CertHit {
+            clock: 2,
+            cell: "ring/n4/gdp1".into(),
+        });
+        assert_eq!(
+            line,
+            "{\"clock\":2,\"type\":\"cert_hit\",\"cell\":\"ring/n4/gdp1\"}"
         );
     }
 

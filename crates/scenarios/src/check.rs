@@ -15,6 +15,8 @@
 //! instantiation.
 
 use crate::family::TopologyFamily;
+use crate::report::f64_bits;
+use crate::store::{stable_digest64, CellStore, CertLookup, StoreStats};
 use gdp_algorithms::AlgorithmKind;
 pub use gdp_mcheck::certificate::Verdict as CheckVerdict;
 use gdp_mcheck::certificate::Verdict;
@@ -75,6 +77,18 @@ impl CheckAdversarySpec {
         }
     }
 
+    /// The canonical command-line spelling (`fair`, `kbounded:<k>`,
+    /// `crash:<f>`) — stable, because it participates in check-store
+    /// fingerprints ([`CheckSpec::store_context`]).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            CheckAdversarySpec::AllFair => "fair".to_string(),
+            CheckAdversarySpec::KBounded { k } => format!("kbounded:{k}"),
+            CheckAdversarySpec::CrashStop { crashes } => format!("crash:{crashes}"),
+        }
+    }
+
     /// The product-MDP restriction, or `None` for the unrestricted model.
     #[must_use]
     pub fn restriction(self) -> Option<ScheduleRestriction> {
@@ -132,6 +146,20 @@ pub enum CheckTargetSpec {
     /// Lockout-freedom: individual liveness of every philosopher, checked
     /// once per symmetry orbit (`--target lockout`).
     Lockout,
+}
+
+impl CheckTargetSpec {
+    /// The canonical command-line spelling (`progress`, `lockout`,
+    /// `philosopher:<i>`) — stable, because it participates in check-store
+    /// fingerprints ([`CheckSpec::store_context`]).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            CheckTargetSpec::Progress => "progress".to_string(),
+            CheckTargetSpec::Lockout => "lockout".to_string(),
+            CheckTargetSpec::Philosopher(index) => format!("philosopher:{index}"),
+        }
+    }
 }
 
 impl std::str::FromStr for CheckTargetSpec {
@@ -209,6 +237,59 @@ impl CheckSpec {
         self.symmetry
             .unwrap_or_else(|| self.algorithm.is_relabelling_invariant())
     }
+
+    /// The checked cell key, `"<family>/n<size>/<ALGORITHM>"` — the same
+    /// shape sweep cells use.
+    #[must_use]
+    pub fn cell_key(&self) -> String {
+        format!(
+            "{}/n{}/{}",
+            self.family.name(),
+            self.size,
+            self.algorithm.name()
+        )
+    }
+
+    /// The certificate-record **store context**: every option that changes
+    /// the certificate bytes, rendered as one stable line.  Like
+    /// `ScenarioSpec::store_context` it deliberately excludes what does
+    /// *not* change the bytes — `threads` (certificates are byte-identical
+    /// for every thread count, test-enforced) — and what lives in the
+    /// record key instead (family, size, algorithm, topology seed).
+    /// Symmetry is recorded *resolved* (`true`/`false`), so `auto` and an
+    /// explicit matching flag share cache entries.
+    ///
+    /// The leading `gdp-check v1` token versions this vocabulary itself:
+    /// records fingerprinted under an older vocabulary simply miss, they
+    /// are never misread.
+    #[must_use]
+    pub fn store_context(&self) -> String {
+        format!(
+            "gdp-check v1 | target={} | adversary={} | max_states={} | symmetry={} | \
+             expected_steps={}",
+            self.target.name(),
+            self.adversary.name(),
+            self.max_states,
+            self.effective_symmetry(),
+            self.expected_steps,
+        )
+    }
+
+    /// The FNV-1a fingerprint certificate records of this check spec are
+    /// addressed under.
+    #[must_use]
+    pub fn store_fingerprint(&self) -> u64 {
+        stable_digest64(self.store_context().as_bytes())
+    }
+
+    /// The certificate-record key: the cell key plus the topology seed
+    /// (random families build different topologies per seed, and the seed
+    /// is a cell axis in sweeps, so it belongs in the key, not the
+    /// context).
+    #[must_use]
+    pub fn cert_key(&self) -> String {
+        format!("{}@s{}", self.cell_key(), self.topology_seed)
+    }
 }
 
 /// The result of [`run_check`]: one certificate per checked objective,
@@ -231,15 +312,7 @@ impl CheckReport {
     /// then `Inconclusive`, then `Certified`).
     #[must_use]
     pub fn verdict(&self) -> Verdict {
-        let mut verdict = Verdict::Certified;
-        for certificate in &self.certificates {
-            match certificate.verdict() {
-                Verdict::Violated => return Verdict::Violated,
-                Verdict::Inconclusive => verdict = Verdict::Inconclusive,
-                Verdict::Certified => {}
-            }
-        }
-        verdict
+        overall_verdict(&self.certificates)
     }
 
     /// Renders every certificate as one stable text block (the `gdp check`
@@ -273,12 +346,7 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, String> {
                 spec.size
             )
         })?;
-    let cell = format!(
-        "{}/n{}/{}",
-        spec.family.name(),
-        spec.size,
-        spec.algorithm.name()
-    );
+    let cell = spec.cell_key();
     let targets: Vec<CheckTarget> = match spec.target {
         CheckTargetSpec::Progress => vec![CheckTarget::Progress],
         CheckTargetSpec::Philosopher(index) => {
@@ -370,6 +438,255 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, String> {
         counterexample,
         counterexample_dot: counterexample_dot_out,
     })
+}
+
+/// The worst verdict across a certificate list (`Violated` dominates, then
+/// `Inconclusive`, then `Certified`) — shared by [`CheckReport::verdict`]
+/// and the certificate-record codec, so a stored verdict column can never
+/// be derived differently than the live one.
+fn overall_verdict(certificates: &[Certificate]) -> Verdict {
+    let mut verdict = Verdict::Certified;
+    for certificate in certificates {
+        match certificate.verdict() {
+            Verdict::Violated => return Verdict::Violated,
+            Verdict::Inconclusive => verdict = Verdict::Inconclusive,
+            Verdict::Certified => {}
+        }
+    }
+    verdict
+}
+
+/// A decoded certificate record: the cached result of one [`run_check`],
+/// plus the derived columns (`verdict`, `progress_probability`, `states`)
+/// a sweep row reads without touching the certificate list.  The decoder
+/// cross-checks the columns against the certificates they were derived
+/// from, so a record whose verdict was tampered with — even with a
+/// recomputed checksum — is rejected, never trusted.
+#[derive(Clone, Debug)]
+pub struct StoredCheck {
+    /// The record key, `"<cell key>@s<topology seed>"`.
+    pub key: String,
+    /// The checked cell key (what [`CheckReport::cell`] holds).
+    pub cell: String,
+    /// Overall verdict name, derived from the certificates.
+    pub verdict: String,
+    /// `certificates[0].probability` — the sweep's
+    /// `exact_progress_prob` column.
+    pub progress_probability: f64,
+    /// `certificates[0].states` — the sweep's `exact_states` column.
+    pub states: usize,
+    /// The full certificates, byte-identical to recomputation.
+    pub certificates: Vec<Certificate>,
+}
+
+/// Serializes one check's certificates as a certificate-record payload:
+/// six derived header fields, then `certificates` fixed-shape blocks of
+/// [`Certificate::ENCODED_LINES`] lines each.  The derived columns are
+/// computed here, from the certificates themselves — the caller cannot
+/// inject a verdict that disagrees with the bytes below it.
+pub(crate) fn encode_check_payload(key: &str, cell: &str, certificates: &[Certificate]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "key {key}");
+    let _ = writeln!(out, "cell {cell}");
+    let _ = writeln!(out, "verdict {}", overall_verdict(certificates).name());
+    let _ = writeln!(
+        out,
+        "progress_probability {}",
+        f64_bits(certificates.first().map_or(0.0, |c| c.probability))
+    );
+    let _ = writeln!(
+        out,
+        "states {}",
+        certificates.first().map_or(0, |c| c.states)
+    );
+    let _ = writeln!(out, "certificates {}", certificates.len());
+    for certificate in certificates {
+        out.push_str(&certificate.encode());
+    }
+    out
+}
+
+/// Parses a certificate-record payload, strictly: fixed field order, a
+/// certificate count matching the trailing blocks exactly, at least one
+/// certificate, and derived columns that agree with the decoded
+/// certificates.
+pub(crate) fn decode_check_payload(payload: &str) -> Result<StoredCheck, String> {
+    let lines: Vec<&str> = payload.lines().collect();
+    let mut cursor = 0usize;
+    let mut field = |name: &str| -> Result<String, String> {
+        let line = lines
+            .get(cursor)
+            .ok_or_else(|| format!("payload truncated before field {name:?}"))?;
+        cursor += 1;
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed payload line {line:?}"))?;
+        if key != name {
+            return Err(format!("expected field {name:?}, found {key:?}"));
+        }
+        Ok(value.to_string())
+    };
+    let key = field("key")?;
+    let cell = field("cell")?;
+    let verdict = field("verdict")?;
+    let probability_hex = field("progress_probability")?;
+    if probability_hex.len() != 16 {
+        return Err(format!("invalid f64 bits {probability_hex:?}"));
+    }
+    let progress_probability = f64::from_bits(
+        u64::from_str_radix(&probability_hex, 16)
+            .map_err(|_| format!("invalid f64 bits {probability_hex:?}"))?,
+    );
+    let states: usize = field("states")?
+        .parse()
+        .map_err(|_| "invalid states count".to_string())?;
+    let count: usize = field("certificates")?
+        .parse()
+        .map_err(|_| "invalid certificate count".to_string())?;
+    if count == 0 {
+        return Err("certificate record holds no certificates".to_string());
+    }
+    let body = &lines[cursor..];
+    if body.len() != count * Certificate::ENCODED_LINES {
+        return Err(format!(
+            "expected {} certificate lines, found {}",
+            count * Certificate::ENCODED_LINES,
+            body.len()
+        ));
+    }
+    let certificates: Vec<Certificate> = body
+        .chunks(Certificate::ENCODED_LINES)
+        .map(|chunk| Certificate::decode(&chunk.join("\n")))
+        .collect::<Result<_, _>>()?;
+    // The derived columns must agree with the certificates they claim to
+    // summarize — a tampered verdict can never outvote its own evidence.
+    if verdict != overall_verdict(&certificates).name() {
+        return Err(format!(
+            "stored verdict {verdict:?} disagrees with the certificates"
+        ));
+    }
+    if progress_probability.to_bits() != certificates[0].probability.to_bits() {
+        return Err("stored progress probability disagrees with the certificates".to_string());
+    }
+    if states != certificates[0].states {
+        return Err("stored state count disagrees with the certificates".to_string());
+    }
+    Ok(StoredCheck {
+        key,
+        cell,
+        verdict,
+        progress_probability,
+        states,
+        certificates,
+    })
+}
+
+/// Error produced by [`run_check_cached`].
+#[derive(Debug)]
+pub enum CheckStoreError {
+    /// The underlying [`run_check`] failed (invalid topology parameters or
+    /// an out-of-range target).
+    Check(String),
+    /// The store could not be read from or written to.
+    Store {
+        /// The certificate-record key involved.
+        key: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// The record on disk carries a store format version newer than this
+    /// build; it is left untouched and the check refuses to shadow it.
+    Unsupported {
+        /// The certificate-record key involved.
+        key: String,
+        /// The record's declared format version.
+        version: u32,
+    },
+}
+
+impl std::fmt::Display for CheckStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckStoreError::Check(message) => write!(f, "{message}"),
+            CheckStoreError::Store { key, message } => {
+                write!(f, "certificate record {key}: {message}")
+            }
+            CheckStoreError::Unsupported { key, version } => write!(
+                f,
+                "certificate record {key} has store format v{version}, newer than this build \
+                 (v{}) — upgrade gdp or move the record aside",
+                crate::store::STORE_VERSION
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckStoreError {}
+
+/// [`run_check`] behind the store's certificate cache (`gdp check --store`
+/// and the exact columns of `sweep --check --store`).
+///
+/// With `resume`, a verified certificate record answers the check from
+/// disk: the returned report renders **bitwise identical** to a cold run
+/// ([`CheckReport::render`] reads only the cell key and the certificates,
+/// both cached losslessly).  Counterexample schedules and DOT lassos are
+/// *not* cached — callers that need them use [`run_check`] directly.
+/// Without `resume`, the check always recomputes, but still persists (the
+/// cold-write half of the sweep-store convention).
+///
+/// Returns the report plus [`StoreStats`] with exactly one of
+/// `reused`/`computed` set (and `quarantined` when a bad record was
+/// evicted on the way).
+///
+/// # Errors
+///
+/// [`run_check`] errors, store I/O errors, and a loud refusal when the
+/// record on disk carries a format version newer than this build.
+pub fn run_check_cached(
+    spec: &CheckSpec,
+    store: &CellStore,
+    resume: bool,
+) -> Result<(CheckReport, StoreStats), CheckStoreError> {
+    let fingerprint = spec.store_fingerprint();
+    let key = spec.cert_key();
+    let store_err = |message: String| CheckStoreError::Store {
+        key: spec.cert_key(),
+        message,
+    };
+    store
+        .note_context("check", fingerprint, &spec.store_context())
+        .map_err(|e| store_err(format!("writing check context note: {e}")))?;
+    let mut stats = StoreStats::default();
+    if resume {
+        match store.lookup_certificates(fingerprint, &key) {
+            CertLookup::Hit(stored) => {
+                stats.reused = 1;
+                let StoredCheck {
+                    cell, certificates, ..
+                } = *stored;
+                return Ok((
+                    CheckReport {
+                        cell,
+                        certificates,
+                        counterexample: None,
+                        counterexample_dot: None,
+                    },
+                    stats,
+                ));
+            }
+            CertLookup::Quarantined { .. } => stats.quarantined = 1,
+            CertLookup::Absent => {}
+            CertLookup::Unsupported { version } => {
+                return Err(CheckStoreError::Unsupported { key, version });
+            }
+        }
+    }
+    let report = run_check(spec).map_err(CheckStoreError::Check)?;
+    store
+        .save_certificates(fingerprint, &key, &report.cell, &report.certificates)
+        .map_err(|e| store_err(format!("persisting certificates: {e}")))?;
+    stats.computed = 1;
+    Ok((report, stats))
 }
 
 /// A long-enough starvation demonstration: every philosopher gets many
@@ -637,5 +954,109 @@ mod tests {
         );
         assert!("philosopher:x".parse::<CheckTargetSpec>().is_err());
         assert!("nope".parse::<CheckTargetSpec>().is_err());
+    }
+
+    fn temp_cert_store(tag: &str) -> (CellStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "gdp_cert_store_test_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (CellStore::open_bare(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn the_check_payload_codec_round_trips_and_cross_checks_its_columns() {
+        let spec = CheckSpec::new(TopologyFamily::Ring, 4, AlgorithmKind::Gdp1);
+        let report = run_check(&spec).unwrap();
+        let payload =
+            encode_check_payload(&spec.cert_key(), &spec.cell_key(), &report.certificates);
+        let stored = decode_check_payload(&payload).unwrap();
+        assert_eq!(stored.key, spec.cert_key());
+        assert_eq!(stored.cell, spec.cell_key());
+        assert_eq!(stored.verdict, "certified");
+        assert_eq!(stored.certificates, report.certificates);
+        // Tampering with a derived column is caught even when the
+        // certificate blocks themselves still decode.
+        let tampered = payload.replacen("verdict certified", "verdict violated", 1);
+        assert!(decode_check_payload(&tampered).is_err());
+        let truncated = payload
+            .lines()
+            .take(6 + Certificate::ENCODED_LINES - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(decode_check_payload(&truncated).is_err());
+    }
+
+    #[test]
+    fn cached_checks_reuse_certificates_and_render_identically() {
+        let (store, dir) = temp_cert_store("reuse");
+        let spec = CheckSpec::new(TopologyFamily::Ring, 4, AlgorithmKind::Gdp1);
+        let (cold, stats) = run_check_cached(&spec, &store, true).unwrap();
+        assert_eq!((stats.reused, stats.computed), (0, 1));
+        let (warm, stats) = run_check_cached(&spec, &store, true).unwrap();
+        assert_eq!((stats.reused, stats.computed), (1, 0));
+        assert_eq!(warm.render(), cold.render(), "warm render is bitwise cold");
+        // Without resume the check recomputes, but converges on the same
+        // stored bytes.
+        let (_, stats) = run_check_cached(&spec, &store, false).unwrap();
+        assert_eq!((stats.reused, stats.computed), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_certificate_cache_is_keyed_by_the_full_check_context() {
+        let (store, dir) = temp_cert_store("keying");
+        let spec = CheckSpec::new(TopologyFamily::Ring, 4, AlgorithmKind::Gdp1);
+        run_check_cached(&spec, &store, true).unwrap();
+        // A different adversary class is a different check: no false hit.
+        let restricted = CheckSpec {
+            adversary: CheckAdversarySpec::KBounded { k: 1 },
+            ..spec.clone()
+        };
+        let (_, stats) = run_check_cached(&restricted, &store, true).unwrap();
+        assert_eq!((stats.reused, stats.computed), (0, 1));
+        // So is a different topology seed (random families redraw edges).
+        let reseeded = CheckSpec {
+            topology_seed: 1,
+            ..spec.clone()
+        };
+        let (_, stats) = run_check_cached(&reseeded, &store, true).unwrap();
+        assert_eq!((stats.reused, stats.computed), (0, 1));
+        // And each variant now answers warm from its own record.
+        for variant in [&spec, &restricted, &reseeded] {
+            let (_, stats) = run_check_cached(variant, &store, true).unwrap();
+            assert_eq!(
+                (stats.reused, stats.computed),
+                (1, 0),
+                "{}",
+                variant.cert_key()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_certificate_records_are_quarantined_and_recomputed() {
+        let (store, dir) = temp_cert_store("corrupt");
+        let spec = CheckSpec::new(TopologyFamily::Ring, 4, AlgorithmKind::Gdp1);
+        let (cold, _) = run_check_cached(&spec, &store, true).unwrap();
+        let path = store.cert_record_path(spec.store_fingerprint(), &spec.cert_key());
+        let mut raw = std::fs::read(&path).unwrap();
+        let target = raw.len() - 20;
+        raw[target] ^= 0x04;
+        std::fs::write(&path, raw).unwrap();
+        let (recomputed, stats) = run_check_cached(&spec, &store, true).unwrap();
+        assert_eq!((stats.reused, stats.computed, stats.quarantined), (0, 1, 1));
+        assert_eq!(recomputed.render(), cold.render());
+        assert!(
+            std::fs::read_dir(dir.join("quarantine")).unwrap().count() > 0,
+            "the bad record is preserved for forensics"
+        );
+        // The re-saved record answers the next warm check.
+        let (_, stats) = run_check_cached(&spec, &store, true).unwrap();
+        assert_eq!((stats.reused, stats.computed), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

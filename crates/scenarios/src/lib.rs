@@ -67,8 +67,8 @@ mod store;
 mod stress;
 
 pub use check::{
-    exact_cell_verdict, run_check, CheckAdversarySpec, CheckReport, CheckSpec, CheckTargetSpec,
-    CheckVerdict, ExactCellVerdict,
+    exact_cell_verdict, run_check, run_check_cached, CheckAdversarySpec, CheckReport, CheckSpec,
+    CheckStoreError, CheckTargetSpec, CheckVerdict, ExactCellVerdict, StoredCheck,
 };
 pub use family::{FamilyParseError, TopologyFamily, FAMILY_CATALOG};
 pub use gdp_adversary::{
@@ -76,13 +76,14 @@ pub use gdp_adversary::{
 };
 pub use report::{cell_json, csv_header, SweepReport};
 pub use runner::{
-    compute_cell, run_sweep, run_sweep_durable, run_sweep_with, CellResult, SweepError,
-    SweepOptions,
+    compute_cell, compute_cell_durable, run_sweep, run_sweep_durable, run_sweep_with, CellResult,
+    SweepError, SweepOptions,
 };
 pub use spec::{AdversaryKind, AdversarySpec, ScenarioCell, ScenarioSpec, SeedPolicy};
 pub use store::{
-    merge_stores, stable_digest64, CellStore, MergeError, ParseShardError, ShardSpec, StoreLookup,
-    StoreStats, STORE_FORMAT,
+    compact_store, gc_store, merge_stores, stable_digest64, CellStore, CertLookup, CompactReport,
+    GcReport, MergeError, ParseShardError, ShardSpec, StoreLookup, StoreStats, STORE_FORMAT,
+    STORE_FORMAT_V2, STORE_VERSION,
 };
 pub use stress::{
     run_stress, run_stress_observed, stress_csv_header, StressLoad, StressReport, StressSpec,

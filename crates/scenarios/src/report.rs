@@ -256,8 +256,9 @@ pub fn cell_json(c: &CellResult) -> String {
 // stored cells are always the reproducible, timing-free shape.
 // ---------------------------------------------------------------------------
 
-/// Renders the exact bit pattern of an `f64` as 16 hex digits.
-fn f64_bits(value: f64) -> String {
+/// Renders the exact bit pattern of an `f64` as 16 hex digits (shared with
+/// the certificate-record codec in `crate::check`).
+pub(crate) fn f64_bits(value: f64) -> String {
     format!("{:016x}", value.to_bits())
 }
 

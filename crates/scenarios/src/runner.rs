@@ -1,7 +1,7 @@
 //! The batch runner: drives every cell of an expanded grid through the
 //! Monte-Carlo estimators and reduces it to a [`CellResult`].
 
-use crate::check::{exact_cell_verdict, ExactCellVerdict};
+use crate::check::{run_check, run_check_cached, CheckAdversarySpec, CheckSpec, ExactCellVerdict};
 use crate::report::SweepReport;
 use crate::spec::{ScenarioCell, ScenarioSpec};
 use crate::store::{CellStore, ShardSpec, StoreLookup, StoreStats};
@@ -185,6 +185,15 @@ pub enum SweepError {
         /// The underlying I/O error, rendered.
         message: String,
     },
+    /// A store record carries a format version newer than this build.
+    /// The record is presumed valid to a newer build and left untouched;
+    /// the sweep refuses to shadow it rather than quarantining it.
+    UnsupportedStore {
+        /// The cell whose record is unreadable to this build.
+        cell: String,
+        /// The record's declared format version.
+        version: u32,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -197,6 +206,12 @@ impl fmt::Display for SweepError {
             SweepError::Store { cell, message } => {
                 write!(f, "cell {cell}: store write failed: {message}")
             }
+            SweepError::UnsupportedStore { cell, version } => write!(
+                f,
+                "cell {cell}: store record has format v{version}, newer than this build \
+                 (v{}) — upgrade gdp or move the record aside",
+                crate::store::STORE_VERSION
+            ),
         }
     }
 }
@@ -222,6 +237,34 @@ pub fn compute_cell(
     cell: &ScenarioCell,
     options: &SweepOptions,
 ) -> Result<CellResult, SweepError> {
+    compute_cell_durable(spec, cell, options, None, false).map(|(result, _)| result)
+}
+
+/// [`compute_cell`] with the exact check routed through a store's
+/// **certificate cache**: with a `store` attached, the cell's exact
+/// verdict is persisted as a certificate record the moment it is computed,
+/// and with `reuse_certs` additionally set, a verified record answers it
+/// from disk — byte-identical, certificates being byte-reproducible — so a
+/// resumed `sweep --check` restores its exact columns without re-solving
+/// the MDP even when the MC cell record was lost.
+///
+/// Returns the result plus the certificate-cache [`StoreStats`] (all zero
+/// when no store is attached or the sweep runs without `--check`); callers
+/// that know the cell's grid position turn these into `cert_hit`/
+/// `cert_miss` events.
+///
+/// # Errors
+///
+/// As [`compute_cell`], plus [`SweepError::Store`] when the certificate
+/// record cannot be persisted and [`SweepError::UnsupportedStore`] when
+/// the record on disk belongs to a newer store format.
+pub fn compute_cell_durable(
+    spec: &ScenarioSpec,
+    cell: &ScenarioCell,
+    options: &SweepOptions,
+    store: Option<&CellStore>,
+    reuse_certs: bool,
+) -> Result<(CellResult, StoreStats), SweepError> {
     let topology =
         cell.family
             .build(cell.size, cell.seed)
@@ -252,29 +295,57 @@ pub fn compute_cell(
         .record_timing
         .then(|| (spec.trials * spec.max_steps) as f64 / elapsed_secs);
 
+    let mut cert_stats = StoreStats::default();
     let exact = match options.exact_check {
-        Some(max_states) => Some(
-            exact_cell_verdict(
-                cell.family,
-                cell.size,
-                cell.algorithm,
-                cell.seed,
+        Some(max_states) => {
+            let check_spec = CheckSpec {
                 max_states,
-                spec.threads,
+                threads: spec.threads,
+                topology_seed: cell.seed,
                 // Quantify over the class the sweep's scheduler belongs
                 // to, so a crash:<f> row never pairs faulty MC columns
                 // with an all-fair "certified".
-                crate::check::CheckAdversarySpec::for_sweep_adversary(spec.adversary),
-            )
-            .map_err(|message| SweepError::Topology {
-                cell: cell.key.clone(),
-                source: gdp_topology::TopologyError::InvalidParameter { message },
-            })?,
-        ),
+                adversary: CheckAdversarySpec::for_sweep_adversary(spec.adversary),
+                ..CheckSpec::new(cell.family, cell.size, cell.algorithm)
+            };
+            let report = match store {
+                Some(store) => {
+                    let (report, stats) = run_check_cached(&check_spec, store, reuse_certs)
+                        .map_err(|e| match e {
+                            crate::check::CheckStoreError::Unsupported { version, .. } => {
+                                SweepError::UnsupportedStore {
+                                    cell: cell.key.clone(),
+                                    version,
+                                }
+                            }
+                            crate::check::CheckStoreError::Check(message) => SweepError::Topology {
+                                cell: cell.key.clone(),
+                                source: gdp_topology::TopologyError::InvalidParameter { message },
+                            },
+                            other => SweepError::Store {
+                                cell: cell.key.clone(),
+                                message: other.to_string(),
+                            },
+                        })?;
+                    cert_stats = stats;
+                    report
+                }
+                None => run_check(&check_spec).map_err(|message| SweepError::Topology {
+                    cell: cell.key.clone(),
+                    source: gdp_topology::TopologyError::InvalidParameter { message },
+                })?,
+            };
+            let certificate = &report.certificates[0];
+            Some(ExactCellVerdict {
+                verdict: report.verdict().name().to_string(),
+                progress_probability: certificate.probability,
+                states: certificate.states,
+            })
+        }
         None => None,
     };
 
-    Ok(CellResult {
+    let result = CellResult {
         cell: cell.key.clone(),
         family: cell.family.name(),
         size: cell.size,
@@ -297,7 +368,8 @@ pub fn compute_cell(
         stuck_trials: estimate.violations.stuck_trials,
         unsafe_trials: estimate.violations.unsafe_trials,
         exact,
-    })
+    };
+    Ok((result, cert_stats))
 }
 
 /// Runs the whole sweep, invoking `on_cell` as each cell completes (the
@@ -400,6 +472,12 @@ where
                             cell: cell.key.clone(),
                         });
                     }
+                    StoreLookup::Unsupported { version } => {
+                        return Err(SweepError::UnsupportedStore {
+                            cell: cell.key.clone(),
+                            version,
+                        });
+                    }
                 }
             }
         }
@@ -409,7 +487,20 @@ where
                 result
             }
             None => {
-                let result = compute_cell(spec, cell, options)?;
+                let (result, cert_stats) =
+                    compute_cell_durable(spec, cell, options, store, resume)?;
+                if cert_stats.reused > 0 {
+                    emit(gdp_observe::Event::CertHit {
+                        clock,
+                        cell: cell.key.clone(),
+                    });
+                }
+                if cert_stats.computed > 0 {
+                    emit(gdp_observe::Event::CertMiss {
+                        clock,
+                        cell: cell.key.clone(),
+                    });
+                }
                 if let Some(store) = store {
                     store.save(&result).map_err(|e| SweepError::Store {
                         cell: cell.key.clone(),

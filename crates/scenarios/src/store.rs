@@ -1,4 +1,5 @@
-//! The durable, content-addressed **cell store** behind crash-safe sweeps.
+//! The durable, content-addressed **cell store** behind crash-safe sweeps
+//! and the certificate cache behind warm `gdp check` runs.
 //!
 //! Sweep cells are pure functions of *(spec fingerprint, cell key)* with
 //! byte-reproducible outputs, which makes them exactly the shape of a
@@ -8,7 +9,15 @@
 //! **write** is atomic (temp file + rename) — a crash at any instant leaves
 //! either a fully valid record or nothing the next run will trust.
 //!
-//! On top of the store sit three protocols (all surfaced by the `gdp` CLI
+//! Exact verdicts share that shape: a `gdp-mcheck` certificate is a pure,
+//! byte-reproducible function of *(check spec, topology cell)*, so the
+//! store holds a second record kind — **certificate records** under
+//! `certs/`, keyed by *(check-spec fingerprint, cell key @ topology seed)*
+//! and carrying the full certificate bytes plus the derived
+//! verdict/progress-probability/state-count columns — under the same
+//! checksum, quarantine and atomic-write discipline as MC cells.
+//!
+//! On top of the store sit five protocols (all surfaced by the `gdp` CLI
 //! and documented in `docs/SCENARIOS.md`):
 //!
 //! * **resume** — `gdp sweep --store <dir> --resume` looks every cell up
@@ -16,12 +25,21 @@
 //!   invalid ones are recomputed, and the final artifacts are byte-identical
 //!   to an uninterrupted run (enforced by the kill-and-resume fault-injection
 //!   suite in `tests/sweep_resume_fault_injection.rs`);
+//! * **certificate cache** — `gdp check --store <dir> --resume` (and the
+//!   exact columns of `sweep --check`) answer warm runs from certificate
+//!   records, bitwise identical to recomputation (see
+//!   `crate::check::run_check_cached`);
 //! * **sharding** — [`ShardSpec`] (`--shard i/n`) deterministically
 //!   partitions the expanded grid by cell position, so `n` processes or CI
 //!   jobs fill one shared (or per-shard) store cooperatively;
 //! * **merge** — [`merge_stores`] (`gdp merge`) fuses shard stores back
 //!   into the same [`SweepReport`] an unsharded run would have produced,
-//!   byte for byte, without recomputing anything.
+//!   byte for byte, without recomputing anything;
+//! * **lifecycle** — [`gc_store`] (`gdp store gc`) retires records whose
+//!   spec context matches nothing in a manifest, and [`compact_store`]
+//!   (`gdp store compact`) rewrites live records into a fresh directory —
+//!   dropping quarantine debris and stale temp files, round-trip-verifying
+//!   every record — before an atomic directory swap.
 //!
 //! ## Integrity model
 //!
@@ -30,8 +48,11 @@
 //! with the failure reason) and the cell is transparently recomputed.
 //! Validation layers, in order:
 //!
-//! 1. the format banner (`gdp-cell-store v2`) — foreign, stale-format or
-//!    future files;
+//! 1. the format banner (`gdp-cell-store v3`; v2 banners on MC cell
+//!    records are still accepted — the cell layout did not change — while
+//!    a version *newer* than this build is **rejected loudly** as
+//!    [`StoreLookup::Unsupported`], never quarantined: the record is
+//!    presumed valid to a newer build and left untouched);
 //! 2. the spec fingerprint — records from a *stale or different spec*
 //!    (other adversary, trial budget, step budget, seed policy or
 //!    exact-check budget) are invisible to this spec's lookups by
@@ -40,7 +61,9 @@
 //! 3. the declared payload byte length — truncated (torn) writes;
 //! 4. the FNV-1a payload checksum — bit flips anywhere in the payload;
 //! 5. strict payload parsing plus a cell-key cross-check — tampered or
-//!    mis-addressed records.
+//!    mis-addressed records (certificate payloads additionally cross-check
+//!    the stored verdict columns against the certificates they embed, so a
+//!    tampered verdict can never outvote its own certificate).
 //!
 //! The digests are deliberately **not** [`gdp_sim::fingerprint64`]: store
 //! records persist across builds, so they sit on a fixed, documented
@@ -48,9 +71,11 @@
 //! in-memory state-fingerprint hasher evolves into (the same reasoning that
 //! keeps sweep seed derivation on `SipHash`, see `crate::spec`).
 
+use crate::check::{decode_check_payload, encode_check_payload, StoredCheck};
 use crate::report::{decode_cell_payload, encode_cell_payload, SweepReport};
 use crate::runner::CellResult;
 use crate::spec::ScenarioSpec;
+use gdp_mcheck::Certificate;
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -58,9 +83,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The format banner every record starts with; bump the version when the
 /// record layout or payload schema changes and old records become
-/// untrustworthy.  v2 added the `first_meal_p50/p90/p99` payload fields;
-/// v1 records quarantine and recompute, by design.
-pub const STORE_FORMAT: &str = "gdp-cell-store v2";
+/// untrustworthy.  v3 added certificate records (`kind certificate`
+/// headers under `certs/`); the MC cell layout is unchanged, so v2 cell
+/// banners are still accepted.  v2 added the `first_meal_p50/p90/p99`
+/// payload fields; v1 records quarantine and recompute, by design.
+/// Versions *newer* than [`STORE_VERSION`] are rejected loudly
+/// ([`StoreLookup::Unsupported`]), never quarantined.
+pub const STORE_FORMAT: &str = "gdp-cell-store v3";
+
+/// The previous format banner, still accepted on MC cell records (their
+/// layout did not change between v2 and v3).
+pub const STORE_FORMAT_V2: &str = "gdp-cell-store v2";
+
+/// The store format version this build reads and writes.
+pub const STORE_VERSION: u32 = 3;
+
+/// Parses a `gdp-cell-store v<N>` banner line into its version number.
+fn banner_version(line: &str) -> Option<u32> {
+    line.strip_prefix("gdp-cell-store v")?.parse().ok()
+}
 
 /// 64-bit FNV-1a over raw bytes: the store's persistent digest for record
 /// addresses, spec fingerprints and payload checksums.  Chosen for being
@@ -112,17 +153,56 @@ pub enum StoreLookup {
         /// Which validation layer rejected it.
         reason: &'static str,
     },
+    /// The record carries a format version **newer** than this build
+    /// understands.  It is presumed valid to a newer build, so it is left
+    /// exactly where it is — not quarantined, not recomputed over — and
+    /// callers must fail loudly instead of silently shadowing it.
+    Unsupported {
+        /// The record's declared format version.
+        version: u32,
+    },
 }
 
-/// A durable, content-addressed store of completed sweep cells.
+/// The outcome of one certificate-record lookup.
+#[derive(Debug)]
+pub enum CertLookup {
+    /// No certificate record exists for this key.
+    Absent,
+    /// A fully verified certificate record was found.
+    Hit(Box<StoredCheck>),
+    /// A record existed but failed validation; it has been moved to the
+    /// quarantine directory and the check must be recomputed.
+    Quarantined {
+        /// Which validation layer rejected it.
+        reason: &'static str,
+    },
+    /// The record's format version is newer than this build; see
+    /// [`StoreLookup::Unsupported`].
+    Unsupported {
+        /// The record's declared format version.
+        version: u32,
+    },
+}
+
+/// Why a record was rejected: either it must be quarantined, or it belongs
+/// to a format version newer than this build and must be left alone.
+enum RecordReject {
+    Quarantine(&'static str),
+    Unsupported(u32),
+}
+
+/// A durable, content-addressed store of completed sweep cells and check
+/// certificates.
 ///
 /// Open one with [`CellStore::open`]; the directory layout is
 ///
 /// ```text
 /// <dir>/
 ///   cells/<cell-key-sanitized>-<16-hex address>.cell   one record per cell
+///   certs/<cert-key-sanitized>-<16-hex address>.cert   one record per check
 ///   quarantine/<record name>.<reason>                  rejected records
-///   spec-<16-hex fingerprint>.context                  human-readable context
+///   spec-<16-hex fingerprint>.context                  sweep context notes
+///   check-<16-hex fingerprint>.context                 check context notes
 /// ```
 ///
 /// Records of *different* spec fingerprints coexist in one directory
@@ -130,7 +210,9 @@ pub enum StoreLookup {
 /// shards — and even unrelated sweeps — may share a store.
 #[derive(Debug)]
 pub struct CellStore {
+    root: PathBuf,
     cells_dir: PathBuf,
+    certs_dir: PathBuf,
     quarantine_dir: PathBuf,
     fingerprint: u64,
     swept_tmp: u64,
@@ -157,26 +239,74 @@ impl CellStore {
         spec: &ScenarioSpec,
         exact_check: Option<usize>,
     ) -> std::io::Result<CellStore> {
-        let root = dir.as_ref().to_path_buf();
-        let cells_dir = root.join("cells");
-        let quarantine_dir = root.join("quarantine");
-        std::fs::create_dir_all(&cells_dir)?;
-        std::fs::create_dir_all(&quarantine_dir)?;
-        let swept_tmp = sweep_stale_tmp_files(&root) + sweep_stale_tmp_files(&cells_dir);
         let context = spec.store_context(exact_check);
         let fingerprint = stable_digest64(context.as_bytes());
+        let store = CellStore::open_with_fingerprint(dir, fingerprint)?;
         // A per-fingerprint context note: deterministic bytes, atomically
         // written, so concurrent shards racing on it are harmless.
-        let context_path = root.join(format!("spec-{fingerprint:016x}.context"));
-        if !context_path.exists() {
-            write_atomically(&context_path, format!("{context}\n").as_bytes())?;
-        }
+        store.note_context("spec", fingerprint, &context)?;
+        Ok(store)
+    }
+
+    /// Opens (creating if needed) the store at `dir` **without** a sweep
+    /// spec.  A bare handle addresses MC cell records under the null
+    /// fingerprint, so it is only meant for certificate records (whose
+    /// methods take an explicit check fingerprint) and for lifecycle
+    /// tooling — `gdp check --store`, `gdp store gc`, `gdp store compact`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation I/O errors.
+    pub fn open_bare(dir: impl AsRef<Path>) -> std::io::Result<CellStore> {
+        CellStore::open_with_fingerprint(dir, 0)
+    }
+
+    fn open_with_fingerprint(
+        dir: impl AsRef<Path>,
+        fingerprint: u64,
+    ) -> std::io::Result<CellStore> {
+        let root = dir.as_ref().to_path_buf();
+        let cells_dir = root.join("cells");
+        let certs_dir = root.join("certs");
+        let quarantine_dir = root.join("quarantine");
+        std::fs::create_dir_all(&cells_dir)?;
+        std::fs::create_dir_all(&certs_dir)?;
+        std::fs::create_dir_all(&quarantine_dir)?;
+        let swept_tmp = sweep_stale_tmp_files(&root)
+            + sweep_stale_tmp_files(&cells_dir)
+            + sweep_stale_tmp_files(&certs_dir);
         Ok(CellStore {
+            root,
             cells_dir,
+            certs_dir,
             quarantine_dir,
             fingerprint,
             swept_tmp,
         })
+    }
+
+    /// Writes a `<prefix>-<16-hex fingerprint>.context` note holding the
+    /// human-readable context string a fingerprint was derived from, if one
+    /// is not already present.  Context notes double as the vocabulary of
+    /// `gdp store gc` manifests: [`gc_store`] retains exactly the records
+    /// whose fingerprint matches a manifest line's digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atomic write's I/O errors.
+    pub fn note_context(
+        &self,
+        prefix: &str,
+        fingerprint: u64,
+        context: &str,
+    ) -> std::io::Result<()> {
+        let path = self
+            .root
+            .join(format!("{prefix}-{fingerprint:016x}.context"));
+        if !path.exists() {
+            write_atomically(&path, format!("{context}\n").as_bytes())?;
+        }
+        Ok(())
     }
 
     /// How many stale `*.tmp.*` files this handle's open swept away
@@ -202,18 +332,20 @@ impl CellStore {
     #[must_use]
     pub fn record_path(&self, cell_key: &str) -> PathBuf {
         let address = stable_digest64(format!("{:016x}|{cell_key}", self.fingerprint).as_bytes());
-        let sanitized: String = cell_key
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
         self.cells_dir
-            .join(format!("{sanitized}-{address:016x}.cell"))
+            .join(format!("{}-{address:016x}.cell", sanitize_key(cell_key)))
+    }
+
+    /// The certificate-record path for `cert_key` under the given check
+    /// fingerprint.  Certificate addresses mix in a `|cert|` tag so they
+    /// can never collide with an MC cell address even under equal
+    /// fingerprints and keys.
+    #[must_use]
+    pub fn cert_record_path(&self, check_fingerprint: u64, cert_key: &str) -> PathBuf {
+        let address =
+            stable_digest64(format!("{check_fingerprint:016x}|cert|{cert_key}").as_bytes());
+        self.certs_dir
+            .join(format!("{}-{address:016x}.cert", sanitize_key(cert_key)))
     }
 
     /// Persists one completed cell **atomically**: the full record is
@@ -252,29 +384,42 @@ impl CellStore {
             stable_digest64(payload.as_bytes()),
         );
         let path = self.record_path(&result.cell);
-        match write_atomically(&path, record.as_bytes()) {
-            Ok(()) => Ok(path),
-            Err(e) => match std::fs::read_to_string(&path) {
-                // A concurrent writer finished first.  Identical bytes:
-                // converged, the record is in place, nothing to do.
-                Ok(existing) if existing == record => Ok(path),
-                // A *valid* record that disagrees is a determinism
-                // violation — surface it, never shrug it off.
-                Ok(existing)
-                    if verify_record(&existing, self.fingerprint, &result.cell).is_ok() =>
-                {
-                    Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!(
-                            "concurrent writer stored different bytes for cell {} \
-                             (determinism violation)",
-                            result.cell
-                        ),
-                    ))
-                }
-                _ => Err(e),
-            },
-        }
+        save_converging(&path, &record, &result.cell, &|existing| {
+            verify_record(existing, self.fingerprint, &result.cell).is_ok()
+        })?;
+        Ok(path)
+    }
+
+    /// Persists one check's certificates as a certificate record, under the
+    /// same atomic-write and concurrent-writer convergence discipline as
+    /// [`save`](Self::save).  The record's verdict/progress-probability/
+    /// state-count columns are derived from `certificates` by the payload
+    /// codec itself, so they can never disagree with the certificate bytes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`save`](Self::save): I/O errors, plus `InvalidData` when a
+    /// concurrent writer deposited a valid record with different bytes
+    /// (a determinism violation — certificates are byte-reproducible).
+    pub fn save_certificates(
+        &self,
+        check_fingerprint: u64,
+        cert_key: &str,
+        cell: &str,
+        certificates: &[Certificate],
+    ) -> std::io::Result<PathBuf> {
+        let payload = encode_check_payload(cert_key, cell, certificates);
+        let record = format!(
+            "{STORE_FORMAT}\nkind certificate\nspec {check_fingerprint:016x}\ncell {cert_key}\n\
+             payload {} {:016x}\n---\n{payload}",
+            payload.len(),
+            stable_digest64(payload.as_bytes()),
+        );
+        let path = self.cert_record_path(check_fingerprint, cert_key);
+        save_converging(&path, &record, cert_key, &|existing| {
+            verify_cert_record(existing, check_fingerprint, cert_key).is_ok()
+        })?;
+        Ok(path)
     }
 
     /// Looks `cell_key` up, verifying every integrity layer; invalid
@@ -287,11 +432,46 @@ impl CellStore {
             Ok(raw) => raw,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return StoreLookup::Absent,
             // Unreadable (permissions, non-UTF-8, ...): treat as invalid.
-            Err(_) => return self.quarantine(&path, "unreadable"),
+            Err(_) => {
+                self.quarantine(&path, "unreadable");
+                return StoreLookup::Quarantined {
+                    reason: "unreadable",
+                };
+            }
         };
         match verify_record(&raw, self.fingerprint, cell_key) {
             Ok(result) => StoreLookup::Hit(Box::new(result)),
-            Err(reason) => self.quarantine(&path, reason),
+            Err(RecordReject::Unsupported(version)) => StoreLookup::Unsupported { version },
+            Err(RecordReject::Quarantine(reason)) => {
+                self.quarantine(&path, reason);
+                StoreLookup::Quarantined { reason }
+            }
+        }
+    }
+
+    /// Looks up the certificate record for `(check_fingerprint, cert_key)`
+    /// with the same integrity layers and quarantine discipline as
+    /// [`lookup`](Self::lookup).
+    #[must_use]
+    pub fn lookup_certificates(&self, check_fingerprint: u64, cert_key: &str) -> CertLookup {
+        let path = self.cert_record_path(check_fingerprint, cert_key);
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CertLookup::Absent,
+            Err(_) => {
+                self.quarantine(&path, "unreadable");
+                return CertLookup::Quarantined {
+                    reason: "unreadable",
+                };
+            }
+        };
+        match verify_cert_record(&raw, check_fingerprint, cert_key) {
+            Ok(stored) => CertLookup::Hit(Box::new(stored)),
+            Err(RecordReject::Unsupported(version)) => CertLookup::Unsupported { version },
+            Err(RecordReject::Quarantine(reason)) => {
+                self.quarantine(&path, reason);
+                CertLookup::Quarantined { reason }
+            }
         }
     }
 
@@ -301,7 +481,7 @@ impl CellStore {
     /// never silently overwritten.  Best-effort: if the move fails the
     /// record is deleted instead, and if even that fails the next lookup
     /// will simply re-reject it.
-    fn quarantine(&self, path: &Path, reason: &'static str) -> StoreLookup {
+    fn quarantine(&self, path: &Path, reason: &'static str) {
         let name = path
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -317,7 +497,52 @@ impl CellStore {
         if std::fs::rename(path, &target).is_err() {
             let _ = std::fs::remove_file(path);
         }
-        StoreLookup::Quarantined { reason }
+    }
+}
+
+/// Sanitizes a record key into its filename stem: alphanumerics, `-` and
+/// `.` survive, everything else becomes `_` (the 16-hex address suffix
+/// keeps distinct keys distinct even when sanitization collides).
+fn sanitize_key(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The shared atomic-write-plus-convergence protocol behind both record
+/// kinds: write atomically; on failure, an already-present byte-identical
+/// record means a concurrent writer won harmlessly, while a *valid* record
+/// with different bytes is a determinism violation surfaced as
+/// `InvalidData`.
+fn save_converging(
+    path: &Path,
+    record: &str,
+    key: &str,
+    is_valid: &dyn Fn(&str) -> bool,
+) -> std::io::Result<()> {
+    match write_atomically(path, record.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) => match std::fs::read_to_string(path) {
+            // A concurrent writer finished first.  Identical bytes:
+            // converged, the record is in place, nothing to do.
+            Ok(existing) if existing == record => Ok(()),
+            // A *valid* record that disagrees is a determinism
+            // violation — surface it, never shrug it off.
+            Ok(existing) if is_valid(&existing) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "concurrent writer stored different bytes for cell {key} \
+                     (determinism violation)"
+                ),
+            )),
+            _ => Err(e),
+        },
     }
 }
 
@@ -370,49 +595,113 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     }
 }
 
-/// Runs every validation layer over one raw record.  Returns the decoded
-/// result or the (static) reason the record must be quarantined.
-fn verify_record(raw: &str, fingerprint: u64, cell_key: &str) -> Result<CellResult, &'static str> {
+/// The verified pieces shared by both record kinds: spec fingerprint, cell
+/// key and checksummed payload.
+struct VerifiedHeader<'a> {
+    fingerprint: u64,
+    cell_key: &'a str,
+    payload: &'a str,
+}
+
+/// Runs the header-level validation layers over one raw record of the
+/// given kind: banner version, optional `kind` line, spec fingerprint
+/// line, cell-key line, payload length and FNV-1a checksum.  Payload
+/// decoding and key cross-checks stay with the per-kind verifiers.
+fn verify_header<'a>(
+    raw: &'a str,
+    expect_kind: Option<&str>,
+    oldest_accepted: u32,
+) -> Result<VerifiedHeader<'a>, RecordReject> {
+    use RecordReject::Quarantine;
     let Some((header, payload)) = raw.split_once("\n---\n") else {
-        return Err("truncated-header");
+        return Err(Quarantine("truncated-header"));
     };
     let mut lines = header.lines();
-    if lines.next() != Some(STORE_FORMAT) {
-        return Err("format");
+    match lines.next().and_then(banner_version) {
+        Some(version) if version > STORE_VERSION => return Err(RecordReject::Unsupported(version)),
+        Some(version) if version >= oldest_accepted => {}
+        _ => return Err(Quarantine("format")),
+    }
+    if let Some(kind) = expect_kind {
+        let Some(kind_line) = lines.next().and_then(|l| l.strip_prefix("kind ")) else {
+            return Err(Quarantine("format"));
+        };
+        if kind_line != kind {
+            return Err(Quarantine("format"));
+        }
     }
     let Some(spec_line) = lines.next().and_then(|l| l.strip_prefix("spec ")) else {
-        return Err("format");
+        return Err(Quarantine("format"));
     };
-    if u64::from_str_radix(spec_line, 16) != Ok(fingerprint) {
-        return Err("stale-spec");
-    }
-    let Some(cell_line) = lines.next().and_then(|l| l.strip_prefix("cell ")) else {
-        return Err("format");
+    let Ok(fingerprint) = u64::from_str_radix(spec_line, 16) else {
+        return Err(Quarantine("format"));
     };
-    if cell_line != cell_key {
-        return Err("cell-key");
-    }
+    let Some(cell_key) = lines.next().and_then(|l| l.strip_prefix("cell ")) else {
+        return Err(Quarantine("format"));
+    };
     let Some((len, digest)) = lines
         .next()
         .and_then(|l| l.strip_prefix("payload "))
         .and_then(|l| l.split_once(' '))
     else {
-        return Err("format");
+        return Err(Quarantine("format"));
     };
     if lines.next().is_some() {
-        return Err("format");
+        return Err(Quarantine("format"));
     }
     if len.parse() != Ok(payload.len()) {
-        return Err("truncated-payload");
+        return Err(Quarantine("truncated-payload"));
     }
     if u64::from_str_radix(digest, 16) != Ok(stable_digest64(payload.as_bytes())) {
-        return Err("checksum");
+        return Err(Quarantine("checksum"));
     }
-    let result = decode_cell_payload(payload).map_err(|_| "payload")?;
+    Ok(VerifiedHeader {
+        fingerprint,
+        cell_key,
+        payload,
+    })
+}
+
+/// Runs every validation layer over one raw MC cell record.  Returns the
+/// decoded result or the reason the record must be rejected.  v2 banners
+/// are accepted — the cell layout is unchanged since v2.
+fn verify_record(raw: &str, fingerprint: u64, cell_key: &str) -> Result<CellResult, RecordReject> {
+    use RecordReject::Quarantine;
+    let header = verify_header(raw, None, 2)?;
+    if header.fingerprint != fingerprint {
+        return Err(Quarantine("stale-spec"));
+    }
+    if header.cell_key != cell_key {
+        return Err(Quarantine("cell-key"));
+    }
+    let result = decode_cell_payload(header.payload).map_err(|_| Quarantine("payload"))?;
     if result.cell != cell_key {
-        return Err("cell-key");
+        return Err(Quarantine("cell-key"));
     }
     Ok(result)
+}
+
+/// Runs every validation layer over one raw certificate record.  v3 only —
+/// certificate records did not exist before v3, so an older banner here is
+/// a `format` rejection, not forward compatibility.
+fn verify_cert_record(
+    raw: &str,
+    check_fingerprint: u64,
+    cert_key: &str,
+) -> Result<StoredCheck, RecordReject> {
+    use RecordReject::Quarantine;
+    let header = verify_header(raw, Some("certificate"), STORE_VERSION)?;
+    if header.fingerprint != check_fingerprint {
+        return Err(Quarantine("stale-spec"));
+    }
+    if header.cell_key != cert_key {
+        return Err(Quarantine("cell-key"));
+    }
+    let stored = decode_check_payload(header.payload).map_err(|_| Quarantine("payload"))?;
+    if stored.key != cert_key {
+        return Err(Quarantine("cell-key"));
+    }
+    Ok(stored)
 }
 
 // ---------------------------------------------------------------------------
@@ -519,6 +808,18 @@ pub enum MergeError {
         /// 0-based index of the store that disagreed with it.
         other_store: usize,
     },
+    /// A record written by a newer store format than this build knows.
+    /// Rejected loudly — never quarantined or silently skipped — because a
+    /// merge that drops records it cannot read produces a silently
+    /// incomplete report.
+    Unsupported {
+        /// The cell whose record is unreadable.
+        cell: String,
+        /// 0-based index of the store holding it.
+        store: usize,
+        /// The record's format version.
+        version: u32,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -550,6 +851,17 @@ impl fmt::Display for MergeError {
                  determinism violation, not a cache conflict",
                 first_store + 1,
                 other_store + 1,
+            ),
+            MergeError::Unsupported {
+                cell,
+                store,
+                version,
+            } => write!(
+                f,
+                "store #{} holds a record for cell {cell} with store format v{version}, \
+                 newer than this build (v{STORE_VERSION}) — upgrade gdp or move the \
+                 record aside",
+                store + 1,
             ),
         }
     }
@@ -603,6 +915,13 @@ pub fn merge_stores(
                 }
                 StoreLookup::Quarantined { .. } => stats.quarantined += 1,
                 StoreLookup::Absent => {}
+                StoreLookup::Unsupported { version } => {
+                    return Err(MergeError::Unsupported {
+                        cell: cell.key.clone(),
+                        store: index,
+                        version,
+                    });
+                }
             }
         }
         match found {
@@ -617,6 +936,377 @@ pub fn merge_stores(
         return Err(MergeError::Missing { cells: missing });
     }
     Ok((SweepReport::new(spec, results), stats))
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: gc and compaction
+// ---------------------------------------------------------------------------
+
+/// Counters reported by one [`gc_store`] pass (`gdp store gc`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Records whose spec context matched a manifest line.
+    pub retained: u64,
+    /// Records retired (deleted, or merely counted under `--dry-run`).
+    pub retired: u64,
+    /// Context notes retired alongside their last records.
+    pub retired_notes: u64,
+    /// Total bytes of retired records and notes.
+    pub retired_bytes: u64,
+    /// Whether this pass only reported and deleted nothing.
+    pub dry_run: bool,
+}
+
+impl fmt::Display for GcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retained {} record(s), retired {} record(s) and {} context note(s), \
+             {} bytes reclaimed{}",
+            self.retained,
+            self.retired,
+            self.retired_notes,
+            self.retired_bytes,
+            if self.dry_run { " (dry run)" } else { "" }
+        )
+    }
+}
+
+/// The `spec <16-hex>` fingerprint in a record's header, if it parses.
+fn record_spec_fingerprint(raw: &str) -> Option<u64> {
+    raw.lines()
+        .take(3)
+        .find_map(|line| line.strip_prefix("spec "))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+}
+
+/// The fingerprint embedded in a `<prefix>-<16-hex>.context` note name.
+fn context_note_fingerprint(name: &str) -> Option<u64> {
+    let hex = name.strip_suffix(".context")?.rsplit_once('-')?.1;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Garbage-collects the store at `dir` against a **manifest** of store
+/// context lines (the strings recorded in `spec-*.context` and
+/// `check-*.context` notes): every MC cell and certificate record whose
+/// spec fingerprint matches the digest of some manifest line is retained,
+/// everything else — including now-orphaned context notes — is retired.
+/// With `dry_run` the pass only counts; nothing is deleted.
+///
+/// Files that do not parse as records at all (debris) are left for
+/// [`compact_store`], whose job that is.
+///
+/// # Errors
+///
+/// Propagates deletion I/O errors; an absent store directory is
+/// [`std::io::ErrorKind::NotFound`].
+pub fn gc_store(dir: &Path, manifest: &[String], dry_run: bool) -> std::io::Result<GcReport> {
+    if !dir.is_dir() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("store directory {} does not exist", dir.display()),
+        ));
+    }
+    let retained_fingerprints: std::collections::HashSet<u64> = manifest
+        .iter()
+        .map(|line| stable_digest64(line.trim().as_bytes()))
+        .collect();
+    let mut report = GcReport {
+        dry_run,
+        ..GcReport::default()
+    };
+    for sub in ["cells", "certs"] {
+        let Ok(entries) = std::fs::read_dir(dir.join(sub)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+            if !is_file || name.contains(".tmp.") {
+                continue;
+            }
+            let path = entry.path();
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Some(fingerprint) = record_spec_fingerprint(&raw) else {
+                continue;
+            };
+            if retained_fingerprints.contains(&fingerprint) {
+                report.retained += 1;
+            } else {
+                report.retired += 1;
+                report.retired_bytes += raw.len() as u64;
+                if !dry_run {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+            let Some(fingerprint) = context_note_fingerprint(&name) else {
+                continue;
+            };
+            if is_file && !retained_fingerprints.contains(&fingerprint) {
+                report.retired_notes += 1;
+                report.retired_bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                if !dry_run {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Counters reported by one [`compact_store`] pass (`gdp store compact`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Verified records rewritten into the fresh directory.
+    pub live: u64,
+    /// Invalid records dropped (they would have been quarantined on
+    /// lookup; compaction drops them outright, loudly counted here).
+    pub dropped_invalid: u64,
+    /// Quarantine-directory debris left behind.
+    pub dropped_quarantine: u64,
+    /// Stale `*.tmp.*` scratch files left behind.
+    pub dropped_tmp: u64,
+    /// Context notes carried over.
+    pub notes: u64,
+}
+
+impl fmt::Display for CompactReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} live record(s) rewritten, {} invalid record(s) dropped, \
+             {} quarantined file(s) dropped, {} stale tmp file(s) dropped, \
+             {} context note(s) kept",
+            self.live, self.dropped_invalid, self.dropped_quarantine, self.dropped_tmp, self.notes
+        )
+    }
+}
+
+/// `<dir>` with `suffix` appended to its final path component (the
+/// compaction scratch/backup directories live next to the store).
+fn sibling_dir(dir: &Path, suffix: &str) -> std::io::Result<PathBuf> {
+    let name = dir.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("store path {} must name a directory", dir.display()),
+        )
+    })?;
+    let mut name = name.to_os_string();
+    name.push(suffix);
+    Ok(dir.parent().unwrap_or(Path::new(".")).join(name))
+}
+
+/// Full record validation for compaction, where no expected fingerprint or
+/// key is known a priori: the header layers run as usual, the payload must
+/// decode and cross-check its embedded key, and the filename must be
+/// exactly the address the record's own (fingerprint, key) pair derives —
+/// so mis-addressed records never survive a compaction.
+fn verify_compactable(
+    raw: &str,
+    file_name: &str,
+    kind: Option<&str>,
+    oldest_accepted: u32,
+) -> Result<(), RecordReject> {
+    use RecordReject::Quarantine;
+    let header = verify_header(raw, kind, oldest_accepted)?;
+    let (key, expected_name) = match kind {
+        None => {
+            let result = decode_cell_payload(header.payload).map_err(|_| Quarantine("payload"))?;
+            let address = stable_digest64(
+                format!("{:016x}|{}", header.fingerprint, header.cell_key).as_bytes(),
+            );
+            (
+                result.cell,
+                format!("{}-{address:016x}.cell", sanitize_key(header.cell_key)),
+            )
+        }
+        Some(_) => {
+            let stored = decode_check_payload(header.payload).map_err(|_| Quarantine("payload"))?;
+            let address = stable_digest64(
+                format!("{:016x}|cert|{}", header.fingerprint, header.cell_key).as_bytes(),
+            );
+            (
+                stored.key,
+                format!("{}-{address:016x}.cert", sanitize_key(header.cell_key)),
+            )
+        }
+    };
+    if key != header.cell_key || file_name != expected_name {
+        return Err(Quarantine("cell-key"));
+    }
+    Ok(())
+}
+
+/// Compacts the store at `dir`: every live record is verified (all
+/// integrity layers **plus** a filename/address cross-check and a byte
+/// round-trip through the new directory) and rewritten into a fresh
+/// directory, dropping quarantine debris, stale `*.tmp.*` scratch files
+/// and invalid records; context notes and any other root files are carried
+/// over verbatim.  The fresh directory then replaces the store through an
+/// atomic two-rename swap:
+///
+/// ```text
+/// build  <dir>.compact-tmp       (scratch; discarded wholesale on rerun)
+/// rename <dir>        -> <dir>.pre-compact
+/// rename <dir>.compact-tmp -> <dir>
+/// delete <dir>.pre-compact
+/// ```
+///
+/// A crash at **any** instant is recovered by simply rerunning: a stale
+/// `.compact-tmp` is discarded, a `.pre-compact` left without a store is
+/// renamed back, and a `.pre-compact` left *alongside* a store is the
+/// superseded original of an already-completed swap.  Rewrites are
+/// byte-identical, so the rerun converges on exactly the bytes an
+/// uninterrupted compaction would have produced (fault-injection-tested in
+/// `tests/store_gc_compact.rs`).
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` when a record's format version is newer than
+/// this build (compacting what it cannot verify would risk losing live
+/// data) or when a round-trip re-read disagrees.
+pub fn compact_store(dir: &Path) -> std::io::Result<CompactReport> {
+    let tmp = sibling_dir(dir, ".compact-tmp")?;
+    let pre = sibling_dir(dir, ".pre-compact")?;
+    // Crash recovery, in dependency order: discard a half-built scratch
+    // directory, restore a store caught between the two renames, drop a
+    // backup superseded by a completed swap.
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp)?;
+    }
+    if !dir.exists() && pre.exists() {
+        std::fs::rename(&pre, dir)?;
+    }
+    if pre.exists() {
+        std::fs::remove_dir_all(&pre)?;
+    }
+    if !dir.is_dir() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("store directory {} does not exist", dir.display()),
+        ));
+    }
+    // An aborted rewrite (unsupported record, round-trip mismatch, I/O
+    // error) must not leave a half-built scratch directory next to the
+    // untouched store; recovery would clean it up on the next run, but a
+    // clean failure is better than a deferred one.
+    let result = compact_into(dir, &tmp);
+    if result.is_err() {
+        let _ = std::fs::remove_dir_all(&tmp);
+        return result;
+    }
+    std::fs::rename(dir, &pre)?;
+    std::fs::rename(&tmp, dir)?;
+    std::fs::remove_dir_all(&pre)?;
+    result
+}
+
+/// The rewrite half of [`compact_store`]: verifies and copies every live
+/// record of `dir` into the scratch directory `tmp`, leaving `dir`
+/// untouched.  The caller owns the atomic swap (and the cleanup of `tmp`
+/// on failure).
+fn compact_into(dir: &Path, tmp: &Path) -> std::io::Result<CompactReport> {
+    let mut report = CompactReport::default();
+    std::fs::create_dir_all(tmp.join("cells"))?;
+    std::fs::create_dir_all(tmp.join("certs"))?;
+    std::fs::create_dir_all(tmp.join("quarantine"))?;
+    for (sub, kind, oldest) in [
+        ("cells", None, 2),
+        ("certs", Some("certificate"), STORE_VERSION),
+    ] {
+        let Ok(entries) = std::fs::read_dir(dir.join(sub)) else {
+            continue;
+        };
+        let mut names: Vec<std::ffi::OsString> = entries
+            .flatten()
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .map(|e| e.file_name())
+            .collect();
+        names.sort();
+        for name in names {
+            let lossy = name.to_string_lossy().into_owned();
+            let path = dir.join(sub).join(&name);
+            if lossy.contains(".tmp.") {
+                report.dropped_tmp += 1;
+                continue;
+            }
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                report.dropped_invalid += 1;
+                continue;
+            };
+            match verify_compactable(&raw, &lossy, kind, oldest) {
+                Ok(()) => {}
+                Err(RecordReject::Unsupported(version)) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "record {} has store format v{version}, newer than this build \
+                             (v{STORE_VERSION}) — refusing to compact what it cannot verify",
+                            path.display()
+                        ),
+                    ));
+                }
+                Err(RecordReject::Quarantine(_)) => {
+                    report.dropped_invalid += 1;
+                    continue;
+                }
+            }
+            let out = tmp.join(sub).join(&name);
+            std::fs::write(&out, raw.as_bytes())?;
+            let reread = std::fs::read_to_string(&out)?;
+            if reread != raw {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("round-trip mismatch rewriting {}", out.display()),
+                ));
+            }
+            report.live += 1;
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir.join("quarantine")) {
+        report.dropped_quarantine = entries.flatten().count() as u64;
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let lossy = name.to_string_lossy().into_owned();
+            if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            if lossy.contains(".tmp.") {
+                report.dropped_tmp += 1;
+                continue;
+            }
+            // Context notes — and any root file a future layout adds — are
+            // carried over verbatim, round-trip-verified like records.
+            let raw = std::fs::read(entry.path())?;
+            let out = tmp.join(&name);
+            std::fs::write(&out, &raw)?;
+            if std::fs::read(&out)? != raw {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("round-trip mismatch rewriting {}", out.display()),
+                ));
+            }
+            if lossy.ends_with(".context") {
+                report.notes += 1;
+            }
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -1028,5 +1718,162 @@ mod tests {
         assert_eq!(stable_digest64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(stable_digest64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(stable_digest64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    /// A v2 store keeps answering MC cells under a v3 build: the version
+    /// bump added certificate records, it did not change the cell record
+    /// layout, so rejecting v2 cells would throw away valid work.
+    #[test]
+    fn v2_cell_records_still_answer_under_a_v3_build() {
+        let (_, store, dir) = completed_store("v2_compat");
+        let key = "ring/n4/GDP1";
+        let path = store.record_path(key);
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.starts_with(STORE_FORMAT), "records are written as v3");
+        // Rewrite the banner to v2 — everything after it is unchanged, which
+        // is exactly what a store written by the previous release looks like.
+        let downgraded = raw.replacen(STORE_FORMAT, STORE_FORMAT_V2, 1);
+        assert_ne!(raw, downgraded);
+        std::fs::write(&path, downgraded).unwrap();
+        match store.lookup(key) {
+            StoreLookup::Hit(result) => assert_eq!(result.cell, key),
+            other => panic!("expected a hit on the v2 record: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A record from a *future* store format is rejected loudly —
+    /// surfaced as `Unsupported`, never quarantined as if it were corrupt:
+    /// the bytes are presumably fine, this build just cannot verify them.
+    #[test]
+    fn future_version_records_are_rejected_loudly_not_quarantined() {
+        let (_, store, dir) = completed_store("future_version");
+        let key = "ring/n4/GDP1";
+        let path = store.record_path(key);
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, raw.replacen(STORE_FORMAT, "gdp-cell-store v9", 1)).unwrap();
+        match store.lookup(key) {
+            StoreLookup::Unsupported { version } => assert_eq!(version, 9),
+            other => panic!("expected Unsupported: {other:?}"),
+        }
+        // The record is left in place for the newer build that wrote it...
+        assert!(path.is_file(), "future-version record must not be deleted");
+        // ...and the quarantine stays empty: nothing was condemned.
+        let quarantined = std::fs::read_dir(dir.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined, 0);
+        // A merge refuses the store outright rather than reporting the cell
+        // as missing.
+        let spec = test_spec("future_version");
+        let stores = [CellStore::open(&dir, &spec, None).unwrap()];
+        match merge_stores(&spec, &stores) {
+            Err(MergeError::Unsupported { cell, version, .. }) => {
+                assert_eq!(cell, key);
+                assert_eq!(version, 9);
+            }
+            other => panic!("expected MergeError::Unsupported: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `gc_store` retires exactly the records whose spec context matches no
+    /// manifest line — and `--dry-run` only counts, never deletes.
+    #[test]
+    fn gc_retires_unmatched_specs_and_dry_run_deletes_nothing() {
+        let spec_a = test_spec("gc_keep");
+        let spec_b = test_spec("gc_drop").with_trials(7);
+        let dir = temp_store_dir("gc");
+        for spec in [&spec_a, &spec_b] {
+            let store = CellStore::open(&dir, spec, None).unwrap();
+            run_sweep_durable(
+                spec,
+                &SweepOptions::quiet(),
+                Some(&store),
+                true,
+                None,
+                |_| {},
+            )
+            .unwrap();
+        }
+        let manifest = vec![spec_a.store_context(None)];
+
+        let dry = gc_store(&dir, &manifest, true).unwrap();
+        assert_eq!((dry.retained, dry.retired), (4, 4));
+        assert!(dry.dry_run);
+        assert!(dry.retired_bytes > 0);
+        let store_b = CellStore::open(&dir, &spec_b, None).unwrap();
+        assert!(
+            matches!(store_b.lookup("ring/n4/GDP1"), StoreLookup::Hit(_)),
+            "a dry run must not delete anything"
+        );
+
+        let report = gc_store(&dir, &manifest, false).unwrap();
+        assert_eq!((report.retained, report.retired), (4, 4));
+        assert_eq!(report.retired_notes, 1, "spec B's context note goes too");
+        assert!(!report.dry_run);
+        let store_a = CellStore::open(&dir, &spec_a, None).unwrap();
+        assert!(matches!(
+            store_a.lookup("ring/n4/GDP1"),
+            StoreLookup::Hit(_)
+        ));
+        let store_b = CellStore::open(&dir, &spec_b, None).unwrap();
+        assert!(matches!(
+            store_b.lookup("ring/n4/GDP1"),
+            StoreLookup::Absent
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Compaction rewrites live records byte-for-byte, drops quarantine
+    /// debris and stale tmp files, and leaves every answer intact.
+    #[test]
+    fn compaction_drops_debris_and_preserves_every_answer() {
+        let (spec, store, dir) = completed_store("compact");
+        // Manufacture debris: one quarantined record, one stale tmp file in
+        // each scanned directory, and one unreadable (invalid) record.
+        let key = "ring/n4/GDP1";
+        let path = store.record_path(key);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert!(matches!(store.lookup(key), StoreLookup::Quarantined { .. }));
+        std::fs::write(dir.join("cells").join("x.tmp.1.2"), b"torn write").unwrap();
+        std::fs::write(dir.join("certs").join("y.tmp.3.4"), b"torn write").unwrap();
+        std::fs::write(dir.join("cells").join("junk-0000.cell"), b"not a record").unwrap();
+
+        let report = compact_store(&dir).unwrap();
+        assert_eq!(report.live, 3, "4 cells minus the one quarantined");
+        assert_eq!(report.dropped_invalid, 1);
+        assert_eq!(report.dropped_quarantine, 1);
+        assert_eq!(report.dropped_tmp, 2);
+        assert_eq!(report.notes, 1);
+
+        // The swap left no scaffolding behind…
+        assert!(!sibling_dir(&dir, ".compact-tmp").unwrap().exists());
+        assert!(!sibling_dir(&dir, ".pre-compact").unwrap().exists());
+        // …and the surviving records still answer; the compacted-away cell
+        // is Absent (recomputable), never a trusted wrong answer.
+        let store = CellStore::open(&dir, &spec, None).unwrap();
+        assert!(matches!(store.lookup(key), StoreLookup::Absent));
+        assert!(matches!(store.lookup("star/n4/GDP1"), StoreLookup::Hit(_)));
+        assert_eq!(
+            std::fs::read_dir(dir.join("quarantine")).unwrap().count(),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Compaction refuses a store holding records from a newer format:
+    /// rewriting what it cannot verify could silently destroy valid work.
+    #[test]
+    fn compaction_refuses_future_version_records() {
+        let (_, store, dir) = completed_store("compact_future");
+        let path = store.record_path("ring/n4/GDP1");
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, raw.replacen(STORE_FORMAT, "gdp-cell-store v8", 1)).unwrap();
+        let err = compact_store(&dir).unwrap_err();
+        assert!(err.to_string().contains("newer than this build"), "{err}");
+        // The original store is untouched by the refusal.
+        assert!(path.is_file());
+        assert!(!sibling_dir(&dir, ".compact-tmp").unwrap().exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -25,6 +25,8 @@ pub struct ServeMetrics {
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_quarantines: AtomicU64,
+    cert_hits: AtomicU64,
+    cert_misses: AtomicU64,
     queue_rejections: AtomicU64,
     queue_peak_depth: AtomicU64,
     request_ms: AtomicLog2Histogram,
@@ -88,6 +90,8 @@ impl ServeMetrics {
         registry.counter_add("serve.store_hits", load(&self.store_hits));
         registry.counter_add("serve.store_misses", load(&self.store_misses));
         registry.counter_add("serve.store_quarantines", load(&self.store_quarantines));
+        registry.counter_add("serve.cert_hit", load(&self.cert_hits));
+        registry.counter_add("serve.cert_miss", load(&self.cert_misses));
         registry.counter_add("serve.queue_rejections", load(&self.queue_rejections));
         registry.counter_add("serve.queue_peak_depth", load(&self.queue_peak_depth));
         registry.install_histogram(
@@ -118,6 +122,8 @@ impl EventSink for ServeMetrics {
             Event::StoreHit { .. } => self.store_hits.fetch_add(1, Ordering::Relaxed),
             Event::StoreMiss { .. } => self.store_misses.fetch_add(1, Ordering::Relaxed),
             Event::StoreQuarantine { .. } => self.store_quarantines.fetch_add(1, Ordering::Relaxed),
+            Event::CertHit { .. } => self.cert_hits.fetch_add(1, Ordering::Relaxed),
+            Event::CertMiss { .. } => self.cert_misses.fetch_add(1, Ordering::Relaxed),
             Event::CellFinish { .. } => self.cells_computed.fetch_add(1, Ordering::Relaxed),
             _ => 0,
         };
@@ -156,11 +162,25 @@ mod tests {
             clock: 1,
             cell: cell(),
         });
+        metrics.record(&Event::CertHit {
+            clock: 1,
+            cell: cell(),
+        });
+        metrics.record(&Event::CertMiss {
+            clock: 2,
+            cell: cell(),
+        });
+        metrics.record(&Event::CertMiss {
+            clock: 3,
+            cell: cell(),
+        });
         let registry = metrics.registry();
         assert_eq!(registry.counter("serve.store_hits"), 1);
         assert_eq!(registry.counter("serve.store_misses"), 2);
         assert_eq!(registry.counter("serve.store_quarantines"), 1);
         assert_eq!(registry.counter("serve.cells_computed"), 1);
+        assert_eq!(registry.counter("serve.cert_hit"), 1);
+        assert_eq!(registry.counter("serve.cert_miss"), 2);
     }
 
     #[test]

@@ -33,7 +33,8 @@ use crate::protocol::{self, Request, SweepRequest};
 use crate::signal;
 use gdp_observe::{Event, SharedSink};
 use gdp_scenarios::{
-    compute_cell, stable_digest64, CellResult, CellStore, StoreLookup, StoreStats, SweepOptions,
+    compute_cell_durable, stable_digest64, CellResult, CellStore, StoreLookup, StoreStats,
+    SweepOptions,
 };
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -307,6 +308,15 @@ fn handle_sweep(
                 });
                 misses.push(position);
             }
+            StoreLookup::Unsupported { version } => {
+                let message = format!(
+                    "cell {}: store record has format v{version}, newer than this \
+                     build — upgrade the server or move the record aside",
+                    cell.key,
+                );
+                writeln!(writer, "{}", protocol::error_line(&message, false))?;
+                return Ok(());
+            }
         }
     }
 
@@ -335,11 +345,25 @@ fn handle_sweep(
                 clock,
                 cell: cell.key.clone(),
             });
-            let outcome = compute_cell(&spec, &cell, &options)
+            let outcome = compute_cell_durable(&spec, &cell, &options, Some(&store), true)
                 .map_err(|e| e.to_string())
-                .and_then(|result| match store.save(&result) {
-                    Ok(_) => Ok(result),
-                    Err(e) => Err(format!("store write failed: {e}")),
+                .and_then(|(result, cert_stats)| {
+                    if cert_stats.reused > 0 {
+                        sink.record(&Event::CertHit {
+                            clock,
+                            cell: cell.key.clone(),
+                        });
+                    }
+                    if cert_stats.computed > 0 {
+                        sink.record(&Event::CertMiss {
+                            clock,
+                            cell: cell.key.clone(),
+                        });
+                    }
+                    match store.save(&result) {
+                        Ok(_) => Ok(result),
+                        Err(e) => Err(format!("store write failed: {e}")),
+                    }
                 });
             if outcome.is_ok() {
                 sink.record(&Event::CellFinish {

@@ -1,7 +1,7 @@
 //! `gdp` — the command-line workbench for the generalized dining
 //! philosophers workspace.
 //!
-//! Seven subcommands make the whole repo drivable without writing Rust:
+//! Eight subcommands make the whole repo drivable without writing Rust:
 //!
 //! * `gdp list` — the catalog of topology families, algorithms and
 //!   adversaries a sweep can name;
@@ -16,7 +16,13 @@
 //!   would have written, byte for byte, without recomputing;
 //! * `gdp check` — the **exact** model checker (`gdp-mcheck`): worst-case
 //!   verdicts over every fair adversary and every random draw, emitted as
-//!   byte-reproducible certificates (see `docs/VERIFICATION.md`);
+//!   byte-reproducible certificates (see `docs/VERIFICATION.md`); with
+//!   `--store` the certificates persist to the cell store's certificate
+//!   cache and `--resume` answers warm checks from disk, byte-identically;
+//! * `gdp store` — store lifecycle: `gc` retires records whose spec
+//!   context matches no manifest line, `compact` rewrites live records
+//!   into a fresh directory, dropping quarantine debris and stale tmp
+//!   files behind an atomic swap;
 //! * `gdp stress` — one cell on **real contending OS threads** through the
 //!   algorithm-generic `gdp-runtime`, with watchdog-bounded runs and
 //!   JSON/CSV stress reports (see `docs/RUNTIME.md`);
@@ -34,14 +40,16 @@
 //! spec format and `README.md` for a quickstart.
 
 use gdp::prelude::*;
-use gdp_observe::{jsonl, Event, MemorySink, MetricsRegistry, SharedSink};
+use gdp_observe::{jsonl, Event, EventSink, MemorySink, MetricsRegistry, SharedSink};
 use gdp_scenarios::{
-    merge_stores, run_check, run_stress_observed, run_sweep_durable, run_sweep_with, AdversaryKind,
-    CellStore, CheckAdversarySpec, CheckSpec, CheckTargetSpec, CheckVerdict, MergeError,
-    ScenarioSpec, SeedPolicy, ShardSpec, StressLoad, StressSpec, SweepOptions, TopologyFamily,
-    ADVERSARY_CATALOG, FAMILY_CATALOG,
+    compact_store, gc_store, merge_stores, run_check, run_check_cached, run_stress_observed,
+    run_sweep_durable, run_sweep_with, AdversaryKind, CellStore, CheckAdversarySpec, CheckSpec,
+    CheckTargetSpec, CheckVerdict, MergeError, ScenarioSpec, SeedPolicy, ShardSpec, StressLoad,
+    StressSpec, SweepOptions, TopologyFamily, ADVERSARY_CATALOG, FAMILY_CATALOG,
 };
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The actor an event belongs to, for the `(actor, clock)` export order of
@@ -106,6 +114,13 @@ USAGE:
           --symmetry <on|off>    quotient symmetric states   [default: auto]
           --expected-steps       also compute exact E[steps to first meal]
           --counterexample <p>   write the starvation lasso as Graphviz DOT
+          --store <dir>          persist the certificates to the store's
+                                 certificate cache (crash-safe, checksummed)
+          --resume               answer the check from a verified certificate
+                                 record when one exists — the stdout report is
+                                 byte-identical to recomputing (requires
+                                 --store; incompatible with --counterexample,
+                                 which needs the lasso the cache drops)
 
     gdp stress [OPTIONS]
         Run one cell on real contending OS threads (gdp-runtime) and write a
@@ -159,6 +174,26 @@ USAGE:
                                  (requires --store)
           --shard <i>/<n>        run only the i-th of n deterministic grid
                                  partitions, 1-based (requires --store)
+        With --check and --store, every exact verdict also persists as a
+        certificate record; --resume restores exact columns from those
+        records even when the MC cell record is gone.
+
+    gdp store gc [OPTIONS]
+        Retire store records whose spec context matches no manifest line.
+        The manifest is a plain-text file of retained spec-context lines —
+        `cat <dir>/*.context` emits one per spec that ever wrote to the
+        store; keep the lines you still need and gc the rest.
+          --store <dir>          the store directory            (required)
+          --manifest <file>     spec contexts to retain, one per line
+                                 (blank lines and # comments skipped)
+          --dry-run              report what would be retired, delete nothing
+
+    gdp store compact [OPTIONS]
+        Rewrite every live record into a fresh directory, dropping
+        quarantine debris and stale tmp files, then atomically swap it in.
+        Every record is re-verified and byte-compared during the rewrite;
+        a record from a newer store format aborts the compaction.
+          --store <dir>          the store directory            (required)
 
     gdp merge [OPTIONS]
         Fuse shard stores into the exact JSON + CSV artifacts the unsharded
@@ -505,7 +540,20 @@ fn cmd_check(mut args: Args) -> Result<CommandOutcome, String> {
         "seed",
         &args.value_of("--seed")?.unwrap_or_else(|| "0".into()),
     )?;
+    let store_dir = args.value_of("--store")?;
+    let resume = args.has("--resume");
     args.finish()?;
+
+    if resume && store_dir.is_none() {
+        return Err("--resume needs a store; usage: gdp check --store <dir> --resume".to_string());
+    }
+    if resume && counterexample_path.is_some() {
+        return Err(
+            "--counterexample needs the starvation lasso, which certificate records \
+             do not carry; drop --resume to recompute the check"
+                .to_string(),
+        );
+    }
 
     let spec = CheckSpec {
         family,
@@ -525,7 +573,24 @@ fn cmd_check(mut args: Args) -> Result<CommandOutcome, String> {
              (--adversary fair); skipping it for this restricted check"
         );
     }
-    let report = run_check(&spec)?;
+    let report = match &store_dir {
+        Some(dir) => {
+            let store =
+                CellStore::open_bare(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+            let (report, stats) =
+                run_check_cached(&spec, &store, resume).map_err(|e| e.to_string())?;
+            // Stderr, not stdout: the certificate report on stdout stays
+            // byte-identical whether the answer came from disk or from a
+            // fresh state-space exploration.
+            eprintln!(
+                "store    reused certificates: {}, computed certificates: {}, \
+                 quarantined: {} ({dir})",
+                stats.reused, stats.computed, stats.quarantined
+            );
+            report
+        }
+        None => run_check(&spec)?,
+    };
     print!("{}", report.render());
     if let Some(path) = counterexample_path {
         match &report.counterexample_dot {
@@ -812,6 +877,28 @@ fn report_outcome(report: &gdp_scenarios::SweepReport) -> CommandOutcome {
     CommandOutcome::Ok
 }
 
+/// A sweep-local [`EventSink`] that tallies just the certificate-cache
+/// events, for the `certs` console line of `gdp sweep --check --store`.
+#[derive(Default)]
+struct CertCounter {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EventSink for CertCounter {
+    fn record(&self, event: &Event) {
+        match event {
+            Event::CertHit { .. } => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::CertMiss { .. } => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
 fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
     let spec = scenario_spec_from_args(&mut args)?;
     let json_path = args
@@ -824,11 +911,13 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
     let store_dir = args.value_of("--store")?;
     let resume = args.has("--resume");
     let shard_arg = args.value_of("--shard")?;
+    let cert_counter =
+        (exact_check.is_some() && store_dir.is_some()).then(|| Arc::new(CertCounter::default()));
     let options = SweepOptions {
         record_timing: args.has("--timing"),
         progress: !args.has("--quiet"),
         exact_check,
-        sink: None,
+        sink: cert_counter.clone().map(|c| c as SharedSink),
     };
     args.finish()?;
 
@@ -858,6 +947,13 @@ fn cmd_sweep(mut args: Args) -> Result<CommandOutcome, String> {
                 run_sweep_durable(&spec, &options, Some(&store), resume, shard, |_| {})
                     .map_err(|e| format!("sweep failed: {e}"))?;
             println!("store    {stats} ({dir})");
+            if let Some(certs) = &cert_counter {
+                println!(
+                    "certs    {} reused certificates, {} computed certificates ({dir})",
+                    certs.hits.load(Ordering::Relaxed),
+                    certs.misses.load(Ordering::Relaxed),
+                );
+            }
             report
         }
         None => {
@@ -953,6 +1049,59 @@ fn cmd_merge(mut args: Args) -> Result<CommandOutcome, String> {
     Ok(report_outcome(&report))
 }
 
+fn cmd_store(mut args: Args) -> Result<CommandOutcome, String> {
+    if args.argv.first().is_none_or(|a| a.starts_with("--")) {
+        return Err(
+            "gdp store needs a subcommand; usage: gdp store gc|compact [OPTIONS]".to_string(),
+        );
+    }
+    let subcommand = args.argv.remove(0);
+    match subcommand.as_str() {
+        "gc" => {
+            let dir = args
+                .value_of("--store")?
+                .ok_or("gdp store gc needs --store <dir>")?;
+            let manifest_path = args.value_of("--manifest")?.ok_or(
+                "gdp store gc needs --manifest <file>: the spec-context lines to retain \
+                 (cat the store's *.context files and keep the specs you still need)",
+            )?;
+            let dry_run = args.has("--dry-run");
+            args.finish()?;
+            let raw = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("reading manifest {manifest_path}: {e}"))?;
+            let manifest: Vec<String> = raw
+                .lines()
+                .map(str::trim)
+                .filter(|line| !line.is_empty() && !line.starts_with('#'))
+                .map(String::from)
+                .collect();
+            if manifest.is_empty() {
+                return Err(format!(
+                    "manifest {manifest_path} names no spec contexts; refusing a gc \
+                     that would retire every record"
+                ));
+            }
+            let report = gc_store(Path::new(&dir), &manifest, dry_run)
+                .map_err(|e| format!("gc of store {dir}: {e}"))?;
+            println!("store gc: {report} ({dir})");
+            Ok(CommandOutcome::Ok)
+        }
+        "compact" => {
+            let dir = args
+                .value_of("--store")?
+                .ok_or("gdp store compact needs --store <dir>")?;
+            args.finish()?;
+            let report = compact_store(Path::new(&dir))
+                .map_err(|e| format!("compaction of store {dir}: {e}"))?;
+            println!("store compact: {report} ({dir})");
+            Ok(CommandOutcome::Ok)
+        }
+        other => Err(format!(
+            "unknown store subcommand {other:?}; try gc or compact"
+        )),
+    }
+}
+
 fn cmd_serve(mut args: Args) -> Result<CommandOutcome, String> {
     let addr = args
         .value_of("--addr")?
@@ -1000,6 +1149,7 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(args),
         "check" => cmd_check(args),
         "stress" => cmd_stress(args),
+        "store" => cmd_store(args),
         "serve" => cmd_serve(args),
         other => Err(format!("unknown command {other:?}; try `gdp --help`")),
     };

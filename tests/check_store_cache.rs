@@ -1,0 +1,187 @@
+//! End-to-end tests for the certificate cache behind `gdp check --store`:
+//! warm checks answer from disk **byte-identically** to recomputation, for
+//! every `--threads` value and for restricted adversary classes, and the
+//! cache-related usage errors are rejected before any work runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gdp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gdp"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("gdp binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("utf-8 stderr")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdp_check_cache_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The tentpole acceptance gate: a warm `gdp check --store --resume` on
+/// GDP1 over the classic 5-ring answers from the certificate cache with a
+/// report **bitwise identical** to the cold computation — and the identity
+/// holds for every `--threads` value, because certificates are
+/// byte-reproducible and the cache stores exactly those bytes.
+#[test]
+fn warm_ring5_checks_answer_from_the_cache_byte_identically_across_threads() {
+    let dir = temp_dir("ring5");
+    let store = dir.to_str().unwrap();
+    let cold = gdp(&[
+        "check",
+        "--family",
+        "ring",
+        "--size",
+        "5",
+        "--algorithm",
+        "gdp1",
+        "--threads",
+        "1",
+        "--store",
+        store,
+    ]);
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    assert!(
+        stderr(&cold).contains("computed certificates: 1"),
+        "{}",
+        stderr(&cold)
+    );
+    assert!(stdout(&cold).contains("verdict:           certified"));
+
+    for threads in ["1", "2", "4"] {
+        let warm = gdp(&[
+            "check",
+            "--family",
+            "ring",
+            "--size",
+            "5",
+            "--algorithm",
+            "gdp1",
+            "--threads",
+            threads,
+            "--store",
+            store,
+            "--resume",
+        ]);
+        assert!(warm.status.success(), "{}", stderr(&warm));
+        assert!(
+            stderr(&warm).contains("reused certificates: 1"),
+            "threads={threads}: {}",
+            stderr(&warm)
+        );
+        assert_eq!(
+            cold.stdout, warm.stdout,
+            "warm --threads {threads} must be bitwise identical to the cold report"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Restricted adversary classes flow through the same cache: each class is
+/// its own record (keyed by the full check context), each warm answer is
+/// byte-identical to its own cold run, and no class ever answers another's
+/// check.
+#[test]
+fn restricted_classes_cache_independently_and_byte_identically() {
+    let dir = temp_dir("restricted");
+    let store = dir.to_str().unwrap();
+    for adversary in ["kbounded:1", "crash:1"] {
+        let cold = gdp(&[
+            "check",
+            "--family",
+            "ring",
+            "--size",
+            "4",
+            "--algorithm",
+            "gdp1",
+            "--adversary",
+            adversary,
+            "--store",
+            store,
+        ]);
+        // A restricted class may legitimately refute the objective (exit 1
+        // — crash:1 breaks worst-case progress); what the cache owes is
+        // that the warm answer matches the cold one exactly, verdict and
+        // exit code included.
+        assert!(
+            matches!(cold.status.code(), Some(0 | 1)),
+            "{adversary}: {}",
+            stderr(&cold)
+        );
+        assert!(
+            stderr(&cold).contains("computed certificates: 1"),
+            "{adversary} must be a cache miss, not answered by another class: {}",
+            stderr(&cold)
+        );
+        let warm = gdp(&[
+            "check",
+            "--family",
+            "ring",
+            "--size",
+            "4",
+            "--algorithm",
+            "gdp1",
+            "--adversary",
+            adversary,
+            "--store",
+            store,
+            "--resume",
+        ]);
+        assert_eq!(
+            warm.status.code(),
+            cold.status.code(),
+            "{adversary}: {}",
+            stderr(&warm)
+        );
+        assert!(
+            stderr(&warm).contains("reused certificates: 1"),
+            "{adversary}: {}",
+            stderr(&warm)
+        );
+        assert_eq!(cold.stdout, warm.stdout, "{adversary}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_store_is_a_usage_error() {
+    let output = gdp(&["check", "--family", "ring", "--size", "4", "--resume"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(stderr(&output).contains("--resume needs a store"));
+}
+
+#[test]
+fn resume_with_a_counterexample_request_is_a_usage_error() {
+    let dir = temp_dir("usage");
+    let output = gdp(&[
+        "check",
+        "--family",
+        "ring",
+        "--size",
+        "3",
+        "--algorithm",
+        "naive",
+        "--store",
+        dir.to_str().unwrap(),
+        "--resume",
+        "--counterexample",
+        "lasso.dot",
+    ]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("--counterexample"),
+        "{}",
+        stderr(&output)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

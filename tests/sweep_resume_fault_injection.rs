@@ -203,6 +203,104 @@ fn corrupted_store_records_are_quarantined_and_recomputed_by_resume() {
     let _ = std::fs::remove_dir_all(&work);
 }
 
+/// Full argv of one store-backed *checked* sweep writing into `dir`: the
+/// same grid with exact worst-case verdicts attached, so every cell also
+/// writes a certificate record into the store's certificate cache.
+fn checked_sweep_args(dir: &Path) -> Vec<String> {
+    let mut args = sweep_args(dir);
+    args.extend(["--check", "--check-states", "30000"].map(String::from));
+    args
+}
+
+/// The `--check --store` resume contract: SIGKILLed checked sweeps resume
+/// to byte-identical artifacts, and the exact columns restore from
+/// **certificate records** even when every MC cell record is lost — the
+/// expensive state-space half of a cell survives independently of the
+/// cheap Monte-Carlo half.
+#[test]
+fn checked_sweeps_restore_exact_columns_from_certificate_records() {
+    let work = temp_dir("check_resume");
+
+    // Reference: a plain, uninterrupted, storeless checked sweep.
+    let ref_json = work.join("ref.json");
+    let ref_csv = work.join("ref.csv");
+    let mut ref_args: Vec<String> = ["sweep"].iter().map(|s| s.to_string()).collect();
+    ref_args.extend(GRID.iter().map(|s| s.to_string()));
+    ref_args.extend(["--check", "--check-states", "30000"].map(String::from));
+    ref_args.extend([
+        "--json".to_string(),
+        ref_json.to_string_lossy().into_owned(),
+        "--csv".to_string(),
+        ref_csv.to_string_lossy().into_owned(),
+    ]);
+    let reference = Command::new(env!("CARGO_BIN_EXE_gdp"))
+        .args(&ref_args)
+        .output()
+        .expect("reference sweep runs");
+    assert!(
+        ref_json.exists() && ref_csv.exists(),
+        "reference sweep must write artifacts (exit {:?})",
+        reference.status.code()
+    );
+
+    // Fault injection: SIGKILL store-backed checked sweeps mid-run.  The
+    // checks dominate the runtime, so the kills land between (and inside)
+    // certificate computations.
+    let mut schedule = ChaCha8Rng::seed_from_u64(0xFA17_1217);
+    let args = checked_sweep_args(&work);
+    for _round in 0..4 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gdp"))
+            .args(&args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("sweep child spawns");
+        let delay_ms: u64 = schedule.gen_range(1..=1500);
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    // Recovery: one uninterrupted resume completes the grid byte-for-byte.
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let final_run = gdp(&argv);
+    assert!(
+        matches!(final_run.status.code(), Some(0 | 1)),
+        "final resume must complete: {final_run:?}"
+    );
+    assert_eq!(read(&work.join("out.json")), read(&ref_json));
+    assert_eq!(read(&work.join("out.csv")), read(&ref_csv));
+
+    // Lose every MC cell record, keep the certificate cache.  The resume
+    // recomputes all 12 Monte-Carlo halves but answers all 12 exact checks
+    // from certificate records — and the artifacts don't move a byte.
+    let cells_dir = work.join("store").join("cells");
+    for entry in std::fs::read_dir(&cells_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "cell") {
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+    let resumed = gdp(&argv);
+    let text = stdout(&resumed);
+    assert!(
+        text.contains("0 reused, 12 computed, 0 quarantined"),
+        "every MC cell must recompute: {text}"
+    );
+    assert!(
+        text.contains("12 reused certificates, 0 computed certificates"),
+        "every exact check must answer from the certificate cache: {text}"
+    );
+    assert_eq!(
+        read(&work.join("out.json")),
+        read(&ref_json),
+        "artifacts rebuilt from certificate records must be byte-identical"
+    );
+    assert_eq!(read(&work.join("out.csv")), read(&ref_csv));
+
+    let _ = std::fs::remove_dir_all(&work);
+}
+
 #[test]
 fn killed_partial_runs_leave_only_valid_records_behind() {
     // After a SIGKILL, whatever reached the store must verify cleanly: the
